@@ -1,0 +1,533 @@
+package repro
+
+// Benchmarks: one per table/figure of the paper (regenerating the
+// exhibit at the structurally identical small scale), the ablations
+// called out in DESIGN.md §5, and micro-benchmarks of the hot paths.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The per-exhibit benchmarks report the headline quantity of their
+// figure as a custom metric so a regression in attack effectiveness
+// is as visible as a regression in speed.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/graham"
+	"repro/internal/sbayes"
+	"repro/internal/scenario"
+	"repro/internal/tokenize"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+// env returns the cached small-scale experiment environment.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.NewEnv(experiments.SmallScale())
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// ---- One benchmark per exhibit ----
+
+// BenchmarkTable1Params regenerates the Table 1 parameter matrix.
+func BenchmarkTable1Params(b *testing.B) {
+	cfg := experiments.FullScale()
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table1(cfg); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig1DictionaryAttacks regenerates Figure 1 (optimal /
+// Usenet / Aspell dictionary attacks under cross-validation).
+func BenchmarkFig1DictionaryAttacks(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var last *experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	pts := last.SeriesByName("optimal").Points
+	b.ReportMetric(100*pts[len(pts)-1].Confusion.HamMisclassifiedRate(), "hamloss%@max")
+}
+
+// BenchmarkFig2FocusedKnowledge regenerates Figure 2 (focused attack
+// vs. guess probability).
+func BenchmarkFig2FocusedKnowledge(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var last *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.Cells[len(last.Cells)-1].ChangedRate(), "changed%@maxp")
+}
+
+// BenchmarkFig3FocusedVolume regenerates Figure 3 (focused attack vs.
+// attack volume).
+func BenchmarkFig3FocusedVolume(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var last *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.Points[len(last.Points)-1].MisclassifiedRate(), "targetloss%@max")
+}
+
+// BenchmarkFig4TokenShift regenerates Figure 4 (token scores before
+// and after the focused attack).
+func BenchmarkFig4TokenShift(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var last *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	inc, _ := last.Targets[0].IncludedDeltaSummary()
+	b.ReportMetric(inc, "incTokenDelta")
+}
+
+// BenchmarkFig5DynamicThreshold regenerates Figure 5 (dynamic
+// threshold defense vs. the dictionary attack).
+func BenchmarkFig5DynamicThreshold(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var last *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	cells := last.Series[len(last.Series)-1].Cells
+	b.ReportMetric(100*cells[len(cells)-1].Confusion.HamAsSpamRate(), "defendedham2spam%")
+}
+
+// BenchmarkRONIDefense regenerates the §5.1 RONI statistics.
+func BenchmarkRONIDefense(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var last *experiments.RONIResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRONI(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(-last.BestAttack(), "minAttackImpact")
+}
+
+// BenchmarkTokenRatio regenerates the §4.2 token-volume check.
+func BenchmarkTokenRatio(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var last *experiments.TokenRatioResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTokenRatio(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[0].Ratio(), "tokenRatio")
+}
+
+// BenchmarkExtInformedAttack regenerates the informed-attack
+// extension sweep (§3.4 future work).
+func BenchmarkExtInformedAttack(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var last *experiments.InformedResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunInformed(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	cells := last.Cells
+	b.ReportMetric(100*cells[len(cells)-1].Confusions[0].HamMisclassifiedRate(), "informedloss%@max")
+}
+
+// BenchmarkExtPseudospam regenerates the pseudospam extension sweep
+// (§2.2 remark).
+func BenchmarkExtPseudospam(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var last *experiments.PseudospamResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPseudospam(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.Points[len(last.Points)-1].NotBlockedRate(), "unblocked%@max")
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationWeightedLearn compares training n identical attack
+// emails via weighted learning against the naive n-iteration loop.
+func BenchmarkAblationWeightedLearn(b *testing.B) {
+	e := env(b)
+	attack := core.NewDictionaryAttack(e.Aspell).BuildAttack(e.RNG("bench"))
+	tokens := e.Tok.TokenSet(attack)
+	const copies = 100
+	b.Run("weighted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := sbayes.NewDefault()
+			f.LearnTokens(tokens, true, copies)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := sbayes.NewDefault()
+			for c := 0; c < copies; c++ {
+				f.LearnTokens(tokens, true, 1)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRONIUnlearn compares the unlearn-based RONI impact
+// measurement against retraining each trial filter from scratch.
+func BenchmarkAblationRONIUnlearn(b *testing.B) {
+	e := env(b)
+	r := e.RNG("roni-ablation")
+	cfg := core.DefaultRONIConfig()
+	d, err := core.NewRONI(cfg, e.Pool, sbayes.DefaultOptions(), e.Tok, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := e.Gen.SpamMessage(r)
+	b.Run("unlearn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.MeasureImpact(q, true)
+		}
+	})
+	b.Run("retrain", func(b *testing.B) {
+		// Retrain-from-scratch equivalent: rebuild the trial filters
+		// for every query.
+		for i := 0; i < b.N; i++ {
+			d2, err := core.NewRONI(cfg, e.Pool, sbayes.DefaultOptions(), e.Tok, r.Clone())
+			if err != nil {
+				b.Fatal(err)
+			}
+			d2.MeasureImpact(q, true)
+		}
+	})
+}
+
+// BenchmarkBaselineGrahamVsSpamBayes measures the same dictionary
+// attack against the Graham (2002) baseline combiner and the
+// SpamBayes learner, reporting each one's ham loss at a 10% dose —
+// the dose-response gap documented in internal/graham.
+func BenchmarkBaselineGrahamVsSpamBayes(b *testing.B) {
+	e := env(b)
+	r := e.RNG("graham-bench")
+	train := e.Gen.Corpus(r, 200, 200)
+	probes := make([]*Message, 40)
+	for i := range probes {
+		probes[i] = e.Gen.HamMessage(r)
+	}
+	attack := core.NewDictionaryAttack(e.Optimal)
+	attackMsg := attack.BuildAttack(r)
+	n := core.AttackSize(0.10, train.Len())
+
+	b.Run("spambayes", func(b *testing.B) {
+		var loss float64
+		for i := 0; i < b.N; i++ {
+			f := eval.TrainFilter(train, sbayes.DefaultOptions(), e.Tok)
+			f.LearnWeighted(attackMsg, true, n)
+			flipped := 0
+			for _, m := range probes {
+				if l, _ := f.Classify(m); l != sbayes.Ham {
+					flipped++
+				}
+			}
+			loss = 100 * float64(flipped) / float64(len(probes))
+		}
+		b.ReportMetric(loss, "hamloss%")
+	})
+	b.Run("graham", func(b *testing.B) {
+		var loss float64
+		for i := 0; i < b.N; i++ {
+			f := graham.NewDefault()
+			for _, ex := range train.Examples {
+				f.Learn(ex.Msg, ex.Spam)
+			}
+			f.LearnWeighted(attackMsg, true, n)
+			flipped := 0
+			for _, m := range probes {
+				if spam, _ := f.IsSpam(m); spam {
+					flipped++
+				}
+			}
+			loss = 100 * float64(flipped) / float64(len(probes))
+		}
+		b.ReportMetric(loss, "hamloss%")
+	})
+}
+
+// BenchmarkAblationChunkedDictionary compares the paper's replicated
+// dictionary attack (whole dictionary in every email) against the
+// stealthier chunked variant (dictionary split across the emails) at
+// the same message count, reporting each variant's damage.
+func BenchmarkAblationChunkedDictionary(b *testing.B) {
+	e := env(b)
+	r := e.RNG("chunk-ablation")
+	train := e.Gen.Corpus(r, 200, 200)
+	base := eval.TrainFilter(train, sbayes.DefaultOptions(), e.Tok)
+	probes := make([][]string, 40)
+	for i := range probes {
+		probes[i] = e.Tok.TokenSet(e.Gen.HamMessage(r))
+	}
+	attack := core.NewDictionaryAttack(e.Optimal)
+	const copies = 20
+	damage := func(f *sbayes.Filter) float64 {
+		lost := 0
+		for _, p := range probes {
+			if l, _ := f.ClassifyTokens(p); l != sbayes.Ham {
+				lost++
+			}
+		}
+		return 100 * float64(lost) / float64(len(probes))
+	}
+	b.Run("replicated", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			f := base.Clone()
+			f.LearnWeighted(attack.BuildAttack(r), true, copies)
+			last = damage(f)
+		}
+		b.ReportMetric(last, "hamloss%")
+	})
+	b.Run("chunked", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			f := base.Clone()
+			for _, m := range attack.BuildChunked(copies) {
+				f.Learn(m, true)
+			}
+			last = damage(f)
+		}
+		b.ReportMetric(last, "hamloss%")
+	})
+}
+
+// BenchmarkAblationDiscriminators sweeps the δ(E) cap: SpamBayes'
+// 150 versus smaller and unbounded variants.
+func BenchmarkAblationDiscriminators(b *testing.B) {
+	e := env(b)
+	r := e.RNG("disc-ablation")
+	train := e.Gen.Corpus(r, 200, 200)
+	probes := make([][]string, 50)
+	for i := range probes {
+		probes[i] = e.Tok.TokenSet(e.Gen.HamMessage(r))
+	}
+	for _, cap := range []int{10, 50, 150, 10000} {
+		opts := sbayes.DefaultOptions()
+		opts.MaxDiscriminators = cap
+		f := eval.TrainFilter(train, opts, e.Tok)
+		b.Run(itoa(cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.ScoreTokens(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTokenizer compares tokenizer variants (the paper
+// notes tokenization is the main difference between SpamBayes,
+// BogoFilter and SpamAssassin's learners).
+func BenchmarkAblationTokenizer(b *testing.B) {
+	e := env(b)
+	r := e.RNG("tok-ablation")
+	msgs := make([]*Message, 100)
+	for i := range msgs {
+		msgs[i] = e.Gen.Message(r, i%2 == 0)
+	}
+	variants := map[string]tokenize.Options{
+		"default":    tokenize.DefaultOptions(),
+		"no-headers": func() tokenize.Options { o := tokenize.DefaultOptions(); o.Headers = false; return o }(),
+		"no-skip":    func() tokenize.Options { o := tokenize.DefaultOptions(); o.SkipTokens = false; return o }(),
+		"received":   func() tokenize.Options { o := tokenize.DefaultOptions(); o.MineReceived = true; return o }(),
+	}
+	for name, opts := range variants {
+		tok := tokenize.New(opts)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tok.TokenSet(msgs[i%len(msgs)])
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioDeployment runs the §2.1 weekly-retraining
+// deployment simulation (attack + RONI scrubbing).
+func BenchmarkScenarioDeployment(b *testing.B) {
+	e := env(b)
+	cfg := scenario.DefaultConfig()
+	cfg.Weeks = 3
+	cfg.InitialMailStore = 300
+	cfg.MessagesPerWeek = 150
+	cfg.TestSize = 80
+	cfg.AttackStartWeek = 2
+	cfg.AttackFraction = 0.05
+	cfg.Attack = core.NewDictionaryAttack(e.Optimal)
+	cfg.UseRONI = true
+	b.ResetTimer()
+	var last *scenario.Result
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(e.Gen, cfg, e.RNG("scenario-bench"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.FinalHamLoss(), "finalhamloss%")
+}
+
+// ---- Micro-benchmarks of the hot paths ----
+
+// BenchmarkTokenizeMessage measures tokenizer throughput.
+func BenchmarkTokenizeMessage(b *testing.B) {
+	e := env(b)
+	m := e.Gen.HamMessage(e.RNG("micro-tok"))
+	tok := tokenize.Default()
+	b.SetBytes(int64(len(m.Body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.TokenSet(m)
+	}
+}
+
+// BenchmarkLearnMessage measures training throughput.
+func BenchmarkLearnMessage(b *testing.B) {
+	e := env(b)
+	r := e.RNG("micro-learn")
+	msgs := make([][]string, 200)
+	for i := range msgs {
+		msgs[i] = e.Tok.TokenSet(e.Gen.Message(r, i%2 == 0))
+	}
+	f := sbayes.NewDefault()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.LearnTokens(msgs[i%len(msgs)], i%2 == 0, 1)
+	}
+}
+
+// BenchmarkClassifyMessage measures classification throughput on a
+// trained filter.
+func BenchmarkClassifyMessage(b *testing.B) {
+	e := env(b)
+	r := e.RNG("micro-classify")
+	f := eval.TrainFilter(e.Gen.Corpus(r, 300, 300), sbayes.DefaultOptions(), e.Tok)
+	probes := make([][]string, 100)
+	for i := range probes {
+		probes[i] = e.Tok.TokenSet(e.Gen.Message(r, i%2 == 0))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ClassifyTokens(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkCloneFilter measures the cost of branching a poisoned
+// filter off a clean baseline.
+func BenchmarkCloneFilter(b *testing.B) {
+	e := env(b)
+	f := eval.TrainFilter(e.Gen.Corpus(e.RNG("micro-clone"), 300, 300), sbayes.DefaultOptions(), e.Tok)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Clone()
+	}
+}
+
+// BenchmarkFilterPersist measures database serialization.
+func BenchmarkFilterPersist(b *testing.B) {
+	e := env(b)
+	f := eval.TrainFilter(e.Gen.Corpus(e.RNG("micro-persist"), 300, 300), sbayes.DefaultOptions(), e.Tok)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Save(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateMessage measures synthetic corpus throughput.
+func BenchmarkGenerateMessage(b *testing.B) {
+	e := env(b)
+	r := e.RNG("micro-gen")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Gen.Message(r, i%2 == 0)
+	}
+}
+
+// BenchmarkBuildUsenetLexicon measures lexicon construction from a
+// corpus sample.
+func BenchmarkBuildUsenetLexicon(b *testing.B) {
+	e := env(b)
+	g := e.Gen
+	for i := 0; i < b.N; i++ {
+		lex := UsenetLexicon(g, e.RNG("micro-lex"), 100000, 900)
+		if lex.Len() == 0 {
+			b.Fatal("empty lexicon")
+		}
+	}
+}
+
+// itoa for sub-benchmark names.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

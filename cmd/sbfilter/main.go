@@ -1,0 +1,197 @@
+// Command sbfilter is a standalone SpamBayes-style spam filter over
+// mbox archives: train a token database, classify messages, or score
+// a single message from stdin — the filter a downstream user would
+// actually deploy (and the system the paper attacks).
+//
+// Usage:
+//
+//	sbfilter train    -db FILE -ham HAM.mbox -spam SPAM.mbox
+//	sbfilter classify -db FILE MBOX...
+//	sbfilter score    -db FILE            (one message on stdin)
+//	sbfilter info     -db FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mail"
+	"repro/internal/sbayes"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "train":
+		err = cmdTrain(args)
+	case "classify":
+		err = cmdClassify(args)
+	case "score":
+		err = cmdScore(args)
+	case "info":
+		err = cmdInfo(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbfilter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  sbfilter train    -db FILE -ham HAM.mbox -spam SPAM.mbox
+  sbfilter classify -db FILE MBOX...
+  sbfilter score    -db FILE            (reads one message from stdin)
+  sbfilter info     -db FILE
+`)
+}
+
+// loadMbox reads every message of an mbox file.
+func loadMbox(path string) ([]*mail.Message, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mail.NewMboxReader(f).ReadAll()
+}
+
+// loadDB reads a filter database.
+func loadDB(path string) (*sbayes.Filter, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sbayes.Load(f, sbayes.DefaultOptions(), nil)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	db := fs.String("db", "", "token database file to write")
+	hamPath := fs.String("ham", "", "mbox of ham training messages")
+	spamPath := fs.String("spam", "", "mbox of spam training messages")
+	fs.Parse(args)
+	if *db == "" || *hamPath == "" || *spamPath == "" {
+		return fmt.Errorf("train needs -db, -ham and -spam")
+	}
+	ham, err := loadMbox(*hamPath)
+	if err != nil {
+		return err
+	}
+	spam, err := loadMbox(*spamPath)
+	if err != nil {
+		return err
+	}
+	filter := sbayes.NewDefault()
+	for _, m := range ham {
+		filter.Learn(m, false)
+	}
+	for _, m := range spam {
+		filter.Learn(m, true)
+	}
+	out, err := os.Create(*db)
+	if err != nil {
+		return err
+	}
+	if err := filter.Save(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	ns, nh := filter.Counts()
+	fmt.Printf("trained on %d ham + %d spam; %d tokens -> %s\n", nh, ns, filter.VocabSize(), *db)
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	db := fs.String("db", "", "token database file")
+	fs.Parse(args)
+	if *db == "" || fs.NArg() == 0 {
+		return fmt.Errorf("classify needs -db and at least one mbox")
+	}
+	filter, err := loadDB(*db)
+	if err != nil {
+		return err
+	}
+	counts := map[sbayes.Label]int{}
+	for _, path := range fs.Args() {
+		msgs, err := loadMbox(path)
+		if err != nil {
+			return err
+		}
+		for i, m := range msgs {
+			label, score := filter.Classify(m)
+			counts[label]++
+			subject := m.Subject()
+			if len(subject) > 40 {
+				subject = subject[:40]
+			}
+			fmt.Printf("%s:%d\t%-6s\t%.4f\t%s\n", path, i, label, score, subject)
+		}
+	}
+	fmt.Printf("totals: %d ham, %d unsure, %d spam\n",
+		counts[sbayes.Ham], counts[sbayes.Unsure], counts[sbayes.Spam])
+	return nil
+}
+
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	db := fs.String("db", "", "token database file")
+	explain := fs.Bool("explain", false, "print per-token clues")
+	fs.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("score needs -db")
+	}
+	filter, err := loadDB(*db)
+	if err != nil {
+		return err
+	}
+	msg, err := mail.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	label, score := filter.Classify(msg)
+	fmt.Printf("%s\t%.4f\n", label, score)
+	if *explain {
+		for _, c := range filter.Explain(msg) {
+			marker := " "
+			if c.Used {
+				marker = "*"
+			}
+			fmt.Printf("%s %.4f %s\n", marker, c.Score, c.Token)
+		}
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	db := fs.String("db", "", "token database file")
+	fs.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("info needs -db")
+	}
+	filter, err := loadDB(*db)
+	if err != nil {
+		return err
+	}
+	ns, nh := filter.Counts()
+	opts := filter.Options()
+	fmt.Printf("messages: %d ham, %d spam\n", nh, ns)
+	fmt.Printf("tokens:   %d\n", filter.VocabSize())
+	fmt.Printf("cutoffs:  ham<=%.2f spam>%.2f\n", opts.HamCutoff, opts.SpamCutoff)
+	return nil
+}

@@ -1,0 +1,254 @@
+// Command subvert regenerates every table and figure of the paper's
+// evaluation. Each subcommand prints the paper-style rows/series for
+// one exhibit; "all" runs the full suite.
+//
+// Usage:
+//
+//	subvert [flags] <exhibit>
+//
+// Exhibits: table1, fig1, fig2, fig3, fig4, fig5, roni, ratios, all.
+//
+// Flags:
+//
+//	-scale full|small   experiment scale (default full)
+//	-seed N             override the experiment seed
+//	-workers N          bound fold parallelism (0 = one per fold)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+func main() {
+	scale := flag.String("scale", "full", "experiment scale: full or small")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	workers := flag.Int("workers", 0, "bound fold-level parallelism (0 = one goroutine per fold)")
+	prevalence := flag.Float64("prevalence", 0, "override training spam prevalence (Table 1 also lists 0.75)")
+	train := flag.Int("train", 0, "override the dictionary-attack training set size (Table 1 also lists 2000)")
+	csvDir := flag.String("csv", "", "also write each exhibit's series as CSV into this directory")
+	flag.Usage = usage
+	flag.Parse()
+	csvOut = *csvDir
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	exhibit := flag.Arg(0)
+
+	var cfg experiments.Config
+	switch *scale {
+	case "full":
+		cfg = experiments.FullScale()
+	case "small":
+		cfg = experiments.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "subvert: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *prevalence != 0 {
+		cfg.SpamPrevalence = *prevalence
+	}
+	if *train != 0 {
+		cfg.TrainSize = *train
+	}
+	cfg.Workers = *workers
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	if exhibit == "table1" {
+		// Table 1 needs no environment.
+		fmt.Print(experiments.Table1(cfg))
+		return
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building environment (scale=%s, seed=%d)...\n", *scale, cfg.Seed)
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %v: %s\n\n", time.Since(start).Round(time.Millisecond), env.Describe())
+
+	run := map[string]func(*experiments.Env) error{
+		"fig1": func(e *experiments.Env) error {
+			res, err := experiments.RunFig1(e)
+			return render("fig1", res, err)
+		},
+		"fig2": func(e *experiments.Env) error {
+			res, err := experiments.RunFig2(e)
+			return render("fig2", res, err)
+		},
+		"fig3": func(e *experiments.Env) error {
+			res, err := experiments.RunFig3(e)
+			return render("fig3", res, err)
+		},
+		"fig4": func(e *experiments.Env) error {
+			res, err := experiments.RunFig4(e)
+			return render("fig4", res, err)
+		},
+		"fig5": func(e *experiments.Env) error {
+			res, err := experiments.RunFig5(e)
+			return render("fig5", res, err)
+		},
+		"roni": func(e *experiments.Env) error {
+			res, err := experiments.RunRONI(e)
+			return render("roni", res, err)
+		},
+		"ratios": func(e *experiments.Env) error {
+			res, err := experiments.RunTokenRatio(e)
+			return render("ratios", res, err)
+		},
+		"informed": func(e *experiments.Env) error {
+			res, err := experiments.RunInformed(e)
+			return render("informed", res, err)
+		},
+		"pseudospam": func(e *experiments.Env) error {
+			res, err := experiments.RunPseudospam(e)
+			return render("pseudospam", res, err)
+		},
+		"transfer": func(e *experiments.Env) error {
+			res, err := experiments.RunTransfer(e)
+			return render("transfer", res, err)
+		},
+		"deploy": runDeploy,
+	}
+
+	switch exhibit {
+	case "all":
+		fmt.Print(experiments.Table1(cfg))
+		fmt.Println()
+		for _, name := range []string{"ratios", "fig1", "fig2", "fig3", "fig4", "fig5", "roni", "informed", "pseudospam", "transfer"} {
+			stepStart := time.Now()
+			if err := run[name](env); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			fmt.Fprintf(os.Stderr, "[%s finished in %v]\n\n", name, time.Since(stepStart).Round(time.Millisecond))
+		}
+	default:
+		fn, ok := run[exhibit]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "subvert: unknown exhibit %q\n", exhibit)
+			usage()
+			os.Exit(2)
+		}
+		if err := fn(env); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runDeploy simulates the §2.1 deployment three ways: clean, under
+// the dictionary attack, and with RONI scrubbing the pipeline.
+func runDeploy(e *experiments.Env) error {
+	cfg := scenario.DefaultConfig()
+	if e.Cfg.TrainSize < 2000 { // small scale
+		cfg.Weeks = 4
+		cfg.InitialMailStore = 400
+		cfg.MessagesPerWeek = 200
+		cfg.TestSize = 100
+		cfg.AttackFraction = 0.05
+		cfg.AttackStartWeek = 2
+	}
+	attack := core.NewDictionaryAttack(e.Usenet)
+	variants := []struct {
+		name   string
+		mutate func(*scenario.Config)
+	}{
+		{"clean", func(c *scenario.Config) {}},
+		{"attacked", func(c *scenario.Config) { c.Attack = attack }},
+		{"RONI-scrubbed", func(c *scenario.Config) { c.Attack = attack; c.UseRONI = true }},
+	}
+	for _, v := range variants {
+		c := cfg
+		v.mutate(&c)
+		res, err := scenario.Run(e.Gen, c, e.RNG("deploy-"+v.name))
+		if err != nil {
+			return fmt.Errorf("deploy %s: %w", v.name, err)
+		}
+		fmt.Printf("== %s ==\n%s\n", v.name, res.Render())
+	}
+	return nil
+}
+
+// renderable is any experiment result.
+type renderable interface{ Render() string }
+
+// csvOut, when non-empty, receives one CSV file per exhibit.
+var csvOut string
+
+// render prints a result, optionally exports it as CSV, and
+// propagates the driver error.
+func render[T renderable](name string, res T, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	if csvOut == "" {
+		return nil
+	}
+	cw, ok := any(res).(experiments.CSVWriter)
+	if !ok {
+		return nil
+	}
+	if err := os.MkdirAll(csvOut, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(csvOut, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := cw.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: subvert [flags] <exhibit>
+
+Exhibits (each regenerates one table/figure of the paper):
+  table1   experimental parameter matrix
+  fig1     dictionary attacks (optimal / usenet / aspell) vs. attack fraction
+  fig2     focused attack vs. token guess probability
+  fig3     focused attack vs. attack volume
+  fig4     token scores before/after the focused attack
+  fig5     dynamic threshold defense vs. the dictionary attack
+  roni     RONI defense impact statistics (§5.1)
+  ratios   attack-to-corpus token volume check (§4.2)
+
+Extensions (features the paper sketches but does not evaluate):
+  informed    constrained-optimal attack under a word budget (§3.4)
+  pseudospam  ham-labeled attack placing spam in the inbox (§2.2)
+  transfer    the attack against BogoFilter / SpamAssassin profiles (conclusion)
+  deploy      §2.1 weekly-retraining deployment: clean / attacked / RONI-scrubbed
+
+  all      everything above
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "subvert: %v\n", err)
+	os.Exit(1)
+}

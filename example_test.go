@@ -1,0 +1,105 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// smallGenerator builds a scaled-down generator for fast, stable
+// example output.
+func smallGenerator() *repro.Generator {
+	cfg := repro.SmallScaleConfig()
+	g, err := repro.NewGeneratorWith(cfg.Universe, cfg.Gen)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ExampleTrainFilter shows the basic train-and-classify loop.
+func ExampleTrainFilter() {
+	gen := smallGenerator()
+	rng := repro.NewRNG(1)
+	inbox := gen.Corpus(rng, 200, 200)
+	filter := repro.TrainFilter(inbox, repro.DefaultFilterOptions(), nil)
+
+	hamLabel, _ := filter.Classify(gen.HamMessage(rng))
+	spamLabel, _ := filter.Classify(gen.SpamMessage(rng))
+	fmt.Println("fresh ham :", hamLabel)
+	fmt.Println("fresh spam:", spamLabel)
+	// Output:
+	// fresh ham : ham
+	// fresh spam: spam
+}
+
+// ExampleNewDictionaryAttack shows the §3.2 attack breaking a filter
+// with 1% training-set control.
+func ExampleNewDictionaryAttack() {
+	gen := smallGenerator()
+	rng := repro.NewRNG(2)
+	inbox := gen.Corpus(rng, 300, 300)
+	filter := repro.TrainFilter(inbox, repro.DefaultFilterOptions(), nil)
+
+	target := gen.HamMessage(rng)
+	before, _ := filter.Classify(target)
+
+	attack := repro.NewOptimalAttack(gen.Universe())
+	n := repro.AttackSize(0.05, inbox.Len())
+	filter.LearnWeighted(attack.BuildAttack(rng), true, n)
+	after, _ := filter.Classify(target)
+
+	fmt.Println("before:", before)
+	fmt.Println("after :", after != repro.Ham)
+	// Output:
+	// before: ham
+	// after : true
+}
+
+// ExampleNewFocusedAttack shows the §3.3 targeted attack.
+func ExampleNewFocusedAttack() {
+	gen := smallGenerator()
+	rng := repro.NewRNG(3)
+	inbox := gen.Corpus(rng, 300, 300)
+	filter := repro.TrainFilter(inbox, repro.DefaultFilterOptions(), nil)
+
+	target := gen.HamMessage(rng)
+	attack, err := repro.NewFocusedAttack(target, 0.9, inbox.Spam())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(attack.Taxonomy())
+
+	filter.LearnWeighted(attack.BuildAttack(rng), true, 60)
+	label, _ := filter.Classify(target)
+	fmt.Println("target blocked:", label != repro.Ham)
+	// Output:
+	// Causative Availability Targeted
+	// target blocked: true
+}
+
+// ExampleNewRONI shows the §5.1 defense rejecting an attack email.
+func ExampleNewRONI() {
+	gen := smallGenerator()
+	rng := repro.NewRNG(4)
+	pool := gen.Corpus(rng, 400, 400)
+	roni, err := repro.NewRONI(repro.DefaultRONIConfig(), pool, repro.DefaultFilterOptions(), nil, rng)
+	if err != nil {
+		panic(err)
+	}
+	attack := repro.NewDictionaryAttack(repro.AspellLexicon(gen.Universe()))
+	fmt.Println("attack email rejected :", roni.ShouldReject(attack.BuildAttack(rng), true))
+	fmt.Println("ordinary spam rejected:", roni.ShouldReject(gen.SpamMessage(rng), true))
+	// Output:
+	// attack email rejected : true
+	// ordinary spam rejected: false
+}
+
+// ExampleAttackSize shows the paper's attack-count arithmetic.
+func ExampleAttackSize() {
+	fmt.Println(repro.AttackSize(0.01, 10000))
+	fmt.Println(repro.AttackSize(0.02, 10000))
+	// Output:
+	// 101
+	// 204
+}

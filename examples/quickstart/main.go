@@ -1,0 +1,63 @@
+// Quickstart: train a SpamBayes filter on a synthetic corpus and
+// classify fresh messages — the five-minute tour of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A generator produces the synthetic Enron-like corpus that
+	// stands in for TREC 2005 (see DESIGN.md §3). The full-scale
+	// universe has the paper's dictionary sizes; everything is
+	// deterministic given the RNG seed.
+	gen, err := repro.NewGenerator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := repro.NewRNG(42)
+
+	// Generate and train on a 2,000-message inbox, half spam.
+	inbox := gen.Corpus(rng, 1000, 1000)
+	filter := repro.TrainFilter(inbox, repro.DefaultFilterOptions(), nil)
+	nspam, nham := filter.Counts()
+	fmt.Printf("trained on %d ham + %d spam (%d distinct tokens)\n\n",
+		nham, nspam, filter.VocabSize())
+
+	// Classify fresh mail the filter has never seen.
+	fmt.Println("fresh messages:")
+	for i := 0; i < 3; i++ {
+		m := gen.HamMessage(rng)
+		label, score := filter.Classify(m)
+		fmt.Printf("  ham  %q -> %-6s (score %.4f)\n", m.Subject(), label, score)
+	}
+	for i := 0; i < 3; i++ {
+		m := gen.SpamMessage(rng)
+		label, score := filter.Classify(m)
+		fmt.Printf("  spam %q -> %-6s (score %.4f)\n", m.Subject(), label, score)
+	}
+
+	// Inspect the evidence behind one verdict.
+	m := gen.HamMessage(rng)
+	fmt.Printf("\nstrongest clues for %q:\n", m.Subject())
+	shown := 0
+	for _, clue := range filter.Explain(m) {
+		if !clue.Used {
+			continue
+		}
+		fmt.Printf("  f(%q) = %.4f\n", clue.Token, clue.Score)
+		if shown++; shown == 5 {
+			break
+		}
+	}
+
+	// Evaluate on a held-out test set.
+	test := gen.Corpus(rng, 200, 200)
+	conf := repro.Evaluate(filter, test)
+	fmt.Printf("\nheld-out accuracy: %.1f%%  (%s)\n", 100*conf.Accuracy(), conf)
+}

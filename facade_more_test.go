@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFacadeLexicons exercises the lexicon constructors through the
+// public API.
+func TestFacadeLexicons(t *testing.T) {
+	cfg := SmallScaleConfig()
+	g, err := NewGeneratorWith(cfg.Universe, cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.Universe()
+	asp := AspellLexicon(u)
+	opt := OptimalLexicon(u)
+	us := UsenetLexicon(g, NewRNG(5), 200000, 900)
+	if asp.Len() == 0 || opt.Len() != u.Size() || us.Len() == 0 {
+		t.Fatalf("lexicon sizes: aspell=%d optimal=%d usenet=%d", asp.Len(), opt.Len(), us.Len())
+	}
+	if got := us.Overlap(asp); got == 0 || got > asp.Len() {
+		t.Errorf("overlap = %d", got)
+	}
+}
+
+// TestFacadeCorpusPersistence round-trips a corpus through mbox pairs
+// via the facade.
+func TestFacadeCorpusPersistence(t *testing.T) {
+	cfg := SmallScaleConfig()
+	g, err := NewGeneratorWith(cfg.Universe, cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Corpus(NewRNG(6), 8, 8)
+	dir := filepath.Join(t.TempDir(), "corpus")
+	if err := c.SaveMboxPair(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMboxPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumHam() != 8 || got.NumSpam() != 8 {
+		t.Errorf("round trip = %d/%d", got.NumHam(), got.NumSpam())
+	}
+}
+
+// TestFacadeExperimentEnv builds an environment and runs the cheapest
+// driver through the facade types.
+func TestFacadeExperimentEnv(t *testing.T) {
+	env, err := NewExperimentEnv(SmallScaleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Pool.Len() == 0 || env.Aspell.Len() == 0 {
+		t.Error("environment incomplete")
+	}
+}
+
+// TestFacadeDynamicThreshold exercises the threshold defense type
+// alias end to end.
+func TestFacadeDynamicThreshold(t *testing.T) {
+	cfg := SmallScaleConfig()
+	g, err := NewGeneratorWith(cfg.Universe, cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(7)
+	train := g.Corpus(rng, 200, 200)
+	d := DynamicThreshold{Utility: 0.10}
+	f, t0, t1, err := d.Train(train, DefaultFilterOptions(), nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0 > t1 {
+		t.Errorf("thresholds inverted: %v > %v", t0, t1)
+	}
+	if conf := Evaluate(f, g.Corpus(rng, 50, 50)); conf.Accuracy() < 0.8 {
+		t.Errorf("defended accuracy %v", conf.Accuracy())
+	}
+}
+
+// TestFacadeTaxonomy checks the re-exported attack metadata.
+func TestFacadeTaxonomy(t *testing.T) {
+	cfg := SmallScaleConfig()
+	g, err := NewGeneratorWith(cfg.Universe, cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Attacker = NewOptimalAttack(g.Universe())
+	if a.Taxonomy().String() != "Causative Availability Indiscriminate" {
+		t.Errorf("taxonomy = %v", a.Taxonomy())
+	}
+	if a.Name() != "optimal" {
+		t.Errorf("name = %q", a.Name())
+	}
+}

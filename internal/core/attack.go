@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/mail"
+	"repro/internal/stats"
+)
+
+// Attacker is a Causative attack against the filter's training set.
+// BuildAttack constructs the attack email; the experiment harness
+// injects AttackSize(fraction, trainSize) copies of it into training,
+// labeled spam. (Paper attacks send n identical messages: a
+// dictionary attack email is "the entire dictionary", and a focused
+// attack fixes one guessed word set. Training n identical copies is
+// implemented in one pass by sbayes.LearnWeighted.)
+type Attacker interface {
+	// Name identifies the attack in experiment tables.
+	Name() string
+	// Taxonomy places the attack in the §3.1 attack space.
+	Taxonomy() Taxonomy
+	// BuildAttack constructs the attack email.
+	BuildAttack(r *stats.RNG) *mail.Message
+}
+
+// AttackSize converts an attack fraction into a message count: the
+// number of attack messages that makes up `fraction` of the poisoned
+// training set of base size trainSize. This matches the paper's
+// arithmetic (1% of a 10,000-message inbox = 101 attack emails,
+// 2% = 204).
+func AttackSize(fraction float64, trainSize int) int {
+	if fraction <= 0 || trainSize <= 0 {
+		return 0
+	}
+	if fraction >= 1 {
+		panic("core: attack fraction must be below 1")
+	}
+	return int(fraction/(1-fraction)*float64(trainSize) + 0.5)
+}
+
+// BodyFromWords lays words out as an email body, wrapped for
+// readability. Word order is preserved; the SpamBayes learner is
+// insensitive to it.
+func BodyFromWords(words []string, perLine int) string {
+	if perLine <= 0 {
+		perLine = 12
+	}
+	var b strings.Builder
+	// Most words are short; 8 bytes each is a good initial estimate.
+	b.Grow(8 * len(words))
+	for i, w := range words {
+		switch {
+		case i == 0:
+		case i%perLine == 0:
+			b.WriteByte('\n')
+		default:
+			b.WriteByte(' ')
+		}
+		b.WriteString(w)
+	}
+	if len(words) > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TargetWords extracts the distinct lowercased body words of a
+// message — the vocabulary an attacker with knowledge of the target
+// email (§3.3) would reproduce in attack emails. Words shorter than
+// three characters are dropped (the tokenizer ignores them anyway).
+func TargetWords(m *mail.Message) []string {
+	fields := strings.Fields(strings.ToLower(m.Body))
+	seen := make(map[string]struct{}, len(fields))
+	out := make([]string, 0, len(fields))
+	for _, w := range fields {
+		if len(w) < 3 {
+			continue
+		}
+		if _, dup := seen[w]; dup {
+			continue
+		}
+		seen[w] = struct{}{}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ExpectedSpamScore estimates E[I_a(m)] for m ~ p by Monte Carlo: the
+// §3.4 objective the optimal attack maximizes. draw samples messages
+// as word indicator vectors from p (a word-inclusion probability
+// vector over vocabulary), score scores a word set. It is used by
+// tests to verify the optimality argument, not by the attacks
+// themselves.
+func ExpectedSpamScore(r *stats.RNG, p map[string]float64, draws int, score func(words []string) float64) float64 {
+	if draws <= 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	words := make([]string, 0, len(p))
+	keys := make([]string, 0, len(p))
+	for w := range p {
+		keys = append(keys, w)
+	}
+	// Deterministic iteration: sort the vocabulary.
+	sort.Strings(keys)
+	for i := 0; i < draws; i++ {
+		words = words[:0]
+		for _, w := range keys {
+			if r.Bernoulli(p[w]) {
+				words = append(words, w)
+			}
+		}
+		total += score(words)
+	}
+	return total / float64(draws)
+}

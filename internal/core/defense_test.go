@@ -1,0 +1,286 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lexicon"
+	"repro/internal/sbayes"
+	"repro/internal/stats"
+)
+
+func TestRONIConfigValidate(t *testing.T) {
+	if err := DefaultRONIConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*RONIConfig){
+		func(c *RONIConfig) { c.TrainSize = 1 },
+		func(c *RONIConfig) { c.ValSize = 0 },
+		func(c *RONIConfig) { c.Trials = 0 },
+		func(c *RONIConfig) { c.SpamPrevalence = 1.5 },
+		func(c *RONIConfig) { c.Threshold = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultRONIConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestRONISeparatesDictionaryAttack(t *testing.T) {
+	g := testGenerator(t)
+	r := stats.NewRNG(11)
+	pool := g.Corpus(r, 400, 400)
+	d, err := NewRONI(DefaultRONIConfig(), pool, sbayes.DefaultOptions(), nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config().TrainSize != 20 {
+		t.Error("config not retained")
+	}
+
+	attack := NewDictionaryAttack(lexicon.Optimal(g.Universe()))
+	attackMsg := attack.BuildAttack(r)
+	attackImpact := d.MeasureImpact(attackMsg, true)
+
+	// Non-attack spam: fresh messages from the generator.
+	worstSpam := 0.0
+	for i := 0; i < 20; i++ {
+		imp := d.MeasureImpact(g.SpamMessage(r), true)
+		if imp.HamAsHamDelta < worstSpam {
+			worstSpam = imp.HamAsHamDelta
+		}
+	}
+	if attackImpact.HamAsHamDelta >= worstSpam {
+		t.Errorf("attack impact %v not below worst non-attack %v",
+			attackImpact.HamAsHamDelta, worstSpam)
+	}
+	if !d.ShouldReject(attackMsg, true) {
+		t.Errorf("RONI did not reject the dictionary attack email (impact %+v)", attackImpact)
+	}
+}
+
+func TestRONIAcceptsNormalMail(t *testing.T) {
+	g := testGenerator(t)
+	r := stats.NewRNG(12)
+	pool := g.Corpus(r, 400, 400)
+	d, err := NewRONI(DefaultRONIConfig(), pool, sbayes.DefaultOptions(), nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	const n = 30
+	for i := 0; i < n; i++ {
+		if d.ShouldReject(g.SpamMessage(r), true) {
+			rejected++
+		}
+		if d.ShouldReject(g.HamMessage(r), false) {
+			rejected++
+		}
+	}
+	if rejected > n/5 {
+		t.Errorf("RONI rejected %d of %d normal messages", rejected, 2*n)
+	}
+}
+
+func TestRONIMeasureImpactLeavesStateUnchanged(t *testing.T) {
+	g := testGenerator(t)
+	r := stats.NewRNG(13)
+	pool := g.Corpus(r, 200, 200)
+	d, err := NewRONI(DefaultRONIConfig(), pool, sbayes.DefaultOptions(), nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := g.SpamMessage(r)
+	first := d.MeasureImpact(q, true)
+	for i := 0; i < 3; i++ {
+		if got := d.MeasureImpact(q, true); got != first {
+			t.Fatalf("impact drifted: %+v vs %+v", got, first)
+		}
+	}
+}
+
+func TestRONIFilterCorpus(t *testing.T) {
+	g := testGenerator(t)
+	r := stats.NewRNG(14)
+	pool := g.Corpus(r, 300, 300)
+	d, err := NewRONI(DefaultRONIConfig(), pool, sbayes.DefaultOptions(), nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := g.Corpus(r, 10, 10)
+	attack := NewDictionaryAttack(lexicon.Optimal(g.Universe()))
+	candidates.Add(attack.BuildAttack(r), true)
+	kept, rejected := d.FilterCorpus(candidates)
+	if kept.Len()+rejected.Len() != candidates.Len() {
+		t.Error("FilterCorpus lost messages")
+	}
+	if rejected.Len() == 0 {
+		t.Error("attack message not rejected")
+	}
+	// The attack email (huge body) must be among the rejected.
+	foundAttack := false
+	for _, e := range rejected.Examples {
+		if len(e.Msg.Body) > 10000 {
+			foundAttack = true
+		}
+	}
+	if !foundAttack {
+		t.Error("rejected set does not contain the attack email")
+	}
+}
+
+func TestRONIPoolTooSmall(t *testing.T) {
+	g := testGenerator(t)
+	r := stats.NewRNG(15)
+	pool := g.Corpus(r, 5, 5)
+	if _, err := NewRONI(DefaultRONIConfig(), pool, sbayes.DefaultOptions(), nil, r); err == nil {
+		t.Error("tiny pool accepted")
+	}
+}
+
+func TestDynamicThresholdValidate(t *testing.T) {
+	if err := (DynamicThreshold{Utility: 0.05}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, 0.5, -0.1, 0.9} {
+		if err := (DynamicThreshold{Utility: u}).Validate(); err == nil {
+			t.Errorf("utility %v validated", u)
+		}
+	}
+	if got := (DynamicThreshold{Utility: 0.05}).Name(); got != "threshold-0.05" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestFitThresholdsSeparatedScores(t *testing.T) {
+	d := DynamicThreshold{Utility: 0.05}
+	ham := []float64{0.01, 0.02, 0.05, 0.08, 0.1, 0.12, 0.15, 0.2, 0.22, 0.3}
+	spam := []float64{0.7, 0.75, 0.8, 0.85, 0.9, 0.92, 0.95, 0.97, 0.99, 1.0}
+	t0, t1, err := d.FitThresholds(ham, spam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0 < 0 || t1 > 1 || t0 > t1 {
+		t.Fatalf("thresholds (%v, %v) invalid", t0, t1)
+	}
+	// With perfectly separated scores the cutoffs should land between
+	// the classes or at their edges.
+	if t0 > 0.7 {
+		t.Errorf("θ0 = %v too high", t0)
+	}
+	if t1 < 0.3 {
+		t.Errorf("θ1 = %v too low", t1)
+	}
+}
+
+func TestFitThresholdsShiftedScores(t *testing.T) {
+	// The defense's motivating case: an attack shifts every score up
+	// but preserves ranking; fitted thresholds must follow the shift.
+	d := DynamicThreshold{Utility: 0.10}
+	ham := []float64{0.45, 0.5, 0.52, 0.55, 0.58, 0.6, 0.62, 0.65}
+	spam := []float64{0.9, 0.92, 0.94, 0.95, 0.96, 0.97, 0.98, 0.99}
+	t0, t1, err := d.FitThresholds(ham, spam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0 <= 0.15 {
+		t.Errorf("θ0 = %v did not adapt upward", t0)
+	}
+	if t1 < t0 {
+		t.Errorf("θ1 = %v < θ0 = %v", t1, t0)
+	}
+	// The fitted cutoffs must classify the shifted scores correctly:
+	// all ham at or below θ0, all spam above θ1.
+	for _, s := range ham {
+		if s > t0 {
+			t.Errorf("ham score %v above fitted θ0 = %v", s, t0)
+		}
+	}
+	for _, s := range spam {
+		if s <= t1 {
+			t.Errorf("spam score %v not above fitted θ1 = %v", s, t1)
+		}
+	}
+}
+
+func TestFitThresholdsErrors(t *testing.T) {
+	d := DynamicThreshold{Utility: 0.05}
+	if _, _, err := d.FitThresholds(nil, []float64{0.9}); err == nil {
+		t.Error("missing ham scores accepted")
+	}
+	if _, _, err := d.FitThresholds([]float64{0.1}, nil); err == nil {
+		t.Error("missing spam scores accepted")
+	}
+	bad := DynamicThreshold{Utility: 0.7}
+	if _, _, err := bad.FitThresholds([]float64{0.1}, []float64{0.9}); err == nil {
+		t.Error("invalid utility accepted")
+	}
+}
+
+func TestDynamicThresholdTrainDefendsAgainstDictionary(t *testing.T) {
+	g := testGenerator(t)
+	r := stats.NewRNG(16)
+	train := g.Corpus(r, 400, 400)
+
+	// Poison the training set with a dictionary attack.
+	attack := NewDictionaryAttack(lexicon.Aspell(g.Universe()))
+	nAttack := AttackSize(0.05, train.Len())
+	attackMsg := attack.BuildAttack(r)
+	poisoned := train.Clone()
+	for i := 0; i < nAttack; i++ {
+		poisoned.Add(attackMsg, true)
+	}
+	poisoned.Shuffle(r)
+
+	probes := make([]*sbayes.Filter, 0)
+	_ = probes
+
+	// Undefended filter.
+	plain := sbayes.NewDefault()
+	for _, e := range poisoned.Examples {
+		plain.Learn(e.Msg, e.Spam)
+	}
+	// Defended filter.
+	def := DynamicThreshold{Utility: 0.10}
+	defended, t0, t1, err := def.Train(poisoned, sbayes.DefaultOptions(), nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0 <= sbayes.DefaultOptions().HamCutoff {
+		t.Logf("fitted θ0 = %v (≤ static 0.15)", t0)
+	}
+	if t1 < t0 {
+		t.Fatalf("fitted thresholds inverted: %v > %v", t0, t1)
+	}
+
+	hams := make([]int, 2)
+	const nProbe = 60
+	for i := 0; i < nProbe; i++ {
+		m := g.HamMessage(r)
+		if l, _ := plain.Classify(m); l == sbayes.Spam {
+			hams[0]++
+		}
+		if l, _ := defended.Classify(m); l == sbayes.Spam {
+			hams[1]++
+		}
+	}
+	if hams[1] >= hams[0] && hams[0] > 0 {
+		t.Errorf("defense did not reduce ham-as-spam: %d vs %d", hams[1], hams[0])
+	}
+	// The paper's observation: with dynamic thresholds ham is almost
+	// never classified as spam.
+	if hams[1] > nProbe/10 {
+		t.Errorf("defended filter still calls %d/%d ham spam", hams[1], nProbe)
+	}
+}
+
+func TestDynamicThresholdTrainErrors(t *testing.T) {
+	g := testGenerator(t)
+	r := stats.NewRNG(17)
+	bad := DynamicThreshold{Utility: 0}
+	if _, _, _, err := bad.Train(g.Corpus(r, 10, 10), sbayes.DefaultOptions(), nil, r); err == nil {
+		t.Error("invalid utility accepted by Train")
+	}
+}

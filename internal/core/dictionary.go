@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/lexicon"
+	"repro/internal/mail"
+	"repro/internal/stats"
+	"repro/internal/textgen"
+)
+
+// DictionaryAttack is the Indiscriminate Causative Availability attack
+// of §3.2: every attack email contains an entire word source, so that
+// training it as spam raises the spam score of any word future ham
+// might use. The attack email has an empty header (the contamination
+// assumption allows attackers to control bodies but not headers; §4.1
+// implements that restriction exactly this way).
+type DictionaryAttack struct {
+	lex *lexicon.Lexicon
+}
+
+// NewDictionaryAttack builds the attack for a word source:
+// lexicon.Aspell for the basic dictionary attack, a lexicon from
+// lexicon.UsenetTopK for the refined attack, lexicon.Optimal for the
+// simulated optimal attack.
+func NewDictionaryAttack(lex *lexicon.Lexicon) *DictionaryAttack {
+	return &DictionaryAttack{lex: lex}
+}
+
+// NewOptimalAttack builds the §3.4 optimal attack simulation: a
+// dictionary attack whose word source is every word in the universe.
+func NewOptimalAttack(u *textgen.Universe) *DictionaryAttack {
+	return &DictionaryAttack{lex: lexicon.Optimal(u)}
+}
+
+// Name identifies the attack by its word source.
+func (a *DictionaryAttack) Name() string { return a.lex.Name() }
+
+// Lexicon returns the attack's word source.
+func (a *DictionaryAttack) Lexicon() *lexicon.Lexicon { return a.lex }
+
+// Taxonomy: dictionary attacks are Causative Availability
+// Indiscriminate.
+func (a *DictionaryAttack) Taxonomy() Taxonomy {
+	return Taxonomy{Causative, Availability, Indiscriminate}
+}
+
+// BuildAttack constructs the attack email: empty header, body
+// containing the entire word source. The RNG is unused (the attack is
+// deterministic) but kept for interface uniformity.
+func (a *DictionaryAttack) BuildAttack(_ *stats.RNG) *mail.Message {
+	return &mail.Message{Body: BodyFromWords(a.lex.Words(), 12)}
+}
+
+// BuildChunked splits the word source across n distinct attack emails
+// instead of repeating the whole dictionary n times. The paper's §4.2
+// remarks that "an attack with fewer tokens likely would be harder to
+// detect"; chunking is the natural way to shrink per-email token
+// volume, but each word then enters only one spam training message
+// instead of n, so the poisoning pressure per token drops by a factor
+// of n — the trade-off BenchmarkAblationChunkedDictionary and the
+// chunked-attack tests quantify. Words are assigned round-robin so
+// every chunk spans the whole frequency spectrum.
+func (a *DictionaryAttack) BuildChunked(n int) []*mail.Message {
+	if n < 1 {
+		n = 1
+	}
+	words := a.lex.Words()
+	if n > len(words) {
+		n = len(words)
+	}
+	chunks := make([][]string, n)
+	for i, w := range words {
+		chunks[i%n] = append(chunks[i%n], w)
+	}
+	msgs := make([]*mail.Message, n)
+	for i, chunk := range chunks {
+		msgs[i] = &mail.Message{Body: BodyFromWords(chunk, 12)}
+	}
+	return msgs
+}

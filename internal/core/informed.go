@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mail"
+	"repro/internal/stats"
+)
+
+// InformedAttack realizes the constrained optimal attack sketched in
+// §3.4 and left to future work by the paper: "the attacker may use
+// information about the distribution of words in English text to make
+// the attack more efficient, such as characteristic vocabulary or
+// jargon typical of the victim. [...] From this it should be possible
+// to derive an optimal constrained attack."
+//
+// The attacker estimates the victim's next-email word distribution p
+// from a sample of messages (emails of the same organization, leaked
+// mail, public postings) and, under a budget of k attack words, packs
+// the attack email with the k words most likely to appear in future
+// email. Because the message score I is monotonically non-decreasing
+// in each included token's spam score and token scores do not
+// interact (§3.4), greedily taking the k highest-probability words
+// maximizes the expected number of poisoned tokens per future email —
+// the §1 observation that "with more information about the email
+// distribution, the attacker can select a smaller dictionary of
+// high-value features that are still effective."
+type InformedAttack struct {
+	budget int
+	words  []string
+}
+
+// NewInformedAttack estimates word document frequencies from sample
+// and keeps the budget highest-frequency words (ties broken
+// alphabetically for determinism). The sample plays the role of the
+// attacker's knowledge; it must not be the victim's actual training
+// set for the threat model to be honest.
+func NewInformedAttack(sample []*mail.Message, budget int) (*InformedAttack, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("core: informed attack needs a sample of the victim's email")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: informed attack budget %d", budget)
+	}
+	df := make(map[string]int)
+	for _, m := range sample {
+		for _, w := range TargetWords(m) {
+			df[w]++
+		}
+	}
+	type wc struct {
+		w string
+		c int
+	}
+	all := make([]wc, 0, len(df))
+	for w, c := range df {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if budget > len(all) {
+		budget = len(all)
+	}
+	words := make([]string, budget)
+	for i := 0; i < budget; i++ {
+		words[i] = all[i].w
+	}
+	return &InformedAttack{budget: budget, words: words}, nil
+}
+
+// Name identifies the attack and its budget.
+func (a *InformedAttack) Name() string {
+	return fmt.Sprintf("informed-%dk", (a.budget+500)/1000)
+}
+
+// Budget returns the word budget.
+func (a *InformedAttack) Budget() int { return a.budget }
+
+// Words returns the chosen attack vocabulary (shared slice).
+func (a *InformedAttack) Words() []string { return a.words }
+
+// Taxonomy: like the dictionary attack, Causative Availability
+// Indiscriminate — only the attacker's knowledge differs.
+func (a *InformedAttack) Taxonomy() Taxonomy {
+	return Taxonomy{Causative, Availability, Indiscriminate}
+}
+
+// BuildAttack constructs the attack email (empty header, §4.1).
+func (a *InformedAttack) BuildAttack(_ *stats.RNG) *mail.Message {
+	return &mail.Message{Body: BodyFromWords(a.words, 12)}
+}
+
+// Coverage estimates the fraction of a future message's words the
+// attack poisons, evaluated on held-out messages.
+func (a *InformedAttack) Coverage(heldOut []*mail.Message) float64 {
+	if len(heldOut) == 0 {
+		return 0
+	}
+	in := make(map[string]struct{}, len(a.words))
+	for _, w := range a.words {
+		in[w] = struct{}{}
+	}
+	total, hit := 0, 0
+	for _, m := range heldOut {
+		for _, w := range strings.Fields(strings.ToLower(m.Body)) {
+			if len(w) < 3 {
+				continue
+			}
+			total++
+			if _, ok := in[w]; ok {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}

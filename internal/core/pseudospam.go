@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mail"
+	"repro/internal/stats"
+)
+
+// PseudospamAttack is the Causative Integrity extension the paper
+// flags in §2.2: "using ham-labeled attack emails could enable more
+// powerful attacks that place spam in a user's inbox." The paper
+// restricts its own experiments to spam-labeled attack emails; this
+// type implements the lifted restriction (the "pseudospam" attack of
+// the authors' follow-up work).
+//
+// The attacker wants specific future spam delivered. It sends benign-
+// looking emails — headers imitating legitimate senders, bodies
+// carrying the future spam's vocabulary — that the victim trains as
+// ham (e.g., because the victim retrains on everything left in the
+// inbox, or hand-labels the inoffensive-looking messages as ham).
+// Once trained, the poisoned tokens score hammy and the real spam
+// slips through: a Causative Integrity attack, where everything in
+// the paper's main body is Causative Availability.
+type PseudospamAttack struct {
+	futureSpam []*mail.Message
+	headerPool []*mail.Message
+}
+
+// NewPseudospamAttack builds the attack. futureSpam is the spam the
+// attacker intends to send after poisoning; headerPool supplies
+// legitimate-looking headers (it may be empty for headerless attack
+// emails).
+func NewPseudospamAttack(futureSpam, headerPool []*mail.Message) (*PseudospamAttack, error) {
+	if len(futureSpam) == 0 {
+		return nil, fmt.Errorf("core: pseudospam attack needs the future spam")
+	}
+	return &PseudospamAttack{futureSpam: futureSpam, headerPool: headerPool}, nil
+}
+
+// Name identifies the attack.
+func (a *PseudospamAttack) Name() string { return "pseudospam" }
+
+// FutureSpam returns the messages the attack shields.
+func (a *PseudospamAttack) FutureSpam() []*mail.Message { return a.futureSpam }
+
+// Taxonomy: Causative Integrity Targeted — the attack causes false
+// negatives for the attacker's own future mail.
+func (a *PseudospamAttack) Taxonomy() Taxonomy {
+	return Taxonomy{Causative, Integrity, Targeted}
+}
+
+// BuildAttack constructs one attack email: the union of the future
+// spam's distinct body words under a legitimate-looking header. The
+// attack email must itself read as ham to be trained as ham, which is
+// why it borrows a ham header; its body is exactly the vocabulary it
+// needs to whitewash.
+func (a *PseudospamAttack) BuildAttack(r *stats.RNG) *mail.Message {
+	seen := map[string]struct{}{}
+	var words []string
+	for _, m := range a.futureSpam {
+		for _, w := range TargetWords(m) {
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			words = append(words, w)
+		}
+	}
+	msg := &mail.Message{Body: BodyFromWords(words, 12)}
+	if len(a.headerPool) > 0 {
+		msg.Header = a.headerPool[r.Intn(len(a.headerPool))].Header.Clone()
+	}
+	return msg
+}

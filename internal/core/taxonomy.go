@@ -1,0 +1,94 @@
+// Package core implements the paper's primary contribution: Causative
+// Availability attacks against the SpamBayes learner (the dictionary
+// attack family of §3.2 and the focused attack of §3.3) and the two
+// defenses of §5 (Reject On Negative Impact and dynamic thresholds).
+//
+// Attacks produce attack emails that the victim trains as spam (the
+// contamination assumption, §2.2): attackers control email bodies but
+// not headers — dictionary attacks carry an empty header, the focused
+// attack copies the header of a random existing spam — and attack
+// messages are always labeled spam.
+package core
+
+import "fmt"
+
+// Influence is the first axis of the attack taxonomy (§3.1): whether
+// the attacker can manipulate training data or only probe a fixed
+// classifier.
+type Influence int8
+
+const (
+	// Causative attacks influence the training data.
+	Causative Influence = iota
+	// Exploratory attacks only observe classifications.
+	Exploratory
+)
+
+// String returns the axis value's name.
+func (i Influence) String() string {
+	switch i {
+	case Causative:
+		return "Causative"
+	case Exploratory:
+		return "Exploratory"
+	default:
+		return fmt.Sprintf("Influence(%d)", int(i))
+	}
+}
+
+// Violation is the second axis: the kind of security failure caused.
+type Violation int8
+
+const (
+	// Integrity violations create false negatives (spam gets through).
+	Integrity Violation = iota
+	// Availability violations create false positives (ham is lost).
+	Availability
+)
+
+// String returns the axis value's name.
+func (v Violation) String() string {
+	switch v {
+	case Integrity:
+		return "Integrity"
+	case Availability:
+		return "Availability"
+	default:
+		return fmt.Sprintf("Violation(%d)", int(v))
+	}
+}
+
+// Specificity is the third axis: how focused the attacker's goal is.
+type Specificity int8
+
+const (
+	// Targeted attacks degrade the classifier on one kind of email.
+	Targeted Specificity = iota
+	// Indiscriminate attacks degrade it broadly.
+	Indiscriminate
+)
+
+// String returns the axis value's name.
+func (s Specificity) String() string {
+	switch s {
+	case Targeted:
+		return "Targeted"
+	case Indiscriminate:
+		return "Indiscriminate"
+	default:
+		return fmt.Sprintf("Specificity(%d)", int(s))
+	}
+}
+
+// Taxonomy places an attack in the three-axis space of Barreno et
+// al. [1], as summarized in §3.1 of the paper.
+type Taxonomy struct {
+	Influence   Influence
+	Violation   Violation
+	Specificity Specificity
+}
+
+// String renders the taxonomy as "Causative Availability Targeted".
+func (t Taxonomy) String() string {
+	return t.Influence.String() + " " + t.Violation.String() + " " + t.Specificity.String()
+}

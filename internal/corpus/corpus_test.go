@@ -1,0 +1,245 @@
+package corpus
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mail"
+	"repro/internal/stats"
+)
+
+// tiny builds a corpus of nHam ham and nSpam spam with numbered bodies.
+func tiny(nHam, nSpam int) *Corpus {
+	c := &Corpus{}
+	for i := 0; i < nHam; i++ {
+		m := &mail.Message{Body: "ham body\n"}
+		m.Header.Add("Subject", "ham")
+		m.Header.Add("X-Index", string(rune('a'+i%26)))
+		c.Add(m, false)
+	}
+	for i := 0; i < nSpam; i++ {
+		m := &mail.Message{Body: "spam body\n"}
+		m.Header.Add("Subject", "spam")
+		c.Add(m, true)
+	}
+	return c
+}
+
+func TestCounts(t *testing.T) {
+	c := tiny(7, 3)
+	if c.Len() != 10 || c.NumHam() != 7 || c.NumSpam() != 3 {
+		t.Errorf("counts = %d/%d/%d", c.Len(), c.NumHam(), c.NumSpam())
+	}
+	if len(c.Ham()) != 7 || len(c.Spam()) != 3 {
+		t.Error("Ham()/Spam() wrong lengths")
+	}
+}
+
+func TestFromMessages(t *testing.T) {
+	ham := []*mail.Message{{Body: "h\n"}}
+	spam := []*mail.Message{{Body: "s1\n"}, {Body: "s2\n"}}
+	c := FromMessages(ham, spam)
+	if c.NumHam() != 1 || c.NumSpam() != 2 {
+		t.Errorf("counts = %d ham %d spam", c.NumHam(), c.NumSpam())
+	}
+}
+
+func TestCloneShallow(t *testing.T) {
+	c := tiny(2, 2)
+	d := c.Clone()
+	d.Add(&mail.Message{}, true)
+	if c.Len() != 4 || d.Len() != 5 {
+		t.Error("clone shares example slice")
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a, b := tiny(50, 50), tiny(50, 50)
+	a.Shuffle(stats.NewRNG(5))
+	b.Shuffle(stats.NewRNG(5))
+	for i := range a.Examples {
+		if a.Examples[i].Spam != b.Examples[i].Spam {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+}
+
+func TestSampleInboxPrevalence(t *testing.T) {
+	c := tiny(1000, 1000)
+	rng := stats.NewRNG(1)
+	for _, prev := range []float64{0.5, 0.75, 0.25} {
+		inbox, err := c.SampleInbox(rng, 400, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inbox.Len() != 400 {
+			t.Fatalf("inbox size = %d", inbox.Len())
+		}
+		want := int(400*prev + 0.5)
+		if inbox.NumSpam() != want {
+			t.Errorf("prevalence %v: spam = %d, want %d", prev, inbox.NumSpam(), want)
+		}
+	}
+}
+
+func TestSampleInboxWithoutReplacement(t *testing.T) {
+	c := tiny(100, 100)
+	inbox, err := c.SampleInbox(stats.NewRNG(2), 200, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*mail.Message]bool{}
+	for _, e := range inbox.Examples {
+		if seen[e.Msg] {
+			t.Fatal("message sampled twice")
+		}
+		seen[e.Msg] = true
+	}
+}
+
+func TestSampleInboxErrors(t *testing.T) {
+	c := tiny(10, 10)
+	r := stats.NewRNG(3)
+	if _, err := c.SampleInbox(r, 30, 0.5); err == nil {
+		t.Error("oversampling succeeded")
+	}
+	if _, err := c.SampleInbox(r, 10, 1.5); err == nil {
+		t.Error("bad prevalence succeeded")
+	}
+	if _, err := c.SampleInbox(r, -1, 0.5); err == nil {
+		t.Error("negative n succeeded")
+	}
+	if _, err := c.SampleInbox(r, 8, 1.0); err != nil {
+		t.Errorf("all-spam inbox failed: %v", err)
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	c := tiny(30, 30)
+	c.Shuffle(stats.NewRNG(4))
+	folds, err := c.KFold(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	testCount := map[*mail.Message]int{}
+	for i, f := range folds {
+		if f.Train.Len()+f.Test.Len() != c.Len() {
+			t.Errorf("fold %d sizes %d+%d != %d", i, f.Train.Len(), f.Test.Len(), c.Len())
+		}
+		inTrain := map[*mail.Message]bool{}
+		for _, e := range f.Train.Examples {
+			inTrain[e.Msg] = true
+		}
+		for _, e := range f.Test.Examples {
+			if inTrain[e.Msg] {
+				t.Errorf("fold %d: message in both train and test", i)
+			}
+			testCount[e.Msg]++
+		}
+	}
+	// Every example must be tested exactly once across folds.
+	if len(testCount) != c.Len() {
+		t.Errorf("only %d of %d examples ever tested", len(testCount), c.Len())
+	}
+	for _, n := range testCount {
+		if n != 1 {
+			t.Error("an example appears in multiple test folds")
+		}
+	}
+}
+
+func TestKFoldBalance(t *testing.T) {
+	c := tiny(100, 100)
+	c.Shuffle(stats.NewRNG(6))
+	folds, _ := c.KFold(10)
+	for i, f := range folds {
+		prev := float64(f.Test.NumSpam()) / float64(f.Test.Len())
+		if math.Abs(prev-0.5) > 0.2 {
+			t.Errorf("fold %d test prevalence %v", i, prev)
+		}
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	c := tiny(3, 3)
+	if _, err := c.KFold(1); err == nil {
+		t.Error("k=1 succeeded")
+	}
+	if _, err := c.KFold(7); err == nil {
+		t.Error("k>len succeeded")
+	}
+}
+
+func TestSplitFraction(t *testing.T) {
+	c := tiny(6, 4)
+	head, tail, err := c.SplitFraction(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Len() != 5 || tail.Len() != 5 {
+		t.Errorf("split = %d/%d", head.Len(), tail.Len())
+	}
+	if _, _, err := c.SplitFraction(1.2); err == nil {
+		t.Error("bad fraction succeeded")
+	}
+	h2, t2, _ := c.SplitFraction(0)
+	if h2.Len() != 0 || t2.Len() != 10 {
+		t.Error("zero split wrong")
+	}
+}
+
+func TestMboxPairRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	c := tiny(5, 3)
+	if err := c.SaveMboxPair(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMboxPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumHam() != 5 || got.NumSpam() != 3 {
+		t.Errorf("round trip = %d ham %d spam", got.NumHam(), got.NumSpam())
+	}
+	if got.Ham()[0].Subject() != "ham" {
+		t.Error("subject lost in round trip")
+	}
+}
+
+func TestLoadMboxPairMissing(t *testing.T) {
+	if _, err := LoadMboxPair(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("loading missing dir succeeded")
+	}
+}
+
+// Property: KFold train/test sizes are as balanced as possible.
+func TestQuickKFoldSizes(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := 4 + int(nRaw)%200
+		k := 2 + int(kRaw)%8
+		if k > n {
+			return true
+		}
+		c := tiny(n/2, n-n/2)
+		folds, err := c.KFold(k)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, f := range folds {
+			total += f.Test.Len()
+			if f.Test.Len() < n/k || f.Test.Len() > n/k+1 {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package eval provides the measurement layer of the experiment
+// harness: three-way confusion matrices over the SpamBayes verdicts,
+// corpus tokenization caches, filter training helpers, and a small
+// deterministic parallel-for used to run cross-validation folds
+// concurrently.
+//
+// The paper's §2.3 observation drives the metric design: because of
+// the unsure verdict, plain false positive/negative rates are not
+// enough — ham-as-unsure is "nearly as bad for the user as false
+// positives", so every table tracks ham-as-spam and
+// ham-as-(spam∪unsure) separately (Figure 1's dashed and solid
+// lines).
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/sbayes"
+	"repro/internal/tokenize"
+)
+
+// Confusion counts verdicts by true class.
+type Confusion struct {
+	HamAsHam     int
+	HamAsUnsure  int
+	HamAsSpam    int
+	SpamAsHam    int
+	SpamAsUnsure int
+	SpamAsSpam   int
+}
+
+// Observe tallies one classification.
+func (c *Confusion) Observe(actualSpam bool, predicted sbayes.Label) {
+	if actualSpam {
+		switch predicted {
+		case sbayes.Ham:
+			c.SpamAsHam++
+		case sbayes.Unsure:
+			c.SpamAsUnsure++
+		default:
+			c.SpamAsSpam++
+		}
+	} else {
+		switch predicted {
+		case sbayes.Ham:
+			c.HamAsHam++
+		case sbayes.Unsure:
+			c.HamAsUnsure++
+		default:
+			c.HamAsSpam++
+		}
+	}
+}
+
+// Add accumulates another confusion matrix into c.
+func (c *Confusion) Add(o Confusion) {
+	c.HamAsHam += o.HamAsHam
+	c.HamAsUnsure += o.HamAsUnsure
+	c.HamAsSpam += o.HamAsSpam
+	c.SpamAsHam += o.SpamAsHam
+	c.SpamAsUnsure += o.SpamAsUnsure
+	c.SpamAsSpam += o.SpamAsSpam
+}
+
+// NumHam returns the number of true-ham observations.
+func (c Confusion) NumHam() int { return c.HamAsHam + c.HamAsUnsure + c.HamAsSpam }
+
+// NumSpam returns the number of true-spam observations.
+func (c Confusion) NumSpam() int { return c.SpamAsHam + c.SpamAsUnsure + c.SpamAsSpam }
+
+// rate guards division by zero.
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// HamAsSpamRate is the fraction of ham classified spam (Figure 1's
+// dashed lines).
+func (c Confusion) HamAsSpamRate() float64 { return rate(c.HamAsSpam, c.NumHam()) }
+
+// HamAsUnsureRate is the fraction of ham classified unsure.
+func (c Confusion) HamAsUnsureRate() float64 { return rate(c.HamAsUnsure, c.NumHam()) }
+
+// HamMisclassifiedRate is the fraction of ham classified spam or
+// unsure (Figure 1's solid lines).
+func (c Confusion) HamMisclassifiedRate() float64 {
+	return rate(c.HamAsSpam+c.HamAsUnsure, c.NumHam())
+}
+
+// SpamAsHamRate is the fraction of spam classified ham.
+func (c Confusion) SpamAsHamRate() float64 { return rate(c.SpamAsHam, c.NumSpam()) }
+
+// SpamAsUnsureRate is the fraction of spam classified unsure.
+func (c Confusion) SpamAsUnsureRate() float64 { return rate(c.SpamAsUnsure, c.NumSpam()) }
+
+// SpamMisclassifiedRate is the fraction of spam classified ham or
+// unsure.
+func (c Confusion) SpamMisclassifiedRate() float64 {
+	return rate(c.SpamAsHam+c.SpamAsUnsure, c.NumSpam())
+}
+
+// Accuracy is the fraction of messages given their true label.
+func (c Confusion) Accuracy() float64 {
+	return rate(c.HamAsHam+c.SpamAsSpam, c.NumHam()+c.NumSpam())
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("ham(h/u/s)=%d/%d/%d spam(h/u/s)=%d/%d/%d",
+		c.HamAsHam, c.HamAsUnsure, c.HamAsSpam,
+		c.SpamAsHam, c.SpamAsUnsure, c.SpamAsSpam)
+}
+
+// Labeled is a pre-tokenized labeled message.
+type Labeled struct {
+	Tokens []string
+	Spam   bool
+}
+
+// TokenSet is a pre-tokenized corpus; classification sweeps re-score
+// the same test messages many times, so tokenizing once matters.
+type TokenSet []Labeled
+
+// TokenizeCorpus tokenizes every message of c with tok (nil selects
+// the default tokenizer).
+func TokenizeCorpus(c *corpus.Corpus, tok *tokenize.Tokenizer) TokenSet {
+	if tok == nil {
+		tok = tokenize.Default()
+	}
+	out := make(TokenSet, 0, c.Len())
+	for _, e := range c.Examples {
+		out = append(out, Labeled{Tokens: tok.TokenSet(e.Msg), Spam: e.Spam})
+	}
+	return out
+}
+
+// EvaluateTokenSet scores a tokenized corpus under f.
+func EvaluateTokenSet(f *sbayes.Filter, ts TokenSet) Confusion {
+	var c Confusion
+	for _, ex := range ts {
+		label, _ := f.ClassifyTokens(ex.Tokens)
+		c.Observe(ex.Spam, label)
+	}
+	return c
+}
+
+// Evaluate scores a corpus under f using f's tokenizer.
+func Evaluate(f *sbayes.Filter, test *corpus.Corpus) Confusion {
+	var c Confusion
+	for _, e := range test.Examples {
+		label, _ := f.Classify(e.Msg)
+		c.Observe(e.Spam, label)
+	}
+	return c
+}
+
+// TrainFilter trains a fresh filter on a corpus.
+func TrainFilter(train *corpus.Corpus, opts sbayes.Options, tok *tokenize.Tokenizer) *sbayes.Filter {
+	f := sbayes.New(opts, tok)
+	for _, e := range train.Examples {
+		f.Learn(e.Msg, e.Spam)
+	}
+	return f
+}
+
+// Parallel runs fn(0..n-1) on up to workers goroutines (n if workers
+// <= 0) and waits for completion. Each index is processed exactly
+// once; fn must be safe to run concurrently for distinct indices.
+// Results are deterministic as long as fn(i) writes only to
+// index-i-owned state.
+func Parallel(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

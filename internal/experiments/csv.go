@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV export: every result type can write its series as CSV so the
+// paper's figures can be re-plotted with external tools. Columns are
+// stable and documented here; cmd/subvert's -csv flag writes one file
+// per exhibit.
+
+// CSVWriter is implemented by every experiment result.
+type CSVWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// Static interface checks.
+var (
+	_ CSVWriter = (*Fig1Result)(nil)
+	_ CSVWriter = (*Fig2Result)(nil)
+	_ CSVWriter = (*Fig3Result)(nil)
+	_ CSVWriter = (*Fig4Result)(nil)
+	_ CSVWriter = (*Fig5Result)(nil)
+	_ CSVWriter = (*RONIResult)(nil)
+	_ CSVWriter = (*TokenRatioResult)(nil)
+	_ CSVWriter = (*InformedResult)(nil)
+	_ CSVWriter = (*PseudospamResult)(nil)
+	_ CSVWriter = (*TransferResult)(nil)
+)
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+func i64(v int) string     { return strconv.Itoa(v) }
+
+// writeAll writes rows and flushes, returning the first error.
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits attack,fraction,num_attack,ham_as_spam,
+// ham_misclassified,spam_misclassified (baseline as fraction 0).
+func (r *Fig1Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"attack", "fraction", "num_attack", "ham_as_spam", "ham_misclassified", "spam_misclassified"}}
+	rows = append(rows, []string{"baseline", "0", "0",
+		f64(r.Baseline.HamAsSpamRate()), f64(r.Baseline.HamMisclassifiedRate()), f64(r.Baseline.SpamMisclassifiedRate())})
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			rows = append(rows, []string{s.Attack, f64(p.Fraction), i64(p.NumAttack),
+				f64(p.Confusion.HamAsSpamRate()), f64(p.Confusion.HamMisclassifiedRate()),
+				f64(p.Confusion.SpamMisclassifiedRate())})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits guess_p,ham,unsure,spam,changed_rate.
+func (r *Fig2Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"guess_p", "ham", "unsure", "spam", "changed_rate"}}
+	for _, c := range r.Cells {
+		rows = append(rows, []string{f64(c.GuessProb), i64(c.Ham), i64(c.Unsure), i64(c.Spam), f64(c.ChangedRate())})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits fraction,num_attack,spam_rate,misclassified_rate.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"fraction", "num_attack", "spam_rate", "misclassified_rate"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{f64(p.Fraction), i64(p.NumAttack), f64(p.SpamRate()), f64(p.MisclassifiedRate())})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits panel,guess_p,token,before,after,included — the raw
+// scatter points of every panel.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"panel", "guess_p", "token", "before", "after", "included"}}
+	for _, t := range r.Targets {
+		for _, s := range t.Shifts {
+			rows = append(rows, []string{t.Outcome.String(), f64(t.GuessProb), s.Token,
+				f64(s.Before), f64(s.After), strconv.FormatBool(s.Included)})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits defense,fraction,num_attack,ham_as_spam,
+// ham_misclassified,spam_as_unsure,theta0,theta1.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"defense", "fraction", "num_attack", "ham_as_spam", "ham_misclassified", "spam_as_unsure", "theta0", "theta1"}}
+	for _, s := range r.Series {
+		for _, c := range s.Cells {
+			rows = append(rows, []string{s.Defense, f64(c.Fraction), i64(c.NumAttack),
+				f64(c.Confusion.HamAsSpamRate()), f64(c.Confusion.HamMisclassifiedRate()),
+				f64(c.Confusion.SpamAsUnsureRate()), f64(c.Theta0), f64(c.Theta1)})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits candidate,rep,ham_as_ham_delta,rejected — one row
+// per impact measurement.
+func (r *RONIResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"candidate", "rep", "ham_as_ham_delta", "rejected"}}
+	add := func(name string, deltas []float64, rejected func(d float64) bool) {
+		for i, d := range deltas {
+			rows = append(rows, []string{name, i64(i), f64(d), strconv.FormatBool(rejected(d))})
+		}
+	}
+	byThreshold := func(d float64) bool { return d <= -r.Config.Threshold }
+	for _, v := range r.Variants {
+		add(v.Variant, v.HamAsHamDeltas, byThreshold)
+	}
+	add("non-attack-spam", r.NonAttackSpamDeltas, byThreshold)
+	add("non-attack-ham", r.NonAttackHamDeltas, byThreshold)
+	add("focused-attack", r.FocusedDeltas, byThreshold)
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits attack,fraction,num_attack,attack_tokens,
+// corpus_tokens,ratio.
+func (r *TokenRatioResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"attack", "fraction", "num_attack", "attack_tokens", "corpus_tokens", "ratio"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Attack, f64(row.Fraction), i64(row.NumAttack),
+			i64(row.AttackTokens), i64(row.CorpusTokens), f64(row.Ratio())})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits budget,source,ham_misclassified,coverage.
+func (r *InformedResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"budget", "source", "ham_misclassified", "coverage"}}
+	for _, c := range r.Cells {
+		for i, src := range r.Sources {
+			rows = append(rows, []string{i64(c.Budget), src,
+				f64(c.Confusions[i].HamMisclassifiedRate()), f64(c.Coverages[i])})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits fraction,num_attack,delivered_rate,not_blocked_rate,
+// ham_misclassified (baseline as fraction 0).
+func (r *PseudospamResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"fraction", "num_attack", "delivered_rate", "not_blocked_rate", "ham_misclassified"}}
+	emit := func(p PseudospamPoint) {
+		rows = append(rows, []string{f64(p.Fraction), i64(p.NumAttack),
+			f64(p.DeliveredRate()), f64(p.NotBlockedRate()), f64(p.HamConfusion.HamMisclassifiedRate())})
+	}
+	emit(r.Baseline)
+	for _, p := range r.Points {
+		emit(p)
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits profile,baseline_accuracy,baseline_ham_misclassified,
+// attacked_ham_as_spam,attacked_ham_misclassified.
+func (r *TransferResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"profile", "baseline_accuracy", "baseline_ham_misclassified", "attacked_ham_as_spam", "attacked_ham_misclassified"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Profile.Name,
+			f64(row.Baseline.Accuracy()), f64(row.Baseline.HamMisclassifiedRate()),
+			f64(row.Attacked.HamAsSpamRate()), f64(row.Attacked.HamMisclassifiedRate())})
+	}
+	return writeAll(w, rows)
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// parseCSV parses output and returns header plus records, failing on
+// malformed CSV.
+func parseCSV(t *testing.T, out string) (header []string, records [][]string) {
+	t.Helper()
+	r := csv.NewReader(strings.NewReader(out))
+	all, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("malformed CSV: %v", err)
+	}
+	if len(all) == 0 {
+		t.Fatal("empty CSV")
+	}
+	return all[0], all[1:]
+}
+
+func TestFig1CSV(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunFig1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	header, records := parseCSV(t, b.String())
+	if header[0] != "attack" || header[3] != "ham_as_spam" {
+		t.Errorf("header = %v", header)
+	}
+	// baseline + 3 series × |fractions| rows.
+	want := 1 + 3*len(env.Cfg.Fractions)
+	if len(records) != want {
+		t.Errorf("%d records, want %d", len(records), want)
+	}
+	if records[0][0] != "baseline" {
+		t.Errorf("first record = %v", records[0])
+	}
+}
+
+func TestFig2And3CSV(t *testing.T) {
+	env := smallEnv(t)
+	r2, err := RunFig2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r2.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	_, records := parseCSV(t, b.String())
+	if len(records) != len(env.Cfg.GuessProbs) {
+		t.Errorf("fig2: %d records", len(records))
+	}
+
+	r3, err := RunFig3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := r3.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	_, records = parseCSV(t, b.String())
+	if len(records) != len(env.Cfg.VolumeSteps) {
+		t.Errorf("fig3: %d records", len(records))
+	}
+}
+
+func TestFig4CSV(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunFig4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	header, records := parseCSV(t, b.String())
+	if header[2] != "token" || len(records) == 0 {
+		t.Errorf("fig4 CSV: header %v, %d records", header, len(records))
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunFig5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	_, records := parseCSV(t, b.String())
+	want := len(res.Series) * (1 + len(env.Cfg.ThresholdFractions))
+	if len(records) != want {
+		t.Errorf("fig5: %d records, want %d", len(records), want)
+	}
+}
+
+func TestRONIAndExtensionCSV(t *testing.T) {
+	env := smallEnv(t)
+	roni, err := RunRONI(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := roni.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	_, records := parseCSV(t, b.String())
+	wantRONI := 7*env.Cfg.RONIAttackReps +
+		len(roni.NonAttackSpamDeltas) + len(roni.NonAttackHamDeltas) + len(roni.FocusedDeltas)
+	if len(records) != wantRONI {
+		t.Errorf("roni: %d records, want %d", len(records), wantRONI)
+	}
+
+	ratio, err := RunTokenRatio(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := ratio.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, records := parseCSV(t, b.String()); len(records) != 2 {
+		t.Errorf("ratios: %d records", len(records))
+	}
+
+	inf, err := RunInformed(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := inf.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, records := parseCSV(t, b.String()); len(records) != 3*len(env.Cfg.InformedBudgets) {
+		t.Errorf("informed: %d records", len(records))
+	}
+
+	ps, err := RunPseudospam(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := ps.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, records := parseCSV(t, b.String()); len(records) != 1+len(env.Cfg.PseudospamFractions) {
+		t.Errorf("pseudospam: %d records", len(records))
+	}
+
+	tr, err := RunTransfer(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, records := parseCSV(t, b.String()); len(records) != 3 {
+		t.Errorf("transfer: %d records", len(records))
+	}
+}

@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedEnv caches the small-scale environment across tests (building
+// the usenet lexicon dominates setup time).
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func smallEnv(t testing.TB) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(SmallScale())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := FullScale().Validate(); err != nil {
+		t.Errorf("FullScale invalid: %v", err)
+	}
+	if err := SmallScale().Validate(); err != nil {
+		t.Errorf("SmallScale invalid: %v", err)
+	}
+	bad := SmallScale()
+	bad.Fractions = []float64{1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("fraction 1.5 validated")
+	}
+	bad = SmallScale()
+	bad.Folds = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("folds=1 validated")
+	}
+	bad = SmallScale()
+	bad.GuessProbs = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty guess probs validated")
+	}
+}
+
+func TestFullScaleMatchesPaperParameters(t *testing.T) {
+	cfg := FullScale()
+	if cfg.TrainSize != 10000 || cfg.Folds != 10 {
+		t.Error("dictionary attack parameters differ from Table 1")
+	}
+	if cfg.FocusedInbox != 5000 || cfg.FocusedTargets != 20 || cfg.FocusedReps != 5 || cfg.FocusedCount != 300 {
+		t.Error("focused attack parameters differ from Table 1")
+	}
+	if cfg.RONI.TrainSize != 20 || cfg.RONI.ValSize != 50 || cfg.RONI.Trials != 5 {
+		t.Error("RONI parameters differ from Table 1")
+	}
+	if cfg.UsenetK != 90000 {
+		t.Error("usenet lexicon size differs from the paper")
+	}
+	if got := cfg.Universe.CommonWords + cfg.Universe.StandardWords + cfg.Universe.FormalWords; got != 98568 {
+		t.Errorf("aspell size = %d", got)
+	}
+	if len(cfg.GuessProbs) != 4 {
+		t.Error("guess probability sweep differs from Figure 2")
+	}
+}
+
+func TestInboxSize(t *testing.T) {
+	cfg := FullScale()
+	if got := cfg.InboxSize(); got != 11111 {
+		t.Errorf("InboxSize = %d, want 11111", got)
+	}
+}
+
+func TestEnvironment(t *testing.T) {
+	env := smallEnv(t)
+	cfg := env.Cfg
+	if env.Pool.NumHam() != cfg.PoolHam || env.Pool.NumSpam() != cfg.PoolSpam {
+		t.Errorf("pool = %d/%d", env.Pool.NumHam(), env.Pool.NumSpam())
+	}
+	if env.Usenet.Len() > cfg.UsenetK {
+		t.Errorf("usenet lexicon = %d > %d", env.Usenet.Len(), cfg.UsenetK)
+	}
+	if env.Optimal.Len() != env.Universe.Size() {
+		t.Error("optimal lexicon wrong size")
+	}
+	if !strings.Contains(env.Describe(), "overlap") {
+		t.Errorf("Describe = %q", env.Describe())
+	}
+	// Deterministic RNG streams.
+	if env.RNG("x").Uint64() != env.RNG("x").Uint64() {
+		t.Error("env RNG not deterministic")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1(FullScale())
+	for _, want := range []string{
+		"Training set size", "10000", "5000", "20",
+		"Spam prevalence", "0.50",
+		"Folds of validation", "5 repetitions",
+		"Target emails",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunFig1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	// Baseline must be accurate.
+	if acc := res.Baseline.Accuracy(); acc < 0.9 {
+		t.Errorf("baseline accuracy %v", acc)
+	}
+	opt := res.SeriesByName("optimal")
+	asp := res.SeriesByName("aspell")
+	if opt == nil || asp == nil {
+		t.Fatal("missing series")
+	}
+	us := res.Series[1] // usenet-*k name depends on config
+	// Shape 1: misclassification grows with attack fraction for the
+	// optimal attack.
+	first := opt.Points[0].Confusion.HamMisclassifiedRate()
+	last := opt.Points[len(opt.Points)-1].Confusion.HamMisclassifiedRate()
+	if last < first {
+		t.Errorf("optimal attack not monotone: %v -> %v", first, last)
+	}
+	// Shape 2: at the largest fraction the filter is unusable.
+	if last < 0.5 {
+		t.Errorf("optimal attack at max fraction only %v misclassified", last)
+	}
+	// Shape 3: ordering optimal >= usenet >= aspell at the largest
+	// fraction (allowing small-scale noise of a few points).
+	li := len(opt.Points) - 1
+	oRate := opt.Points[li].Confusion.HamMisclassifiedRate()
+	uRate := us.Points[li].Confusion.HamMisclassifiedRate()
+	aRate := asp.Points[li].Confusion.HamMisclassifiedRate()
+	if oRate+0.05 < uRate || uRate+0.05 < aRate {
+		t.Errorf("ordering violated: optimal %v, usenet %v, aspell %v", oRate, uRate, aRate)
+	}
+	// Shape 4: spam classification is barely affected (paper: "their
+	// effect on spam is marginal").
+	if sm := opt.Points[li].Confusion.SpamMisclassifiedRate(); sm > 0.2 {
+		t.Errorf("optimal attack broke spam classification: %v", sm)
+	}
+	// Render sanity.
+	out := res.Render()
+	for _, want := range []string{"Figure 1", "optimal", "aspell", "atk%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunFig2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(env.Cfg.GuessProbs) {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	total := env.Cfg.FocusedReps * env.Cfg.FocusedTargets
+	for _, c := range res.Cells {
+		if c.Total() != total {
+			t.Errorf("p=%v total = %d, want %d", c.GuessProb, c.Total(), total)
+		}
+	}
+	// Attack success grows with knowledge; full knowledge flips
+	// almost everything.
+	first := res.Cells[0].ChangedRate()
+	last := res.Cells[len(res.Cells)-1].ChangedRate()
+	if last < first {
+		t.Errorf("success not monotone in p: %v -> %v", first, last)
+	}
+	if last < 0.7 {
+		t.Errorf("high-knowledge attack changed only %v", last)
+	}
+	if !strings.Contains(res.Render(), "Figure 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunFig3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(env.Cfg.VolumeSteps) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// Fixed guess sets + growing volume: misclassification of targets
+	// must be non-decreasing (threshold crossings only).
+	prev := -1.0
+	for _, p := range res.Points {
+		mis := p.MisclassifiedRate()
+		if mis < prev-1e-9 {
+			t.Errorf("misclassification decreased: %v -> %v at %v", prev, mis, p.Fraction)
+		}
+		prev = mis
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.MisclassifiedRate() < 0.5 {
+		t.Errorf("largest attack volume misclassified only %v of targets", last.MisclassifiedRate())
+	}
+	if last.SpamRate() < res.Points[0].SpamRate() {
+		t.Errorf("target-as-spam fell from %v to %v across the sweep",
+			res.Points[0].SpamRate(), last.SpamRate())
+	}
+	if !strings.Contains(res.Render(), "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunFig4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Targets) == 0 {
+		t.Fatal("no panels")
+	}
+	for _, tgt := range res.Targets {
+		if len(tgt.Shifts) == 0 {
+			t.Fatal("panel with no token shifts")
+		}
+		incMean, excMean := tgt.IncludedDeltaSummary()
+		// Included tokens' scores rise; excluded tokens' scores fall
+		// slightly (Figure 4's observation).
+		if incMean <= 0 {
+			t.Errorf("included tokens mean delta %v, want > 0", incMean)
+		}
+		if excMean >= 0.05 {
+			t.Errorf("excluded tokens mean delta %v, want ≈<0", excMean)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 4", "included", "score distribution"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRONIShapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunRONI(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 7 {
+		t.Fatalf("%d variants, want 7", len(res.Variants))
+	}
+	// Every dictionary attack variant must be harmful on average.
+	for _, v := range res.Variants {
+		if s := v.Summary(); s.Mean >= 0 {
+			t.Errorf("variant %s mean impact %v, want negative", v.Variant, s.Mean)
+		}
+	}
+	// Attack impacts separate from non-attack impacts.
+	if !res.Separable() {
+		t.Errorf("not separable: best attack %v, worst non-attack %v",
+			res.BestAttack(), res.WorstNonAttack())
+	}
+	// Full detection of attacks, no false positives on ham, few on
+	// ordinary spam.
+	for _, v := range res.Variants {
+		if v.DetectionRate() < 1 {
+			t.Errorf("variant %s detected at rate %v", v.Variant, v.DetectionRate())
+		}
+	}
+	if res.NonAttackSpamRejected > len(res.NonAttackSpamDeltas)/5 {
+		t.Errorf("rejected %d/%d ordinary spam", res.NonAttackSpamRejected, len(res.NonAttackSpamDeltas))
+	}
+	if res.NonAttackHamRejected > 0 {
+		t.Errorf("rejected %d ordinary ham", res.NonAttackHamRejected)
+	}
+	// The paper's negative result: RONI cannot tell focused attack
+	// emails from ordinary spam.
+	if len(res.FocusedDeltas) == 0 {
+		t.Error("no focused attack candidates measured")
+	}
+	if res.FocusedRejected > len(res.FocusedDeltas)/3 {
+		t.Errorf("RONI flagged %d/%d focused attack emails; the paper reports it cannot",
+			res.FocusedRejected, len(res.FocusedDeltas))
+	}
+	if !strings.Contains(res.Render(), "RONI") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunFig5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	undefended := res.SeriesByName("no defense")
+	defended := res.SeriesByName("threshold-0.10")
+	if undefended == nil || defended == nil {
+		t.Fatal("missing series")
+	}
+	li := len(undefended.Cells) - 1
+	// The defense must cut ham-as-spam at the largest attack.
+	uRate := undefended.Cells[li].Confusion.HamAsSpamRate()
+	dRate := defended.Cells[li].Confusion.HamAsSpamRate()
+	if dRate > uRate {
+		t.Errorf("defense increased ham-as-spam: %v vs %v", dRate, uRate)
+	}
+	// Paper: with the defense ham is (almost) never classified spam.
+	if dRate > 0.1 {
+		t.Errorf("defended ham-as-spam %v", dRate)
+	}
+	// And the documented side effect: much spam becomes unsure under
+	// attack with dynamic thresholds.
+	if su := defended.Cells[li].Confusion.SpamAsUnsureRate(); su == 0 {
+		t.Log("no spam-as-unsure side effect at small scale (acceptable)")
+	}
+	if !strings.Contains(res.Render(), "Figure 5") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTokenRatio(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunTokenRatio(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Ratio() <= 0 {
+			t.Errorf("%s ratio = %v", row.Attack, row.Ratio())
+		}
+	}
+	if !strings.Contains(res.Render(), "Token-volume") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig1AlternateParameters(t *testing.T) {
+	// Table 1 also lists spam prevalence 0.75 and training size
+	// 2,000/test 200; the attack ordering must survive both.
+	cfg := SmallScale()
+	cfg.SpamPrevalence = 0.75
+	cfg.TrainSize = 300
+	cfg.Fractions = []float64{0.01, 0.10}
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Baseline.Accuracy(); acc < 0.85 {
+		t.Errorf("baseline accuracy at 0.75 prevalence: %v", acc)
+	}
+	li := len(res.Series[0].Points) - 1
+	opt := res.SeriesByName("optimal").Points[li].Confusion.HamMisclassifiedRate()
+	asp := res.SeriesByName("aspell").Points[li].Confusion.HamMisclassifiedRate()
+	if opt < 0.5 {
+		t.Errorf("optimal attack weak at 0.75 prevalence: %v", opt)
+	}
+	if opt+0.1 < asp {
+		t.Errorf("ordering violated at 0.75 prevalence: optimal %v < aspell %v", opt, asp)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two environments with the same config produce identical Fig2
+	// results.
+	cfg := SmallScale()
+	cfg.FocusedReps = 1
+	cfg.FocusedTargets = 3
+	run := func() []Fig2Cell {
+		env, err := NewEnv(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunFig2(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cells
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInformedShapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunInformed(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(env.Cfg.InformedBudgets) {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	if len(res.Sources) != 3 {
+		t.Fatalf("sources = %v", res.Sources)
+	}
+	for _, c := range res.Cells {
+		if len(c.Confusions) != 3 || len(c.Coverages) != 3 {
+			t.Fatalf("budget %d incomplete", c.Budget)
+		}
+		// The informed source must cover at least as much future-ham
+		// vocabulary as the random source at every budget.
+		if c.Coverages[0] < c.Coverages[2] {
+			t.Errorf("budget %d: informed coverage %v below random %v",
+				c.Budget, c.Coverages[0], c.Coverages[2])
+		}
+	}
+	// Informed damage is monotone-ish in budget: the largest budget
+	// must do at least as much damage as the smallest.
+	first := res.Cells[0].Confusions[0].HamMisclassifiedRate()
+	last := res.Cells[len(res.Cells)-1].Confusions[0].HamMisclassifiedRate()
+	if last < first {
+		t.Errorf("informed damage fell with budget: %v -> %v", first, last)
+	}
+	// At the largest budget the informed attack must beat random.
+	li := len(res.Cells) - 1
+	if res.Cells[li].Confusions[0].HamMisclassifiedRate() < res.Cells[li].Confusions[2].HamMisclassifiedRate() {
+		t.Error("informed attack not above random at max budget")
+	}
+	if !strings.Contains(res.Render(), "EXTENSION") {
+		t.Error("render missing extension banner")
+	}
+}
+
+func TestInformedSmallBudgetEffectiveness(t *testing.T) {
+	// The §1 claim behind the extension: a small informed dictionary
+	// achieves most of the damage of a full-size one.
+	env := smallEnv(t)
+	res, err := RunInformed(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) < 2 {
+		t.Skip("need at least two budgets")
+	}
+	// Knowledge beats volume: SOME informed budget strictly below the
+	// maximum must already match the random attack at the maximum
+	// budget.
+	largest := res.Cells[len(res.Cells)-1]
+	randomAtMax := largest.Confusions[2].HamMisclassifiedRate()
+	matched := false
+	for _, c := range res.Cells[:len(res.Cells)-1] {
+		if c.Confusions[0].HamMisclassifiedRate() >= randomAtMax {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Errorf("no informed budget below %d matches random@max (%v)",
+			largest.Budget, randomAtMax)
+	}
+}
+
+func TestTransferShapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunTransfer(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d profiles", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Every profile must be a working spam filter before the
+		// attack...
+		if acc := row.Baseline.Accuracy(); acc < 0.8 {
+			t.Errorf("%s baseline accuracy %v", row.Profile.Name, acc)
+		}
+		// ...and substantially degraded after it (the conclusion's
+		// transfer claim).
+		before := row.Baseline.HamMisclassifiedRate()
+		after := row.Attacked.HamMisclassifiedRate()
+		if after < before+0.3 {
+			t.Errorf("%s: attack did not transfer (%v -> %v)", row.Profile.Name, before, after)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"spambayes", "bogofilter", "sa-bayes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTransferProfilesValid(t *testing.T) {
+	for _, p := range TransferProfiles() {
+		if err := p.Opts.Validate(); err != nil {
+			t.Errorf("profile %s: %v", p.Name, err)
+		}
+		if p.Note == "" {
+			t.Errorf("profile %s has no provenance note", p.Name)
+		}
+	}
+}
+
+func TestPseudospamShapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunPseudospam(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(env.Cfg.PseudospamFractions) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// Baseline: the filter blocks the future spam.
+	if res.Baseline.NotBlockedRate() > 0.3 {
+		t.Errorf("baseline already passes %v of future spam", res.Baseline.NotBlockedRate())
+	}
+	// Delivery grows with attack volume and succeeds at the largest.
+	last := res.Points[len(res.Points)-1]
+	if last.NotBlockedRate() < 0.5 {
+		t.Errorf("largest attack unblocks only %v", last.NotBlockedRate())
+	}
+	if last.NotBlockedRate() < res.Points[0].NotBlockedRate() {
+		t.Error("delivery fell with attack volume")
+	}
+	// Integrity attack: collateral ham damage stays small.
+	if hamLoss := last.HamConfusion.HamMisclassifiedRate(); hamLoss > 0.25 {
+		t.Errorf("pseudospam attack broke %v of ham", hamLoss)
+	}
+	if !strings.Contains(res.Render(), "EXTENSION") {
+		t.Error("render missing extension banner")
+	}
+}

@@ -1,0 +1,219 @@
+// Package graham implements Paul Graham's "A Plan for Spam" (2002)
+// classifier — reference [7] of the paper and the direct ancestor of
+// the Robinson/Fisher method SpamBayes uses (§2.3 cites Robinson's
+// scheme as "based on ideas by Graham"). It serves as the baseline
+// learner: the attacks poison it through exactly the same mechanism
+// (token spam counts), so the repository can show the vulnerability
+// is a property of the statistical approach, not of one combining
+// rule.
+//
+// Differences from the SpamBayes learner, per Graham's essay:
+//
+//   - token occurrences count with multiplicity, and ham counts are
+//     doubled ("to bias the probabilities slightly against false
+//     positives");
+//   - tokens seen fewer than five times score a fixed 0.4;
+//   - known-token scores clamp to [0.01, 0.99];
+//   - the fifteen most interesting tokens (furthest from 0.5) combine
+//     by naive Bayes product: Πp / (Πp + Π(1−p));
+//   - the verdict is binary — spam above 0.9, ham otherwise (no
+//     unsure band).
+//
+// Measured finding (TestDictionaryAttackPoisonsGraham): the
+// dictionary attack transfers to this baseline but needs roughly an
+// order of magnitude more attack volume than against SpamBayes — the
+// hard clamps and the 15-token cap let a handful of surviving
+// pure-ham tokens veto a large poisoned majority, where SpamBayes'
+// 150-token chi-square combination lets the poisoned mass win.
+package graham
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mail"
+	"repro/internal/tokenize"
+)
+
+// Options holds Graham's tunables (defaults are the essay's values).
+type Options struct {
+	// UnknownProb is the score of rarely seen tokens (0.4).
+	UnknownProb float64
+	// MinOccurrences is the evidence floor below which a token is
+	// treated as unknown (5).
+	MinOccurrences int
+	// MaxTokens is the number of most-interesting tokens combined
+	// (15).
+	MaxTokens int
+	// HamWeight multiplies ham occurrence counts (2).
+	HamWeight int
+	// ClampLow and ClampHigh bound known-token scores (0.01, 0.99).
+	ClampLow  float64
+	ClampHigh float64
+	// SpamCutoff is the binary decision threshold (0.9).
+	SpamCutoff float64
+}
+
+// DefaultOptions returns the essay's parameters.
+func DefaultOptions() Options {
+	return Options{
+		UnknownProb:    0.4,
+		MinOccurrences: 5,
+		MaxTokens:      15,
+		HamWeight:      2,
+		ClampLow:       0.01,
+		ClampHigh:      0.99,
+		SpamCutoff:     0.9,
+	}
+}
+
+// Validate checks option consistency.
+func (o Options) Validate() error {
+	switch {
+	case o.UnknownProb <= 0 || o.UnknownProb >= 1:
+		return fmt.Errorf("graham: UnknownProb %v", o.UnknownProb)
+	case o.MinOccurrences < 1:
+		return fmt.Errorf("graham: MinOccurrences %d", o.MinOccurrences)
+	case o.MaxTokens < 1:
+		return fmt.Errorf("graham: MaxTokens %d", o.MaxTokens)
+	case o.HamWeight < 1:
+		return fmt.Errorf("graham: HamWeight %d", o.HamWeight)
+	case o.ClampLow <= 0 || o.ClampHigh >= 1 || o.ClampLow >= o.ClampHigh:
+		return fmt.Errorf("graham: clamps (%v, %v)", o.ClampLow, o.ClampHigh)
+	case o.SpamCutoff <= 0 || o.SpamCutoff >= 1:
+		return fmt.Errorf("graham: SpamCutoff %v", o.SpamCutoff)
+	}
+	return nil
+}
+
+// Filter is the Graham classifier.
+type Filter struct {
+	opts  Options
+	tok   *tokenize.Tokenizer
+	ngood int
+	nbad  int
+	good  map[string]int // token occurrences in ham (with multiplicity)
+	bad   map[string]int // token occurrences in spam
+}
+
+// New returns an empty filter (nil tokenizer selects the default).
+// It panics on invalid options.
+func New(opts Options, tok *tokenize.Tokenizer) *Filter {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	if tok == nil {
+		tok = tokenize.Default()
+	}
+	return &Filter{
+		opts: opts,
+		tok:  tok,
+		good: make(map[string]int),
+		bad:  make(map[string]int),
+	}
+}
+
+// NewDefault returns an empty filter with essay defaults.
+func NewDefault() *Filter { return New(DefaultOptions(), nil) }
+
+// Counts returns the trained message counts (spam, ham).
+func (f *Filter) Counts() (nbad, ngood int) { return f.nbad, f.ngood }
+
+// Learn trains on one message. Unlike SpamBayes, occurrences count
+// with multiplicity.
+func (f *Filter) Learn(m *mail.Message, isSpam bool) {
+	f.LearnWeighted(m, isSpam, 1)
+}
+
+// LearnWeighted trains as if weight identical copies were learned
+// (all counts are linear, so this is exact).
+func (f *Filter) LearnWeighted(m *mail.Message, isSpam bool, weight int) {
+	if weight < 0 {
+		panic("graham: negative learn weight")
+	}
+	if weight == 0 {
+		return
+	}
+	stream := f.tok.Tokenize(m)
+	if isSpam {
+		f.nbad += weight
+		for _, t := range stream {
+			f.bad[t] += weight
+		}
+	} else {
+		f.ngood += weight
+		for _, t := range stream {
+			f.good[t] += weight
+		}
+	}
+}
+
+// TokenProb returns Graham's per-token spam probability.
+func (f *Filter) TokenProb(token string) float64 {
+	g := f.opts.HamWeight * f.good[token]
+	b := f.bad[token]
+	if g+b < f.opts.MinOccurrences {
+		return f.opts.UnknownProb
+	}
+	var gRatio, bRatio float64
+	if f.ngood > 0 {
+		gRatio = math.Min(1, float64(g)/float64(f.ngood))
+	}
+	if f.nbad > 0 {
+		bRatio = math.Min(1, float64(b)/float64(f.nbad))
+	}
+	if gRatio+bRatio == 0 {
+		return f.opts.UnknownProb
+	}
+	p := bRatio / (gRatio + bRatio)
+	return math.Max(f.opts.ClampLow, math.Min(f.opts.ClampHigh, p))
+}
+
+// Score returns the combined spam probability of a message.
+func (f *Filter) Score(m *mail.Message) float64 {
+	tokens := f.tok.TokenSet(m)
+	if len(tokens) == 0 {
+		return f.opts.UnknownProb
+	}
+	type cand struct {
+		p    float64
+		dist float64
+		tok  string
+	}
+	cands := make([]cand, 0, len(tokens))
+	for _, t := range tokens {
+		p := f.TokenProb(t)
+		cands = append(cands, cand{p: p, dist: math.Abs(p - 0.5), tok: t})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist > cands[j].dist
+		}
+		return cands[i].tok < cands[j].tok
+	})
+	if len(cands) > f.opts.MaxTokens {
+		cands = cands[:f.opts.MaxTokens]
+	}
+	// Naive Bayes product in log space for stability.
+	var logP, logNotP float64
+	for _, c := range cands {
+		logP += math.Log(c.p)
+		logNotP += math.Log(1 - c.p)
+	}
+	// prob = e^logP / (e^logP + e^logNotP), computed stably.
+	diff := logNotP - logP
+	if diff > 700 {
+		return 0
+	}
+	if diff < -700 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(diff))
+}
+
+// IsSpam returns the binary verdict and the combined probability.
+func (f *Filter) IsSpam(m *mail.Message) (bool, float64) {
+	s := f.Score(m)
+	return s > f.opts.SpamCutoff, s
+}

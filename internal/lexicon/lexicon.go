@@ -1,0 +1,201 @@
+// Package lexicon builds the word sources the paper's dictionary
+// attacks draw on:
+//
+//   - the standard English dictionary (GNU aspell 6.0-0, 98,568
+//     words) → Aspell, built from the synthetic universe's common,
+//     standard, and formal segments — same size, same coverage role;
+//   - the refined Usenet dictionary (the 90,000 most frequent words
+//     of a Usenet posting corpus) → UsenetTopK over a generated
+//     Usenet token stream;
+//   - the infeasible "optimal" word source (every possible word,
+//     §3.4) → Optimal, the whole universe.
+package lexicon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/textgen"
+)
+
+// Lexicon is an ordered, duplicate-free word list with O(1)
+// membership tests.
+type Lexicon struct {
+	name  string
+	words []string
+	set   map[string]struct{}
+}
+
+// New builds a lexicon from words, dropping duplicates while
+// preserving first-seen order.
+func New(name string, words []string) *Lexicon {
+	l := &Lexicon{
+		name: name,
+		set:  make(map[string]struct{}, len(words)),
+	}
+	for _, w := range words {
+		if _, dup := l.set[w]; dup || w == "" {
+			continue
+		}
+		l.set[w] = struct{}{}
+		l.words = append(l.words, w)
+	}
+	return l
+}
+
+// Name returns the lexicon's name (used in experiment tables).
+func (l *Lexicon) Name() string { return l.name }
+
+// Len returns the number of words.
+func (l *Lexicon) Len() int { return len(l.words) }
+
+// Words returns the word list (shared slice; do not modify).
+func (l *Lexicon) Words() []string { return l.words }
+
+// Contains reports membership.
+func (l *Lexicon) Contains(w string) bool {
+	_, ok := l.set[w]
+	return ok
+}
+
+// Overlap returns |l ∩ other|.
+func (l *Lexicon) Overlap(other *Lexicon) int {
+	a, b := l, other
+	if b.Len() < a.Len() {
+		a, b = b, a
+	}
+	n := 0
+	for _, w := range a.words {
+		if b.Contains(w) {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns the fraction of tokens (with multiplicity) that
+// are lexicon members. It returns 0 for an empty stream.
+func (l *Lexicon) Coverage(tokens []string) float64 {
+	if len(tokens) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, t := range tokens {
+		if l.Contains(t) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(tokens))
+}
+
+// Save writes the lexicon one word per line.
+func (l *Lexicon) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, word := range l.words {
+		if _, err := bw.WriteString(word); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a lexicon written by Save.
+func Load(name string, r io.Reader) (*Lexicon, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var words []string
+	for sc.Scan() {
+		words = append(words, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lexicon: loading %s: %w", name, err)
+	}
+	return New(name, words), nil
+}
+
+// Aspell builds the synthetic standard dictionary: the universe's
+// common, standard and formal segments. With the default universe
+// this is exactly 98,568 words, the size of GNU aspell 6.0-0.
+func Aspell(u *textgen.Universe) *Lexicon {
+	var words []string
+	for _, seg := range []textgen.Segment{textgen.SegCommon, textgen.SegStandard, textgen.SegFormal} {
+		words = append(words, u.Words(seg)...)
+	}
+	return New("aspell", words)
+}
+
+// Optimal builds the whole-universe word source that simulates the
+// paper's optimal attack (§3.4: "include all possible words").
+func Optimal(u *textgen.Universe) *Lexicon {
+	return New("optimal", u.All())
+}
+
+// topKByCount returns the k most frequent words in counts, ties
+// broken alphabetically so the result is deterministic.
+func topKByCount(counts map[string]int, k int) []string {
+	type wc struct {
+		w string
+		c int
+	}
+	all := make([]wc, 0, len(counts))
+	for w, c := range counts {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	words := make([]string, k)
+	for i := 0; i < k; i++ {
+		words[i] = all[i].w
+	}
+	return words
+}
+
+// usenetName labels a top-k Usenet lexicon.
+func usenetName(k int) string {
+	return fmt.Sprintf("usenet-%dk", (k+500)/1000)
+}
+
+// UsenetTopK counts a Usenet token stream and keeps the k most
+// frequent words. This mirrors the paper's "90,000 top ranked words
+// from the Usenet corpus".
+func UsenetTopK(tokens []string, k int) *Lexicon {
+	counts := make(map[string]int)
+	for _, t := range tokens {
+		counts[t]++
+	}
+	return New(usenetName(k), topKByCount(counts, k))
+}
+
+// UsenetFromGenerator samples a Usenet corpus of streamTokens tokens
+// from the generator and returns its top-k lexicon. streamTokens
+// should be large enough that the vocabulary saturates (the full-
+// scale experiments use 20 million tokens for the 90k-word lexicon).
+func UsenetFromGenerator(g *textgen.Generator, r *stats.RNG, streamTokens, k int) *Lexicon {
+	// Count in chunks to avoid materializing the whole stream.
+	counts := make(map[string]int, 2*k)
+	const chunk = 1 << 16
+	for remaining := streamTokens; remaining > 0; {
+		n := chunk
+		if n > remaining {
+			n = remaining
+		}
+		for _, t := range g.UsenetTokens(r, n) {
+			counts[t]++
+		}
+		remaining -= n
+	}
+	return New(usenetName(k), topKByCount(counts, k))
+}

@@ -1,0 +1,43 @@
+package mail
+
+import "testing"
+
+func TestParseCRLFHeader(t *testing.T) {
+	raw := "Subject: hello\r\nFrom: a@b.com\r\n\r\nbody line\n"
+	m, err := ParseString(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Subject() != "hello" {
+		t.Errorf("subject = %q", m.Subject())
+	}
+	if m.From() != "a@b.com" {
+		t.Errorf("from = %q", m.From())
+	}
+	if m.Body != "body line\n" {
+		t.Errorf("body = %q", m.Body)
+	}
+}
+
+func TestParseCRLFBlankSeparator(t *testing.T) {
+	// A "\r\n" blank line must end the header too.
+	raw := "Subject: s\r\n\r\npayload\n"
+	m, err := ParseString(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Header) != 1 || m.Body != "payload\n" {
+		t.Errorf("parse = %+v", m)
+	}
+}
+
+func TestParseCRLFFoldedHeader(t *testing.T) {
+	raw := "Subject: part one\r\n\tpart two\r\n\r\n"
+	m, err := ParseString(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Subject(); got != "part one\npart two" {
+		t.Errorf("folded subject = %q", got)
+	}
+}

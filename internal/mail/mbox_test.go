@@ -1,0 +1,230 @@
+package mail
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// statsRNG builds a deterministic RNG for tests.
+func statsRNG(seed uint64) *stats.RNG { return stats.NewRNG(seed) }
+
+func sampleMessages() []*Message {
+	m1 := &Message{Body: "hello world\nsecond line\n"}
+	m1.Header.Add("From", "alice@example.com")
+	m1.Header.Add("Subject", "greetings")
+	m2 := &Message{Body: "From the top\n>From quoted already\nplain\n"}
+	m2.Header.Add("From", "Bob Jones <bob@example.org>")
+	m2.Header.Add("Subject", "mbox quoting")
+	m3 := &Message{Body: "final message\n"}
+	m3.Header.Add("Subject", "no sender")
+	return []*Message{m1, m2, m3}
+}
+
+func TestMboxRoundTrip(t *testing.T) {
+	msgs := sampleMessages()
+	var buf strings.Builder
+	w := NewMboxWriter(&buf)
+	for _, m := range msgs {
+		if err := w.WriteMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewMboxReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("read %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if got[i].Body != msgs[i].Body {
+			t.Errorf("message %d body = %q, want %q", i, got[i].Body, msgs[i].Body)
+		}
+		if got[i].Subject() != msgs[i].Subject() {
+			t.Errorf("message %d subject = %q, want %q", i, got[i].Subject(), msgs[i].Subject())
+		}
+	}
+}
+
+func TestMboxFromQuoting(t *testing.T) {
+	m := &Message{Body: "From here\n>From there\n>>From everywhere\n"}
+	m.Header.Add("Subject", "q")
+	var buf strings.Builder
+	w := NewMboxWriter(&buf)
+	if err := w.WriteMessage(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	for _, want := range []string{"\n>From here\n", "\n>>From there\n", "\n>>>From everywhere\n"} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("raw mbox missing %q:\n%s", want, raw)
+		}
+	}
+	got, err := NewMboxReader(strings.NewReader(raw)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Body != m.Body {
+		t.Errorf("unquoting failed: %q", got[0].Body)
+	}
+}
+
+func TestMboxEnvelopeAddress(t *testing.T) {
+	m := &Message{Body: "b\n"}
+	m.Header.Add("From", "Carol Smith <carol@corp.com>")
+	var buf strings.Builder
+	w := NewMboxWriter(&buf)
+	if err := w.WriteMessage(m); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if !strings.HasPrefix(buf.String(), "From carol@corp.com ") {
+		t.Errorf("envelope = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestMboxDefaultEnvelope(t *testing.T) {
+	m := &Message{Body: "b\n"}
+	var buf strings.Builder
+	w := NewMboxWriter(&buf)
+	if err := w.WriteMessage(m); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if !strings.HasPrefix(buf.String(), "From MAILER-DAEMON") {
+		t.Errorf("envelope = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestMboxEmptyArchive(t *testing.T) {
+	r := NewMboxReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty archive Next() err = %v, want EOF", err)
+	}
+	msgs, err := NewMboxReader(strings.NewReader("\n\n")).ReadAll()
+	if err != nil || len(msgs) != 0 {
+		t.Errorf("blank archive = %v msgs, err %v", len(msgs), err)
+	}
+}
+
+func TestMboxGarbagePrefix(t *testing.T) {
+	if _, err := NewMboxReader(strings.NewReader("garbage\n")).Next(); err == nil {
+		t.Error("content before first envelope should error")
+	}
+}
+
+func TestMboxReaderAfterEOF(t *testing.T) {
+	var buf strings.Builder
+	w := NewMboxWriter(&buf)
+	if err := w.WriteMessage(sampleMessages()[0]); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r := NewMboxReader(strings.NewReader(buf.String()))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("post-EOF Next() err = %v, want EOF", err)
+		}
+	}
+}
+
+func TestMboxSingleMessage(t *testing.T) {
+	m := &Message{Body: "only\n"}
+	m.Header.Add("Subject", "solo")
+	var buf strings.Builder
+	w := NewMboxWriter(&buf)
+	if err := w.WriteMessage(m); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := NewMboxReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Subject() != "solo" || got[0].Body != "only\n" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestMboxEmptyBodyMessage(t *testing.T) {
+	m := &Message{}
+	m.Header.Add("Subject", "empty")
+	other := &Message{Body: "x\n"}
+	other.Header.Add("Subject", "next")
+	var buf strings.Builder
+	w := NewMboxWriter(&buf)
+	for _, msg := range []*Message{m, other} {
+		if err := w.WriteMessage(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	got, err := NewMboxReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d messages", len(got))
+	}
+	if got[0].Body != "" || got[0].Subject() != "empty" {
+		t.Errorf("first message = %+v", got[0])
+	}
+	if got[1].Body != "x\n" {
+		t.Errorf("second message body = %q", got[1].Body)
+	}
+}
+
+func TestMboxWriteReadWriteFixedPoint(t *testing.T) {
+	msgs := sampleMessages()
+	write := func(ms []*Message) string {
+		var buf strings.Builder
+		w := NewMboxWriter(&buf)
+		for _, m := range ms {
+			if err := w.WriteMessage(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Flush()
+		return buf.String()
+	}
+	first := write(msgs)
+	reread, err := NewMboxReader(strings.NewReader(first)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := write(reread)
+	if first != second {
+		t.Errorf("write→read→write is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+func TestMboxLargeMessage(t *testing.T) {
+	// A body wider than the default scanner buffer must not fail.
+	m := &Message{Body: strings.Repeat("w", 300000) + "\n"}
+	m.Header.Add("Subject", "big")
+	var buf strings.Builder
+	w := NewMboxWriter(&buf)
+	if err := w.WriteMessage(m); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := NewMboxReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Body) != len(m.Body) {
+		t.Errorf("large body corrupted: got %d bytes", len(got[0].Body))
+	}
+}

@@ -1,0 +1,161 @@
+package sbayes
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mail"
+	"repro/internal/stats"
+)
+
+// TokenScore returns f(w), the Robinson-smoothed spam score of a
+// token (equations 1–2). Unseen tokens score exactly the prior x.
+func (f *Filter) TokenScore(token string) float64 {
+	r := f.records[token]
+	return f.scoreRecord(r)
+}
+
+// scoreRecord computes f(w) from raw counts.
+func (f *Filter) scoreRecord(r record) float64 {
+	// Clamp counts to the totals, as SpamBayes does, so a corrupt
+	// database cannot yield ratios above 1.
+	spamcount := min32(r.spam, f.nspam)
+	hamcount := min32(r.ham, f.nham)
+	var spamratio, hamratio float64
+	if f.nspam > 0 {
+		spamratio = float64(spamcount) / float64(f.nspam)
+	}
+	if f.nham > 0 {
+		hamratio = float64(hamcount) / float64(f.nham)
+	}
+	x := f.opts.UnknownWordProb
+	denom := spamratio + hamratio
+	if denom == 0 {
+		return x
+	}
+	prob := spamratio / denom // PS(w), equation 1
+	n := float64(spamcount + hamcount)
+	s := f.opts.UnknownWordStrength
+	return (s*x + n*prob) / (s + n) // f(w), equation 2
+}
+
+// Clue is one token's contribution to a classification, reported by
+// Explain and used to draw the Figure 4 scatter plots.
+type Clue struct {
+	Token string
+	Score float64 // f(w)
+	Used  bool    // whether the token made it into δ(E)
+}
+
+// Score returns the message score I(E) ∈ [0, 1] (equation 3).
+func (f *Filter) Score(m *mail.Message) float64 {
+	return f.ScoreTokens(f.tok.TokenSet(m))
+}
+
+// Classify returns the verdict and score for a message.
+func (f *Filter) Classify(m *mail.Message) (Label, float64) {
+	s := f.Score(m)
+	return f.opts.LabelFor(s), s
+}
+
+// ClassifyTokens is Classify over a pre-tokenized message.
+func (f *Filter) ClassifyTokens(tokens []string) (Label, float64) {
+	s := f.ScoreTokens(tokens)
+	return f.opts.LabelFor(s), s
+}
+
+// ScoreTokens computes I(E) over a distinct-token set.
+func (f *Filter) ScoreTokens(tokens []string) float64 {
+	clues := f.selectDiscriminators(tokens)
+	return f.combine(clues)
+}
+
+// Explain returns every token's score and whether it entered δ(E),
+// in the message's token order.
+func (f *Filter) Explain(m *mail.Message) []Clue {
+	tokens := f.tok.TokenSet(m)
+	used := map[string]bool{}
+	for _, c := range f.selectDiscriminators(tokens) {
+		used[c.token] = true
+	}
+	out := make([]Clue, len(tokens))
+	for i, t := range tokens {
+		out[i] = Clue{Token: t, Score: f.TokenScore(t), Used: used[t]}
+	}
+	return out
+}
+
+// clue pairs a token with its score during discriminator selection.
+type clue struct {
+	token string
+	score float64
+	dist  float64
+}
+
+// selectDiscriminators computes δ(E): the at most MaxDiscriminators
+// tokens whose scores are furthest from 0.5 and at least
+// MinProbStrength away from it. Ties are broken by token text so the
+// result is deterministic regardless of map iteration order.
+func (f *Filter) selectDiscriminators(tokens []string) []clue {
+	cands := make([]clue, 0, len(tokens))
+	for _, t := range tokens {
+		s := f.TokenScore(t)
+		d := math.Abs(s - 0.5)
+		if d >= f.opts.MinProbStrength {
+			cands = append(cands, clue{token: t, score: s, dist: d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist > cands[j].dist
+		}
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].token < cands[j].token
+	})
+	if len(cands) > f.opts.MaxDiscriminators {
+		cands = cands[:f.opts.MaxDiscriminators]
+	}
+	return cands
+}
+
+// combine applies Fisher's method to the selected clues (equations
+// 3–4, implemented as in SpamBayes' chi2_spamprob): H accumulates
+// evidence of hamminess from Σ ln f(w), S from Σ ln(1 − f(w)), each
+// mapped through the chi-square survival function with 2n degrees of
+// freedom, and the final score is (1 + H − S)/2 in the paper's
+// notation. With no usable clues the score is exactly 0.5.
+func (f *Filter) combine(clues []clue) float64 {
+	n := len(clues)
+	if n == 0 {
+		return 0.5
+	}
+	var lnF, lnNotF float64
+	for _, c := range clues {
+		s := c.score
+		// Guard the logarithms: scores of exactly 0 or 1 can only
+		// arise from degenerate option choices, but be safe.
+		if s < 1e-300 {
+			s = 1e-300
+		}
+		if s > 1-1e-15 {
+			s = 1 - 1e-15
+		}
+		lnF += math.Log(s)
+		lnNotF += math.Log(1 - s)
+	}
+	// In the paper's notation (eq. 4): H(E) = Q(−2 Σ ln f, 2n) is
+	// large when tokens look spammy; S(E) = Q(−2 Σ ln(1−f), 2n) is
+	// large when they look hammy; I = (1 + H − S)/2.
+	H := stats.ChiSquareQ(-2*lnF, 2*n)
+	S := stats.ChiSquareQ(-2*lnNotF, 2*n)
+	return (1 + H - S) / 2
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package sbayes
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// randomTokens builds a deterministic pseudo-random token set.
+func randomTokens(r *stats.RNG, n int) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, n)
+	for len(out) < n {
+		t := fmt.Sprintf("tok%05d", r.Intn(5000))
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Property: scores always lie in [0, 1].
+func TestQuickScoreInRange(t *testing.T) {
+	f := func(seed uint64, trainN, msgN uint8) bool {
+		r := stats.NewRNG(seed)
+		fl := NewDefault()
+		for i := 0; i < int(trainN%40); i++ {
+			fl.LearnTokens(randomTokens(r, 1+r.Intn(30)), r.Bernoulli(0.5), 1+r.Intn(3))
+		}
+		s := fl.ScoreTokens(randomTokens(r, 1+int(msgN)%60))
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: learn followed by unlearn restores every score exactly.
+func TestQuickLearnUnlearnIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		fl := NewDefault()
+		for i := 0; i < 10; i++ {
+			fl.LearnTokens(randomTokens(r, 1+r.Intn(20)), r.Bernoulli(0.5), 1)
+		}
+		probe := randomTokens(r, 25)
+		before := fl.ScoreTokens(probe)
+		beforeVocab := fl.VocabSize()
+		extra := randomTokens(r, 1+r.Intn(20))
+		isSpam := r.Bernoulli(0.5)
+		w := 1 + r.Intn(5)
+		fl.LearnTokens(extra, isSpam, w)
+		if err := fl.UnlearnTokens(extra, isSpam, w); err != nil {
+			return false
+		}
+		return fl.ScoreTokens(probe) == before && fl.VocabSize() == beforeVocab
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weighted learning equals repeated learning.
+func TestQuickWeightedEquivalence(t *testing.T) {
+	f := func(seed uint64, wRaw uint8) bool {
+		w := 1 + int(wRaw)%20
+		r := stats.NewRNG(seed)
+		tokens := randomTokens(r, 1+r.Intn(15))
+		a, b := NewDefault(), NewDefault()
+		background := randomTokens(r, 10)
+		a.LearnTokens(background, false, 2)
+		b.LearnTokens(background, false, 2)
+		for i := 0; i < w; i++ {
+			a.LearnTokens(tokens, true, 1)
+		}
+		b.LearnTokens(tokens, true, w)
+		probe := randomTokens(r, 20)
+		return a.ScoreTokens(probe) == b.ScoreTokens(probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone then diverge never affects the original's scores.
+func TestQuickCloneIsolation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		fl := NewDefault()
+		for i := 0; i < 5; i++ {
+			fl.LearnTokens(randomTokens(r, 10), r.Bernoulli(0.5), 1)
+		}
+		probe := randomTokens(r, 15)
+		before := fl.ScoreTokens(probe)
+		c := fl.Clone()
+		c.LearnTokens(randomTokens(r, 10), true, 3)
+		return fl.ScoreTokens(probe) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a token to spam training weakly increases the score
+// of messages containing that token (paper §3.4 monotonicity).
+func TestQuickSpamEvidenceMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		fl := NewDefault()
+		for i := 0; i < 8; i++ {
+			fl.LearnTokens(randomTokens(r, 12), r.Bernoulli(0.5), 1)
+		}
+		probe := randomTokens(r, 10)
+		before := fl.ScoreTokens(probe)
+		// Poison: all probe tokens into one spam message.
+		fl.LearnTokens(probe, true, 1+r.Intn(10))
+		after := fl.ScoreTokens(probe)
+		return after >= before-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package sbayes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mail"
+	"repro/internal/tokenize"
+)
+
+// record holds per-token training counts: the number of spam and ham
+// training messages that contained the token at least once.
+type record struct {
+	spam int32
+	ham  int32
+}
+
+// Filter is the SpamBayes classifier: a token-count database plus the
+// scoring rule. It is not safe for concurrent mutation; concurrent
+// Classify calls without interleaved Learn calls are safe.
+type Filter struct {
+	opts    Options
+	tok     *tokenize.Tokenizer
+	nspam   int32
+	nham    int32
+	records map[string]record
+}
+
+// New returns an empty filter with the given options and tokenizer.
+// A nil tokenizer selects tokenize.Default(). New panics on invalid
+// options (programmer error).
+func New(opts Options, tok *tokenize.Tokenizer) *Filter {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	if tok == nil {
+		tok = tokenize.Default()
+	}
+	return &Filter{
+		opts:    opts,
+		tok:     tok,
+		records: make(map[string]record),
+	}
+}
+
+// NewDefault returns an empty filter with SpamBayes defaults.
+func NewDefault() *Filter { return New(DefaultOptions(), nil) }
+
+// Options returns the filter's options.
+func (f *Filter) Options() Options { return f.opts }
+
+// Tokenizer returns the filter's tokenizer.
+func (f *Filter) Tokenizer() *tokenize.Tokenizer { return f.tok }
+
+// Counts returns the number of spam and ham messages trained.
+func (f *Filter) Counts() (nspam, nham int) {
+	return int(f.nspam), int(f.nham)
+}
+
+// VocabSize returns the number of distinct tokens in the database.
+func (f *Filter) VocabSize() int { return len(f.records) }
+
+// TokenCounts returns the raw training counts of a token.
+func (f *Filter) TokenCounts(token string) (spam, ham int) {
+	r := f.records[token]
+	return int(r.spam), int(r.ham)
+}
+
+// Learn trains the filter on one message with the given label.
+func (f *Filter) Learn(m *mail.Message, isSpam bool) {
+	f.LearnTokens(f.tok.TokenSet(m), isSpam, 1)
+}
+
+// LearnWeighted trains the filter as if weight identical copies of the
+// message were trained. Token presence is per message, so this is
+// exactly equivalent to calling Learn weight times — the attack
+// experiments use it to train hundreds of identical attack emails in
+// one pass. It panics if weight < 0.
+func (f *Filter) LearnWeighted(m *mail.Message, isSpam bool, weight int) {
+	f.LearnTokens(f.tok.TokenSet(m), isSpam, weight)
+}
+
+// LearnTokens trains directly on a token set (each distinct token must
+// appear once) with the given multiplicity.
+func (f *Filter) LearnTokens(tokens []string, isSpam bool, weight int) {
+	if weight < 0 {
+		panic("sbayes: negative learn weight")
+	}
+	if weight == 0 {
+		return
+	}
+	w := int32(weight)
+	if isSpam {
+		f.nspam += w
+	} else {
+		f.nham += w
+	}
+	for _, t := range tokens {
+		r := f.records[t]
+		if isSpam {
+			r.spam += w
+		} else {
+			r.ham += w
+		}
+		f.records[t] = r
+	}
+}
+
+// Unlearn removes one previously trained message from the database.
+// It returns an error (leaving the filter unchanged) if the message
+// was not counted with this label, as far as the counts can tell.
+func (f *Filter) Unlearn(m *mail.Message, isSpam bool) error {
+	return f.UnlearnTokens(f.tok.TokenSet(m), isSpam, 1)
+}
+
+// UnlearnTokens is the inverse of LearnTokens.
+func (f *Filter) UnlearnTokens(tokens []string, isSpam bool, weight int) error {
+	if weight < 0 {
+		panic("sbayes: negative unlearn weight")
+	}
+	if weight == 0 {
+		return nil
+	}
+	w := int32(weight)
+	if isSpam && f.nspam < w {
+		return fmt.Errorf("sbayes: unlearn spam underflow (have %d, remove %d)", f.nspam, w)
+	}
+	if !isSpam && f.nham < w {
+		return fmt.Errorf("sbayes: unlearn ham underflow (have %d, remove %d)", f.nham, w)
+	}
+	// Validate all token counts before mutating anything.
+	for _, t := range tokens {
+		r := f.records[t]
+		if isSpam && r.spam < w {
+			return fmt.Errorf("sbayes: unlearn underflow on token %q", t)
+		}
+		if !isSpam && r.ham < w {
+			return fmt.Errorf("sbayes: unlearn underflow on token %q", t)
+		}
+	}
+	if isSpam {
+		f.nspam -= w
+	} else {
+		f.nham -= w
+	}
+	for _, t := range tokens {
+		r := f.records[t]
+		if isSpam {
+			r.spam -= w
+		} else {
+			r.ham -= w
+		}
+		if r.spam == 0 && r.ham == 0 {
+			delete(f.records, t)
+		} else {
+			f.records[t] = r
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy of the filter. Experiments
+// use it to branch a poisoned filter off a shared clean baseline.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{
+		opts:    f.opts,
+		tok:     f.tok,
+		nspam:   f.nspam,
+		nham:    f.nham,
+		records: make(map[string]record, len(f.records)),
+	}
+	for t, r := range f.records {
+		c.records[t] = r
+	}
+	return c
+}
+
+// SetThresholds replaces θ0 and θ1, as the dynamic threshold defense
+// does after fitting them on validation data. It returns an error on
+// an invalid pair.
+func (f *Filter) SetThresholds(hamCutoff, spamCutoff float64) error {
+	opts := f.opts
+	opts.HamCutoff, opts.SpamCutoff = hamCutoff, spamCutoff
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	f.opts = opts
+	return nil
+}
+
+// Tokens returns all tokens in the database in sorted order. Intended
+// for persistence and debugging; O(V log V).
+func (f *Filter) Tokens() []string {
+	out := make([]string, 0, len(f.records))
+	for t := range f.records {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

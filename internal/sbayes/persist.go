@@ -1,0 +1,130 @@
+package sbayes
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tokenize"
+)
+
+// Binary database format (all integers unsigned varints):
+//
+//	magic   "SBDB\x01"
+//	nspam, nham, ntokens
+//	ntokens × { len(token), token bytes, spamcount, hamcount }
+//
+// Tokens are written in sorted order, so identical databases always
+// serialize identically. Options and tokenizer configuration are the
+// caller's to manage (they are code, not data).
+
+var persistMagic = [5]byte{'S', 'B', 'D', 'B', 1}
+
+// Save writes the token database to w.
+func (f *Filter) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(persistMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(f.nspam)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(f.nham)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(f.records))); err != nil {
+		return err
+	}
+	for _, t := range f.Tokens() {
+		r := f.records[t]
+		if err := writeUvarint(uint64(len(t))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(t); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(r.spam)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(r.ham)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a token database written by Save, returning a filter
+// with the given options and tokenizer (nil selects defaults).
+func Load(r io.Reader, opts Options, tok *tokenize.Tokenizer) (*Filter, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("sbayes: reading magic: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("sbayes: bad magic %q", magic[:])
+	}
+	readUvarint := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("sbayes: reading %s: %w", what, err)
+		}
+		return v, nil
+	}
+	f := New(opts, tok)
+	nspam, err := readUvarint("nspam")
+	if err != nil {
+		return nil, err
+	}
+	nham, err := readUvarint("nham")
+	if err != nil {
+		return nil, err
+	}
+	ntokens, err := readUvarint("ntokens")
+	if err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 31
+	if nspam > maxReasonable || nham > maxReasonable || ntokens > maxReasonable {
+		return nil, fmt.Errorf("sbayes: implausible database header (%d, %d, %d)", nspam, nham, ntokens)
+	}
+	f.nspam, f.nham = int32(nspam), int32(nham)
+	f.records = make(map[string]record, ntokens)
+	tokenBuf := make([]byte, 0, 64)
+	for i := uint64(0); i < ntokens; i++ {
+		tlen, err := readUvarint("token length")
+		if err != nil {
+			return nil, err
+		}
+		if tlen > 1<<20 {
+			return nil, fmt.Errorf("sbayes: implausible token length %d", tlen)
+		}
+		if uint64(cap(tokenBuf)) < tlen {
+			tokenBuf = make([]byte, tlen)
+		}
+		tokenBuf = tokenBuf[:tlen]
+		if _, err := io.ReadFull(br, tokenBuf); err != nil {
+			return nil, fmt.Errorf("sbayes: reading token: %w", err)
+		}
+		spam, err := readUvarint("spam count")
+		if err != nil {
+			return nil, err
+		}
+		ham, err := readUvarint("ham count")
+		if err != nil {
+			return nil, err
+		}
+		if spam > maxReasonable || ham > maxReasonable {
+			return nil, fmt.Errorf("sbayes: implausible counts for %q", tokenBuf)
+		}
+		f.records[string(tokenBuf)] = record{spam: int32(spam), ham: int32(ham)}
+	}
+	return f, nil
+}

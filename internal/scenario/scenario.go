@@ -1,0 +1,282 @@
+// Package scenario simulates the paper's §2.1 deployment model end to
+// end: an organization filters everyone's incoming email with one
+// SpamBayes filter and retrains it periodically (e.g., weekly) on the
+// accumulated mail store. Attack emails arrive in the weekly stream
+// like any other mail and are labeled spam when training (the
+// contamination assumption, §2.2) — and, optionally, a RONI scrubbing
+// step (§5.1) vets every new training candidate before it enters the
+// store.
+//
+// The simulator ties every subsystem of this repository together:
+// corpus generation, the learner, the attacks, the defense, and the
+// evaluation metrics, week by week.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/sbayes"
+	"repro/internal/stats"
+	"repro/internal/textgen"
+	"repro/internal/tokenize"
+)
+
+// Config parameterizes a simulated deployment.
+type Config struct {
+	// Weeks is how many retraining periods to simulate.
+	Weeks int
+	// InitialMailStore is the clean bootstrap corpus size.
+	InitialMailStore int
+	// MessagesPerWeek is the weekly legitimate mail volume.
+	MessagesPerWeek int
+	// SpamPrevalence is the spam fraction of organic mail.
+	SpamPrevalence float64
+	// TestSize is the fresh per-week evaluation corpus size.
+	TestSize int
+
+	// Attack, if non-nil, injects attack emails into the weekly
+	// stream from AttackStartWeek on, AttackFraction of the weekly
+	// volume.
+	Attack          core.Attacker
+	AttackStartWeek int
+	AttackFraction  float64
+
+	// UseRONI inserts the §5.1 defense into the retraining pipeline:
+	// each week's candidates are measured against samples of the
+	// existing (trusted) mail store and rejected on negative impact.
+	UseRONI bool
+	RONI    core.RONIConfig
+}
+
+// DefaultConfig returns a small office-sized deployment.
+func DefaultConfig() Config {
+	return Config{
+		Weeks:            8,
+		InitialMailStore: 2000,
+		MessagesPerWeek:  1000,
+		SpamPrevalence:   0.5,
+		TestSize:         400,
+		AttackStartWeek:  3,
+		AttackFraction:   0.02,
+		RONI:             core.DefaultRONIConfig(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Weeks < 1:
+		return fmt.Errorf("scenario: Weeks %d", c.Weeks)
+	case c.InitialMailStore < 10:
+		return fmt.Errorf("scenario: InitialMailStore %d", c.InitialMailStore)
+	case c.MessagesPerWeek < 1:
+		return fmt.Errorf("scenario: MessagesPerWeek %d", c.MessagesPerWeek)
+	case c.SpamPrevalence <= 0 || c.SpamPrevalence >= 1:
+		return fmt.Errorf("scenario: SpamPrevalence %v", c.SpamPrevalence)
+	case c.TestSize < 2:
+		return fmt.Errorf("scenario: TestSize %d", c.TestSize)
+	case c.Attack != nil && (c.AttackFraction <= 0 || c.AttackFraction >= 1):
+		return fmt.Errorf("scenario: AttackFraction %v", c.AttackFraction)
+	case c.Attack != nil && c.AttackStartWeek < 1:
+		return fmt.Errorf("scenario: AttackStartWeek %d", c.AttackStartWeek)
+	}
+	if c.UseRONI {
+		return c.RONI.Validate()
+	}
+	return nil
+}
+
+// WeekReport is one retraining period's outcome.
+type WeekReport struct {
+	Week            int
+	MailStoreSize   int
+	AttackArrived   int
+	AttackRejected  int
+	OrganicRejected int
+	Confusion       eval.Confusion
+}
+
+// Result is the full simulation trace.
+type Result struct {
+	Cfg   Config
+	Weeks []WeekReport
+}
+
+// Run simulates the deployment. All randomness comes from r.
+func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tok := tokenize.Default()
+	opts := sbayes.DefaultOptions()
+
+	nSpam := int(float64(cfg.InitialMailStore)*cfg.SpamPrevalence + 0.5)
+	store := g.Corpus(r.Split("bootstrap"), cfg.InitialMailStore-nSpam, nSpam)
+	res := &Result{Cfg: cfg}
+
+	for week := 1; week <= cfg.Weeks; week++ {
+		wr := r.Split(fmt.Sprintf("week-%d", week))
+		report := WeekReport{Week: week}
+
+		// This week's organic mail.
+		wSpam := int(float64(cfg.MessagesPerWeek)*cfg.SpamPrevalence + 0.5)
+		weekly := g.Corpus(wr, cfg.MessagesPerWeek-wSpam, wSpam)
+
+		// The attacker's contribution, labeled spam when trained
+		// (the contamination assumption).
+		var attackBody string
+		if cfg.Attack != nil && week >= cfg.AttackStartWeek {
+			n := core.AttackSize(cfg.AttackFraction, cfg.MessagesPerWeek)
+			attackMsg := cfg.Attack.BuildAttack(wr)
+			attackBody = attackMsg.Body
+			for i := 0; i < n; i++ {
+				weekly.Add(attackMsg, true)
+			}
+			report.AttackArrived = n
+			weekly.Shuffle(wr)
+		}
+
+		// Optional RONI scrubbing against the trusted store.
+		if cfg.UseRONI {
+			defense, err := core.NewRONI(cfg.RONI, store, opts, tok, wr)
+			if err != nil {
+				return nil, fmt.Errorf("scenario week %d: %w", week, err)
+			}
+			kept, rejected := roniFilterFast(defense, weekly)
+			for _, e := range rejected.Examples {
+				if attackBody != "" && e.Msg.Body == attackBody {
+					report.AttackRejected++
+				} else {
+					report.OrganicRejected++
+				}
+			}
+			weekly = kept
+		}
+
+		store.Append(weekly)
+		report.MailStoreSize = store.Len()
+
+		// Weekly retraining and evaluation on fresh mail.
+		filter := eval.TrainFilter(store, opts, tok)
+		tSpam := int(float64(cfg.TestSize)*cfg.SpamPrevalence + 0.5)
+		test := g.Corpus(wr.Split("test"), cfg.TestSize-tSpam, tSpam)
+		report.Confusion = eval.Evaluate(filter, test)
+		res.Weeks = append(res.Weeks, report)
+	}
+	return res, nil
+}
+
+// roniFilterFast is core.RONI.FilterCorpus with memoization of
+// identical candidates: the attacker sends n identical emails, and
+// measuring one is measuring all.
+func roniFilterFast(d *core.RONI, candidates *corpus.Corpus) (kept, rejected *corpus.Corpus) {
+	kept, rejected = &corpus.Corpus{}, &corpus.Corpus{}
+	type verdictKey struct {
+		body string
+		spam bool
+	}
+	cache := map[verdictKey]bool{}
+	for _, e := range candidates.Examples {
+		key := verdictKey{body: e.Msg.Body, spam: e.Spam}
+		reject, seen := cache[key]
+		if !seen {
+			reject = d.ShouldReject(e.Msg, e.Spam)
+			cache[key] = reject
+		}
+		if reject {
+			rejected.Add(e.Msg, e.Spam)
+		} else {
+			kept.Add(e.Msg, e.Spam)
+		}
+	}
+	return kept, rejected
+}
+
+// FinalHamLoss returns the last week's ham misclassification rate.
+func (r *Result) FinalHamLoss() float64 {
+	if len(r.Weeks) == 0 {
+		return 0
+	}
+	return r.Weeks[len(r.Weeks)-1].Confusion.HamMisclassifiedRate()
+}
+
+// Render prints the weekly trace.
+func (r *Result) Render() string {
+	var b strings.Builder
+	label := "no attack"
+	if r.Cfg.Attack != nil {
+		label = fmt.Sprintf("%s attack from week %d at %.1f%%/week",
+			r.Cfg.Attack.Name(), r.Cfg.AttackStartWeek, 100*r.Cfg.AttackFraction)
+	}
+	defense := "no defense"
+	if r.Cfg.UseRONI {
+		defense = "RONI scrubbing"
+	}
+	fmt.Fprintf(&b, "Deployment simulation (§2.1): weekly retraining, %s, %s.\n", label, defense)
+	t := newTable("week", "store", "atk in", "atk rej", "org rej", "ham lost", "spam caught")
+	for _, w := range r.Weeks {
+		t.addRow(
+			fmt.Sprintf("%d", w.Week),
+			fmt.Sprintf("%d", w.MailStoreSize),
+			fmt.Sprintf("%d", w.AttackArrived),
+			fmt.Sprintf("%d", w.AttackRejected),
+			fmt.Sprintf("%d", w.OrganicRejected),
+			fmt.Sprintf("%.1f%%", 100*w.Confusion.HamMisclassifiedRate()),
+			fmt.Sprintf("%.1f%%", 100*(1-w.Confusion.SpamMisclassifiedRate())))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// table is a minimal aligned-column renderer (duplicated from the
+// experiments package to keep scenario free of that dependency).
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquareQKnownValues(t *testing.T) {
+	// Reference values computed with the closed form
+	// Q(x, 2k) = exp(-x/2) * sum_{i<k} (x/2)^i / i!.
+	cases := []struct {
+		x    float64
+		v    int
+		want float64
+	}{
+		{0, 2, 1},
+		{2 * math.Ln2, 2, 0.5},     // exp(-ln 2) = 1/2
+		{2, 2, math.Exp(-1)},       // exp(-1)
+		{4, 4, 3 * math.Exp(-2)},   // e^-2 (1 + 2)
+		{10, 4, 6 * math.Exp(-5)},  // e^-5 (1 + 5)
+		{6, 6, 8.5 * math.Exp(-3)}, // e^-3 (1 + 3 + 4.5)
+		{1000, 2, math.Exp(-500)},  // deep tail
+	}
+	for _, c := range cases {
+		got := ChiSquareQ(c.x, c.v)
+		if math.Abs(got-c.want) > 1e-12*math.Max(1, c.want) && math.Abs(got-c.want) > 1e-300 {
+			t.Errorf("ChiSquareQ(%v, %d) = %v, want %v", c.x, c.v, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareQMedianOfTwoDOF(t *testing.T) {
+	// chi2 with 2 dof is Exp(1/2); its median is 2 ln 2.
+	got := ChiSquareQ(2*math.Ln2, 2)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Q(2ln2, 2) = %v, want 0.5", got)
+	}
+}
+
+func TestChiSquareQBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64() * 2000
+		v := 2 * (1 + r.Intn(200))
+		q := ChiSquareQ(x, v)
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			t.Fatalf("ChiSquareQ(%v, %d) = %v out of [0,1]", x, v, q)
+		}
+	}
+}
+
+func TestChiSquareQMonotoneInX(t *testing.T) {
+	for _, v := range []int{2, 4, 10, 100, 300} {
+		prev := 1.0
+		for x := 0.0; x <= 400; x += 0.5 {
+			q := ChiSquareQ(x, v)
+			if q > prev+1e-12 {
+				t.Fatalf("ChiSquareQ not non-increasing at x=%v v=%d: %v > %v", x, v, q, prev)
+			}
+			prev = q
+		}
+	}
+}
+
+func TestChiSquareQMonotoneInDOF(t *testing.T) {
+	// For fixed x, more degrees of freedom means more mass above x.
+	x := 20.0
+	prev := 0.0
+	for v := 2; v <= 60; v += 2 {
+		q := ChiSquareQ(x, v)
+		if q < prev-1e-12 {
+			t.Fatalf("ChiSquareQ(%v, %d) = %v < previous %v", x, v, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestChiSquareQLargeXUnderflowPath(t *testing.T) {
+	// The log-space branch (m >= 700) must agree with GammaQ.
+	for _, x := range []float64{1400, 1500, 2000, 5000} {
+		for _, v := range []int{2, 10, 100, 298} {
+			got := ChiSquareQ(x, v)
+			want := GammaQ(float64(v)/2, x/2)
+			if math.Abs(got-want) > 1e-10*math.Max(want, 1e-280) && got != want {
+				t.Errorf("ChiSquareQ(%v,%d)=%g, GammaQ=%g", x, v, got, want)
+			}
+			if got < 0 || got > 1 {
+				t.Errorf("ChiSquareQ(%v,%d)=%g out of range", x, v, got)
+			}
+		}
+	}
+}
+
+func TestChiSquareQPanicsOnOddDOF(t *testing.T) {
+	for _, v := range []int{-2, 0, 1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ChiSquareQ(1, %d) did not panic", v)
+				}
+			}()
+			ChiSquareQ(1, v)
+		}()
+	}
+}
+
+func TestChiSquareQExtremes(t *testing.T) {
+	if got := ChiSquareQ(0, 10); got != 1 {
+		t.Errorf("Q(0, 10) = %v, want 1", got)
+	}
+	if got := ChiSquareQ(-3, 10); got != 1 {
+		t.Errorf("Q(-3, 10) = %v, want 1", got)
+	}
+	if got := ChiSquareQ(math.Inf(1), 10); got != 0 {
+		t.Errorf("Q(inf, 10) = %v, want 0", got)
+	}
+}
+
+func TestChiSquareCDFComplement(t *testing.T) {
+	// CDF and Q must be complementary for even dof.
+	for _, v := range []int{2, 4, 20, 150} {
+		for x := 0.5; x < 300; x += 7.3 {
+			cdf := ChiSquareCDF(x, v)
+			q := ChiSquareQ(x, v)
+			if math.Abs(cdf+q-1) > 1e-9 {
+				t.Errorf("CDF+Q = %v at x=%v v=%d", cdf+q, x, v)
+			}
+		}
+	}
+}
+
+func TestChiSquareCDFOddDOF(t *testing.T) {
+	// chi2 with 1 dof: P(X <= x) = erf(sqrt(x/2)).
+	for _, x := range []float64{0.1, 1, 2, 5, 10} {
+		got := ChiSquareCDF(x, 1)
+		want := math.Erf(math.Sqrt(x / 2))
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("ChiSquareCDF(%v, 1) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPQComplement(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10, 75} {
+		for _, x := range []float64{0.01, 0.5, 1, 5, 50, 200} {
+			p, q := GammaP(a, x), GammaQ(a, x)
+			if math.Abs(p+q-1) > 1e-10 {
+				t.Errorf("GammaP+GammaQ = %v at a=%v x=%v", p+q, a, x)
+			}
+		}
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x).
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		got := GammaP(1, x)
+		want := 1 - math.Exp(-x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("GammaP(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	if got := GammaP(3, 0); got != 0 {
+		t.Errorf("GammaP(3, 0) = %v, want 0", got)
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	cases := []func(){
+		func() { GammaP(0, 1) },
+		func() { GammaP(-1, 1) },
+		func() { GammaP(1, -0.5) },
+		func() { GammaQ(0, 1) },
+		func() { GammaQ(1, -2) },
+		func() { ChiSquareCDF(1, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for any even dof and non-negative x, Q is in [0,1].
+func TestQuickChiSquareQRange(t *testing.T) {
+	f := func(xRaw float64, vRaw uint8) bool {
+		x := math.Abs(xRaw)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := 2 * (1 + int(vRaw)%150)
+		q := ChiSquareQ(x, v)
+		return q >= 0 && q <= 1 && !math.IsNaN(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SpamBayes closed form equals the incomplete-gamma route.
+func TestQuickChiSquareQMatchesGamma(t *testing.T) {
+	f := func(xRaw float64, vRaw uint8) bool {
+		x := math.Mod(math.Abs(xRaw), 1200)
+		if math.IsNaN(x) {
+			return true
+		}
+		v := 2 * (1 + int(vRaw)%100)
+		got := ChiSquareQ(x, v)
+		want := GammaQ(float64(v)/2, x/2)
+		return math.Abs(got-want) <= 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

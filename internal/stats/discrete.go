@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Discrete samples from an arbitrary finite discrete distribution in
+// O(1) per draw using Vose's alias method. Construction is O(n).
+// Discrete is immutable after construction and safe for concurrent
+// sampling as long as each goroutine uses its own RNG.
+type Discrete struct {
+	prob  []float64 // probability of using the primary outcome in each column
+	alias []int32   // secondary outcome for each column
+}
+
+// NewDiscrete builds an alias table for the given non-negative weights.
+// Weights need not be normalized. It returns an error if weights is
+// empty, contains a negative/NaN/Inf entry, or sums to zero.
+func NewDiscrete(weights []float64) (*Discrete, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: NewDiscrete with empty weights")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: NewDiscrete weight[%d] = %v is invalid", i, w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("stats: NewDiscrete weights sum to zero")
+	}
+	d := &Discrete{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scale weights so the average column holds probability 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		d.prob[s] = scaled[s]
+		d.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Residual columns are (numerically) exactly 1.
+	for _, l := range large {
+		d.prob[l] = 1
+		d.alias[l] = l
+	}
+	for _, s := range small {
+		d.prob[s] = 1
+		d.alias[s] = s
+	}
+	return d, nil
+}
+
+// Len returns the number of outcomes.
+func (d *Discrete) Len() int { return len(d.prob) }
+
+// Sample draws one outcome index in [0, Len()).
+func (d *Discrete) Sample(r *RNG) int {
+	col := int(r.Uint64n(uint64(len(d.prob))))
+	if r.Float64() < d.prob[col] {
+		return col
+	}
+	return int(d.alias[col])
+}
+
+// Zipf samples ranks 0..n-1 with P(rank = k) proportional to
+// 1/(k+1)^s, the classic Zipf law used to model natural-language word
+// frequencies. Sampling is O(1) via the embedded alias table.
+type Zipf struct {
+	*Discrete
+	n int
+	s float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: NewZipf with n = %d", n)
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("stats: NewZipf with s = %v", s)
+	}
+	w := make([]float64, n)
+	for k := range w {
+		w[k] = math.Pow(float64(k+1), -s)
+	}
+	d, err := NewDiscrete(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{Discrete: d, n: n, s: s}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Exponent returns the Zipf exponent s.
+func (z *Zipf) Exponent() float64 { return z.s }
+
+// ZipfWeights returns the unnormalized Zipf weights 1/(k+1)^s for
+// k in [0, n). Useful for composing mixture distributions.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for k := range w {
+		w[k] = math.Pow(float64(k+1), -s)
+	}
+	return w
+}

@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDiscreteErrors(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, -1},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, w := range cases {
+		if _, err := NewDiscrete(w); err == nil {
+			t.Errorf("NewDiscrete(%v) succeeded, want error", w)
+		}
+	}
+}
+
+func TestDiscreteSingleOutcome(t *testing.T) {
+	d, err := NewDiscrete([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if d.Sample(r) != 0 {
+			t.Fatal("single-outcome distribution returned nonzero index")
+		}
+	}
+}
+
+func TestDiscreteZeroWeightNeverSampled(t *testing.T) {
+	d, err := NewDiscrete([]float64{1, 0, 2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(2)
+	for i := 0; i < 50000; i++ {
+		v := d.Sample(r)
+		if v == 1 || v == 3 {
+			t.Fatalf("sampled zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestDiscreteFrequencies(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	d, err := NewDiscrete(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(3)
+	const n = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("outcome %d frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDiscreteUnnormalizedEquivalence(t *testing.T) {
+	// Scaling all weights must not change the sampled stream.
+	a, _ := NewDiscrete([]float64{1, 2, 3})
+	b, _ := NewDiscrete([]float64{10, 20, 30})
+	ra, rb := NewRNG(4), NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		if a.Sample(ra) != b.Sample(rb) {
+			t.Fatal("scaled weights changed the sample stream")
+		}
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0, 1) succeeded")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("NewZipf(10, 0) succeeded")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("NewZipf(10, -1) succeeded")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Error("NewZipf(10, NaN) succeeded")
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	// Lower ranks must be sampled more often.
+	z, err := NewZipf(50, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(5)
+	const n = 300000
+	counts := make([]int, z.N())
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[40] {
+		t.Errorf("Zipf counts not decreasing: c0=%d c10=%d c40=%d",
+			counts[0], counts[10], counts[40])
+	}
+	// Check the head frequency against theory within 10%.
+	weights := ZipfWeights(50, 1.1)
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	want := weights[0] / total
+	got := float64(counts[0]) / n
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("rank-0 frequency = %v, want %v", got, want)
+	}
+}
+
+func TestZipfAccessors(t *testing.T) {
+	z, err := NewZipf(123, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.N() != 123 {
+		t.Errorf("N() = %d", z.N())
+	}
+	if z.Exponent() != 1.5 {
+		t.Errorf("Exponent() = %v", z.Exponent())
+	}
+	if z.Len() != 123 {
+		t.Errorf("Len() = %d", z.Len())
+	}
+}
+
+func TestZipfWeightsShape(t *testing.T) {
+	w := ZipfWeights(5, 2)
+	if len(w) != 5 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Errorf("weights not strictly decreasing at %d: %v", i, w)
+		}
+	}
+	if math.Abs(w[1]-0.25) > 1e-15 {
+		t.Errorf("w[1] = %v, want 0.25", w[1])
+	}
+}
+
+// Property: samples always fall in range for arbitrary weight vectors.
+func TestQuickDiscreteInRange(t *testing.T) {
+	f := func(raw []uint8, seed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, v := range raw {
+			weights[i] = float64(v)
+			total += weights[i]
+		}
+		if total == 0 {
+			return true
+		}
+		d, err := NewDiscrete(weights)
+		if err != nil {
+			return false
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := d.Sample(r)
+			if v < 0 || v >= len(weights) || weights[v] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDiscreteSample(b *testing.B) {
+	w := ZipfWeights(100000, 1.05)
+	d, err := NewDiscrete(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sample(r)
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"testing"
+)
+
+// Goodness-of-fit checks: the samplers are validated against their
+// target distributions with a chi-square test evaluated by this
+// package's own ChiSquareQ — the numeric substrate testing itself.
+
+// chiSquareGOF returns the chi-square statistic for observed counts
+// against expected probabilities.
+func chiSquareGOF(observed []int, probs []float64, n int) float64 {
+	x2 := 0.0
+	for i, o := range observed {
+		e := probs[i] * float64(n)
+		if e == 0 {
+			continue
+		}
+		d := float64(o) - e
+		x2 += d * d / e
+	}
+	return x2
+}
+
+func TestDiscreteGoodnessOfFit(t *testing.T) {
+	weights := []float64{5, 1, 3, 7, 2, 9, 4}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	probs := make([]float64, len(weights))
+	for i, w := range weights {
+		probs[i] = w / total
+	}
+	d, err := NewDiscrete(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(271828)
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	x2 := chiSquareGOF(counts, probs, n)
+	// dof = k-1 = 6; reject only at p < 1e-6 to keep the test
+	// deterministic-robust.
+	dof := len(weights) - 1
+	if dof%2 == 1 {
+		dof++ // round up; conservative
+	}
+	if q := ChiSquareQ(x2, dof); q < 1e-6 {
+		t.Errorf("alias sampler fails GOF: x2=%v q=%v counts=%v", x2, q, counts)
+	}
+}
+
+func TestZipfGoodnessOfFit(t *testing.T) {
+	const ranks = 20
+	z, err := NewZipf(ranks, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ZipfWeights(ranks, 1.1)
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	probs := make([]float64, ranks)
+	for i, x := range w {
+		probs[i] = x / total
+	}
+	r := NewRNG(314159)
+	const n = 200000
+	counts := make([]int, ranks)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	x2 := chiSquareGOF(counts, probs, n)
+	if q := ChiSquareQ(x2, ranks); q < 1e-6 { // dof 19 rounded to 20
+		t.Errorf("zipf sampler fails GOF: x2=%v q=%v", x2, q)
+	}
+}
+
+func TestUniformGoodnessOfFit(t *testing.T) {
+	const k = 10
+	r := NewRNG(161803)
+	const n = 200000
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(k)]++
+	}
+	probs := make([]float64, k)
+	for i := range probs {
+		probs[i] = 1.0 / k
+	}
+	x2 := chiSquareGOF(counts, probs, n)
+	if q := ChiSquareQ(x2, k); q < 1e-6 {
+		t.Errorf("Intn fails GOF: x2=%v q=%v counts=%v", x2, q, counts)
+	}
+}

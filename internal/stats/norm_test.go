@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(101)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestNormFloat64Symmetry(t *testing.T) {
+	r := NewRNG(103)
+	const n = 100000
+	neg := 0
+	for i := 0; i < n; i++ {
+		if r.NormFloat64() < 0 {
+			neg++
+		}
+	}
+	if math.Abs(float64(neg)/n-0.5) > 0.01 {
+		t.Errorf("negative fraction = %v", float64(neg)/n)
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	r := NewRNG(107)
+	const n = 100000
+	mu, sigma := math.Log(230), 0.55
+	var sumLog float64
+	for i := 0; i < n; i++ {
+		x := r.LogNormal(mu, sigma)
+		if x <= 0 {
+			t.Fatalf("LogNormal returned %v", x)
+		}
+		sumLog += math.Log(x)
+	}
+	if got := sumLog / n; math.Abs(got-mu) > 0.01 {
+		t.Errorf("mean log = %v, want %v", got, mu)
+	}
+}

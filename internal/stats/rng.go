@@ -1,0 +1,201 @@
+// Package stats provides the numeric substrate shared by every other
+// package in this repository: a deterministic random number generator,
+// the chi-square distribution functions used by the SpamBayes combining
+// rule, Zipf and general discrete samplers for synthetic corpus
+// generation, and small summary-statistics helpers used by the
+// experiment harness.
+//
+// Everything in this package is purely computational and allocation
+// conscious; nothing reads the clock, the environment, or global state.
+// All randomness flows through the RNG type so that every experiment in
+// the repository is reproducible from a single integer seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic pseudo-random number generator implementing
+// xoshiro256** 1.0 (Blackman & Vigna). It is used instead of math/rand
+// so that experiment output is bit-for-bit stable across Go releases
+// and platforms. The zero value is not usable; construct with NewRNG.
+//
+// RNG is not safe for concurrent use; give each goroutine its own
+// stream via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the SplitMix64 state and returns the next output.
+// It is the recommended seeding procedure for xoshiro generators: it
+// guarantees the xoshiro state is never all zero and decorrelates
+// nearby seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator deterministically initialized from seed.
+// Distinct seeds yield independent-looking streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	return r
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+// Debiasing uses Lemire's multiply-shift rejection method.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Intn with n == %d", n))
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p. Values of p outside [0,1]
+// are clamped.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided
+// swap function (Fisher–Yates). It panics if n < 0.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("stats: Shuffle with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(r.Uint64n(uint64(i + 1)))
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of the integers [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n) in
+// random order (partial Fisher–Yates). It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("stats: Sample(%d, %d) out of range", n, k))
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + int(r.Uint64n(uint64(n-i)))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k:k]
+}
+
+// NormFloat64 returns a standard-normal variate using the Marsaglia
+// polar method. It draws a variable number of uniforms, so streams
+// that interleave NormFloat64 with other draws are still deterministic
+// but not draw-aligned across code changes.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// LogNormal returns exp(mu + sigma·Z) for standard normal Z.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Split derives an independent child generator from the current state
+// and a label. The parent state is not advanced, so the same (state,
+// label) pair always yields the same child; distinct labels yield
+// decorrelated streams. Use it to give sub-experiments their own
+// reproducible randomness.
+func (r *RNG) Split(label string) *RNG {
+	// Mix the label into a SplitMix64 stream seeded from the parent
+	// state (FNV-1a over the label, then SplitMix for avalanche).
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	seed := r.s[0] ^ bits.RotateLeft64(r.s[1], 13) ^ bits.RotateLeft64(r.s[2], 29) ^ bits.RotateLeft64(r.s[3], 43) ^ h
+	return NewRNG(seed)
+}
+
+// Clone returns a copy of the generator that will produce the same
+// future stream as the receiver.
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
+// State returns the current internal state, for debugging and tests.
+func (r *RNG) State() [4]uint64 { return r.s }

@@ -1,0 +1,306 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewRNGSeedSensitivity(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.State() == ([4]uint64{}) {
+		t.Fatal("seed 0 produced the all-zero xoshiro state")
+	}
+	// The stream must not be constant.
+	first := r.Uint64()
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != first {
+			return
+		}
+	}
+	t.Error("stream from seed 0 appears constant")
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of %d uniforms = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 20, 1<<63 + 12345} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := NewRNG(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	NewRNG(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			NewRNG(1).Intn(n)
+		}()
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := NewRNG(13)
+	const n = 100000
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		rate := float64(hits) / n
+		if math.Abs(rate-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) rate = %v", p, rate)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := NewRNG(19)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(50)
+		k := r.Intn(n + 1)
+		s := r.Sample(n, k)
+		if len(s) != k {
+			t.Fatalf("Sample(%d,%d) returned %d items", n, k, len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Sample(%d,%d) = %v invalid", n, k, s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sample(3, 4) did not panic")
+		}
+	}()
+	NewRNG(1).Sample(3, 4)
+}
+
+func TestSampleCoversAll(t *testing.T) {
+	// Sample(n, n) must be a permutation of [0, n).
+	r := NewRNG(23)
+	s := r.Sample(20, 20)
+	seen := make([]bool, 20)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("Sample(20,20) missed %d", i)
+		}
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	parent := NewRNG(99)
+	a := parent.Split("alpha")
+	b := parent.Split("alpha")
+	c := parent.Split("beta")
+	for i := 0; i < 100; i++ {
+		av, bv := a.Uint64(), b.Uint64()
+		if av != bv {
+			t.Fatal("Split with identical labels diverged")
+		}
+		if av == c.Uint64() {
+			t.Fatal("Split with distinct labels collided")
+		}
+	}
+	// Split must not advance the parent.
+	p1 := NewRNG(99)
+	p1.Split("x")
+	p2 := NewRNG(99)
+	if p1.Uint64() != p2.Uint64() {
+		t.Error("Split advanced the parent state")
+	}
+}
+
+func TestCloneReplaysStream(t *testing.T) {
+	r := NewRNG(31)
+	r.Uint64()
+	c := r.Clone()
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != c.Uint64() {
+			t.Fatal("clone diverged from original")
+		}
+	}
+}
+
+func TestShuffleZeroAndOne(t *testing.T) {
+	r := NewRNG(37)
+	r.Shuffle(0, func(i, j int) { t.Fatal("swap called for n=0") })
+	r.Shuffle(1, func(i, j int) { t.Fatal("swap called for n=1") })
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := NewRNG(41)
+	xs := []int{1, 1, 2, 3, 5, 8, 13}
+	want := map[int]int{}
+	for _, x := range xs {
+		want[x]++
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := map[int]int{}
+	for _, x := range xs {
+		got[x]++
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("shuffle changed multiset: %v", xs)
+		}
+	}
+}
+
+// Property: Uint64n(n) < n for arbitrary seeds and moduli.
+func TestQuickUint64nInRange(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: same seed, same stream (determinism across construction).
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

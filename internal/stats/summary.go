@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (NaN if fewer
+// than two observations). Computed with the two-pass algorithm for
+// numerical stability.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// It returns NaN on empty input and panics if q is outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: Quantile with q = %v", q))
+	}
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary holds the descriptive statistics the experiment tables report.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. The zero Summary is returned for
+// empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: Quantile(xs, 0.5),
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+	}
+	if len(xs) >= 2 {
+		s.StdDev = StdDev(xs)
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f min=%.4f med=%.4f max=%.4f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// Histogram is a fixed-range, equal-width histogram. It backs the
+// textual rendering of the Figure 4 score distributions.
+type Histogram struct {
+	lo, hi  float64
+	counts  []int
+	n       int
+	underLo int
+	overHi  int
+}
+
+// NewHistogram creates a histogram over [lo, hi) with the given number
+// of equal-width bins. It panics on degenerate arguments.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || !(hi > lo) {
+		panic(fmt.Sprintf("stats: NewHistogram(%v, %v, %d)", lo, hi, bins))
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// Add records one observation. Values below lo or at/above hi are
+// tallied in the outlier counters (values exactly equal to hi land in
+// the last bin, matching the common right-closed convention for the
+// final bin).
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.underLo++
+	case x > h.hi:
+		h.overHi++
+	case x == h.hi:
+		h.counts[len(h.counts)-1]++
+	default:
+		bin := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+		if bin >= len(h.counts) { // guard against float rounding
+			bin = len(h.counts) - 1
+		}
+		h.counts[bin]++
+	}
+}
+
+// N returns the total number of observations (including outliers).
+func (h *Histogram) N() int { return h.n }
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int {
+	c := make([]int, len(h.counts))
+	copy(c, h.counts)
+	return c
+}
+
+// Bin returns the [lo, hi) bounds of bin i.
+func (h *Histogram) Bin(i int) (lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.counts))
+	return h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// Render draws an ASCII bar chart with at most width characters of bar
+// per bin, suitable for experiment logs.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		lo, hi := h.Bin(i)
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&b, "[%5.2f,%5.2f) %6d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	if h.underLo > 0 || h.overHi > 0 {
+		fmt.Fprintf(&b, "outliers: %d below, %d above\n", h.underLo, h.overHi)
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if got := Mean([]float64{2}); got != 2 {
+		t.Errorf("Mean([2]) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of singleton should be NaN")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := Variance([]float64{3, 3, 3}); got != 0 {
+		t.Errorf("Variance of constants = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 || xs[1] != 1 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(q=%v) did not panic", q)
+				}
+			}()
+			Quantile([]float64{1, 2}, q)
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 {
+		t.Errorf("empty Summarize = %+v", zero)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for _, x := range []float64{0, 0.1, 0.26, 0.49, 0.5, 0.74, 0.99, 1.0} {
+		h.Add(x)
+	}
+	counts := h.Counts()
+	want := []int{2, 2, 2, 2} // 1.0 lands in the last bin
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.N() != 8 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramOutliers(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(-0.5)
+	h.Add(1.5)
+	h.Add(0.5)
+	if h.N() != 3 {
+		t.Errorf("N = %d", h.N())
+	}
+	if got := h.Counts(); got[0]+got[1] != 1 {
+		t.Errorf("in-range count = %v", got)
+	}
+	if !strings.Contains(h.Render(10), "outliers: 1 below, 1 above") {
+		t.Errorf("Render missing outlier line:\n%s", h.Render(10))
+	}
+}
+
+func TestHistogramBinBounds(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	lo, hi := h.Bin(2)
+	if lo != 4 || hi != 6 {
+		t.Errorf("Bin(2) = [%v, %v)", lo, hi)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	for i := 0; i < 10; i++ {
+		h.Add(0.25)
+	}
+	h.Add(0.75)
+	out := h.Render(20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 20)) {
+		t.Errorf("max bin not full width: %q", lines[0])
+	}
+	// Zero-width defaults to 40.
+	if !strings.Contains(NewHistogram(0, 1, 1).Render(0), "0") {
+		t.Error("Render(0) produced nothing")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+		func() { NewHistogram(2, 1, 3) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,300 @@
+package textgen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/mail"
+	"repro/internal/stats"
+)
+
+// Config controls message-level generation (lengths, layout, header
+// realism). Vocabulary-level behaviour lives in UniverseConfig and
+// the Mixtures.
+type Config struct {
+	// BodyTokensMedian and BodyTokensSigma parameterize the
+	// log-normal body length distribution. The defaults give a mean
+	// near 280 tokens/message, matching the paper's token arithmetic
+	// (204 attack emails × 90k words ≈ 6.4× a 10,000-message corpus).
+	BodyTokensMedian float64
+	BodyTokensSigma  float64
+	// MinBodyTokens and MaxBodyTokens clamp the body length.
+	MinBodyTokens int
+	MaxBodyTokens int
+	// SentenceMin and SentenceMax bound words per sentence.
+	SentenceMin int
+	SentenceMax int
+	// WordsPerLine wraps body text.
+	WordsPerLine int
+	// SubjectMin and SubjectMax bound subject length in words.
+	SubjectMin int
+	SubjectMax int
+	// HamURLProb and SpamURLProb are per-sentence probabilities of
+	// embedding a URL.
+	HamURLProb  float64
+	SpamURLProb float64
+	// HamDomains is how many distinct receiving/sending ham domains
+	// to fabricate.
+	HamDomains int
+	// ReceivedHopsMax bounds the fabricated Received chains.
+	ReceivedHopsMax int
+}
+
+// DefaultConfig returns the generation parameters used by the
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		BodyTokensMedian: 240,
+		BodyTokensSigma:  0.55,
+		MinBodyTokens:    30,
+		MaxBodyTokens:    2000,
+		SentenceMin:      6,
+		SentenceMax:      14,
+		WordsPerLine:     12,
+		SubjectMin:       2,
+		SubjectMax:       6,
+		HamURLProb:       0.02,
+		SpamURLProb:      0.20,
+		HamDomains:       4,
+		ReceivedHopsMax:  4,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.BodyTokensMedian < 1:
+		return fmt.Errorf("textgen: BodyTokensMedian %v", c.BodyTokensMedian)
+	case c.BodyTokensSigma < 0:
+		return fmt.Errorf("textgen: BodyTokensSigma %v", c.BodyTokensSigma)
+	case c.MinBodyTokens < 1 || c.MaxBodyTokens < c.MinBodyTokens:
+		return fmt.Errorf("textgen: body token bounds [%d, %d]", c.MinBodyTokens, c.MaxBodyTokens)
+	case c.SentenceMin < 1 || c.SentenceMax < c.SentenceMin:
+		return fmt.Errorf("textgen: sentence bounds [%d, %d]", c.SentenceMin, c.SentenceMax)
+	case c.WordsPerLine < 1:
+		return fmt.Errorf("textgen: WordsPerLine %d", c.WordsPerLine)
+	case c.SubjectMin < 1 || c.SubjectMax < c.SubjectMin:
+		return fmt.Errorf("textgen: subject bounds [%d, %d]", c.SubjectMin, c.SubjectMax)
+	case c.HamURLProb < 0 || c.HamURLProb > 1 || c.SpamURLProb < 0 || c.SpamURLProb > 1:
+		return fmt.Errorf("textgen: URL probabilities (%v, %v)", c.HamURLProb, c.SpamURLProb)
+	case c.HamDomains < 1:
+		return fmt.Errorf("textgen: HamDomains %d", c.HamDomains)
+	case c.ReceivedHopsMax < 1:
+		return fmt.Errorf("textgen: ReceivedHopsMax %d", c.ReceivedHopsMax)
+	}
+	return nil
+}
+
+// Generator produces synthetic ham, spam, and Usenet text over one
+// vocabulary universe. It is immutable after construction; all
+// randomness comes from the RNG passed to each call, so a Generator
+// is safe for concurrent use with per-goroutine RNGs.
+type Generator struct {
+	u       *Universe
+	cfg     Config
+	ham     *Model
+	spam    *Model
+	usenet  *Model
+	domains []string
+	tlds    []string
+}
+
+// New builds a generator with the standard mixtures.
+func New(u *Universe, cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ham, err := Compile(u, HamMixture(u))
+	if err != nil {
+		return nil, err
+	}
+	spam, err := Compile(u, SpamMixture(u))
+	if err != nil {
+		return nil, err
+	}
+	usenet, err := Compile(u, UsenetMixture(u))
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{u: u, cfg: cfg, ham: ham, spam: spam, usenet: usenet,
+		tlds: []string{"com", "net", "org", "biz"}}
+	// Fabricate the organization's ham domains deterministically from
+	// the universe (standard words make plausible company names).
+	std := u.Words(SegStandard)
+	for i := 0; i < cfg.HamDomains && i < len(std); i++ {
+		g.domains = append(g.domains, std[i]+".com")
+	}
+	if len(g.domains) == 0 {
+		g.domains = []string{"example.com"}
+	}
+	return g, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(u *Universe, cfg Config) *Generator {
+	g, err := New(u, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Universe returns the generator's vocabulary.
+func (g *Generator) Universe() *Universe { return g.u }
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// HamModel exposes the ham language model (used by tests).
+func (g *Generator) HamModel() *Model { return g.ham }
+
+// SpamModel exposes the spam language model.
+func (g *Generator) SpamModel() *Model { return g.spam }
+
+// UsenetModel exposes the Usenet language model.
+func (g *Generator) UsenetModel() *Model { return g.usenet }
+
+// Message generates one labeled email.
+func (g *Generator) Message(r *stats.RNG, spam bool) *mail.Message {
+	if spam {
+		return g.SpamMessage(r)
+	}
+	return g.HamMessage(r)
+}
+
+// HamMessage generates one legitimate email: internal sender and
+// recipient, topical subject, plain-text body.
+func (g *Generator) HamMessage(r *stats.RNG) *mail.Message {
+	from := g.personAddress(r, g.domains[r.Intn(len(g.domains))])
+	to := g.personAddress(r, g.domains[r.Intn(len(g.domains))])
+	m := &mail.Message{Body: g.Body(r, g.ham, g.cfg.HamURLProb)}
+	m.Header = mail.SynthesizeHeader(r, mail.HeaderProfile{
+		From:    from,
+		To:      to,
+		Subject: g.Subject(r, g.ham),
+		Hops:    1 + r.Intn(g.cfg.ReceivedHopsMax),
+	})
+	return m
+}
+
+// SpamMessage generates one spam email: forged external sender,
+// spam-topical subject and body, URL-heavy.
+func (g *Generator) SpamMessage(r *stats.RNG) *mail.Message {
+	from := mail.SynthAddress(r, g.u.Words(SegPersonal)[r.Intn(g.u.SegmentSize(SegPersonal))])
+	to := g.personAddress(r, g.domains[r.Intn(len(g.domains))])
+	m := &mail.Message{Body: g.Body(r, g.spam, g.cfg.SpamURLProb)}
+	m.Header = mail.SynthesizeHeader(r, mail.HeaderProfile{
+		From:    from,
+		To:      to,
+		Subject: g.Subject(r, g.spam),
+		Hops:    1 + r.Intn(g.cfg.ReceivedHopsMax),
+		Spammy:  true,
+	})
+	return m
+}
+
+// Corpus generates a labeled corpus with the given class sizes,
+// shuffled into a random order.
+func (g *Generator) Corpus(r *stats.RNG, nHam, nSpam int) *corpus.Corpus {
+	c := &corpus.Corpus{Examples: make([]corpus.Example, 0, nHam+nSpam)}
+	for i := 0; i < nHam; i++ {
+		c.Add(g.HamMessage(r), false)
+	}
+	for i := 0; i < nSpam; i++ {
+		c.Add(g.SpamMessage(r), true)
+	}
+	c.Shuffle(r)
+	return c
+}
+
+// UsenetTokens samples a stream of n Usenet corpus tokens, the raw
+// material for the Usenet dictionary (lexicon.UsenetTopK).
+func (g *Generator) UsenetTokens(r *stats.RNG, n int) []string {
+	return g.usenet.Words(r, n)
+}
+
+// Subject samples a subject line from a language model.
+func (g *Generator) Subject(r *stats.RNG, m *Model) string {
+	n := g.cfg.SubjectMin + r.Intn(g.cfg.SubjectMax-g.cfg.SubjectMin+1)
+	return strings.Join(m.Words(r, n), " ")
+}
+
+// Body samples a body: sentences of model words, wrapped into lines.
+//
+// Sentence punctuation is emitted as standalone one-character tokens,
+// which the SpamBayes tokenizer drops (length < 3). Attaching
+// punctuation to words would mint token variants ("word.") that no
+// word source lists; that effect exists in the real data too, but
+// keeping token identity exact makes dictionary coverage — the
+// quantity the paper's attack comparison is about — directly
+// controllable by the mixtures.
+func (g *Generator) Body(r *stats.RNG, m *Model, urlProb float64) string {
+	target := int(r.LogNormal(logOf(g.cfg.BodyTokensMedian), g.cfg.BodyTokensSigma))
+	if target < g.cfg.MinBodyTokens {
+		target = g.cfg.MinBodyTokens
+	}
+	if target > g.cfg.MaxBodyTokens {
+		target = g.cfg.MaxBodyTokens
+	}
+	var b strings.Builder
+	b.Grow(target * 8)
+	words := 0
+	lineWords := 0
+	emit := func(w string) {
+		if lineWords == g.cfg.WordsPerLine {
+			b.WriteByte('\n')
+			lineWords = 0
+		} else if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(w)
+		lineWords++
+	}
+	for words < target {
+		slen := g.cfg.SentenceMin + r.Intn(g.cfg.SentenceMax-g.cfg.SentenceMin+1)
+		if slen > target-words {
+			slen = target - words
+		}
+		for i := 0; i < slen; i++ {
+			emit(m.Word(r))
+			words++
+		}
+		if r.Bernoulli(urlProb) {
+			emit(g.urlWord(r, m))
+			words++
+		}
+		emit(punct(r))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// urlWord fabricates a URL token for a body.
+func (g *Generator) urlWord(r *stats.RNG, m *Model) string {
+	return fmt.Sprintf("http://%s.%s.%s/%s",
+		m.Word(r), m.Word(r), g.tlds[r.Intn(len(g.tlds))], m.Word(r))
+}
+
+// personAddress fabricates an address from a personal-segment local
+// part at the given domain.
+func (g *Generator) personAddress(r *stats.RNG, domain string) string {
+	pers := g.u.Words(SegPersonal)
+	return pers[r.Intn(len(pers))] + "@" + domain
+}
+
+// punct picks a standalone sentence terminator.
+func punct(r *stats.RNG) string {
+	switch v := r.Float64(); {
+	case v < 0.78:
+		return "."
+	case v < 0.93:
+		return "!"
+	default:
+		return "?"
+	}
+}
+
+// logOf is a tiny alias keeping the body-length expression readable.
+func logOf(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,198 @@
+package textgen
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// SegmentUse describes how a text source draws on one vocabulary
+// segment.
+type SegmentUse struct {
+	// Segment is the vocabulary slice drawn from.
+	Segment Segment
+	// Weight is the fraction of token mass from this segment
+	// (weights are normalized across the mixture).
+	Weight float64
+	// Ranks caps how many of the segment's words (by rank) the
+	// source uses; 0 means the whole segment.
+	Ranks int
+	// ZipfS is the Zipf exponent over the used ranks; 0 selects a
+	// uniform distribution (used for personal tokens).
+	ZipfS float64
+}
+
+// Mixture is a complete language model for one text source: a
+// weighted mixture of per-segment rank distributions.
+type Mixture []SegmentUse
+
+// Validate checks mixture sanity against a universe.
+func (m Mixture) Validate(u *Universe) error {
+	if len(m) == 0 {
+		return fmt.Errorf("textgen: empty mixture")
+	}
+	total := 0.0
+	for _, use := range m {
+		if use.Segment < 0 || use.Segment >= numSegments {
+			return fmt.Errorf("textgen: mixture uses unknown segment %d", use.Segment)
+		}
+		if use.Weight < 0 {
+			return fmt.Errorf("textgen: negative weight %v for %v", use.Weight, use.Segment)
+		}
+		if use.Ranks < 0 || use.Ranks > u.SegmentSize(use.Segment) {
+			return fmt.Errorf("textgen: %v ranks %d outside segment size %d",
+				use.Segment, use.Ranks, u.SegmentSize(use.Segment))
+		}
+		if use.ZipfS < 0 {
+			return fmt.Errorf("textgen: negative Zipf exponent for %v", use.Segment)
+		}
+		total += use.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("textgen: mixture weights sum to %v", total)
+	}
+	return nil
+}
+
+// Model is a compiled Mixture: O(1) word sampling.
+type Model struct {
+	segPick  *stats.Discrete
+	samplers []wordSampler
+}
+
+type wordSampler struct {
+	words []string
+	zipf  *stats.Zipf // nil means uniform over words
+}
+
+// Compile builds a sampler for the mixture over the universe.
+func Compile(u *Universe, m Mixture) (*Model, error) {
+	if err := m.Validate(u); err != nil {
+		return nil, err
+	}
+	weights := make([]float64, len(m))
+	samplers := make([]wordSampler, len(m))
+	for i, use := range m {
+		weights[i] = use.Weight
+		words := u.Words(use.Segment)
+		if use.Ranks > 0 {
+			words = words[:use.Ranks]
+		}
+		ws := wordSampler{words: words}
+		if use.ZipfS > 0 {
+			z, err := stats.NewZipf(len(words), use.ZipfS)
+			if err != nil {
+				return nil, err
+			}
+			ws.zipf = z
+		}
+		samplers[i] = ws
+	}
+	segPick, err := stats.NewDiscrete(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{segPick: segPick, samplers: samplers}, nil
+}
+
+// MustCompile is Compile for known-good mixtures.
+func MustCompile(u *Universe, m Mixture) *Model {
+	mo, err := Compile(u, m)
+	if err != nil {
+		panic(err)
+	}
+	return mo
+}
+
+// Word samples one word.
+func (mo *Model) Word(r *stats.RNG) string {
+	s := &mo.samplers[mo.segPick.Sample(r)]
+	if s.zipf != nil {
+		return s.words[s.zipf.Sample(r)]
+	}
+	return s.words[r.Intn(len(s.words))]
+}
+
+// Words samples n words.
+func (mo *Model) Words(r *stats.RNG, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = mo.Word(r)
+	}
+	return out
+}
+
+// Default mixtures. Weights are fractions of token mass; the shapes
+// implement the relationships documented in the package comment.
+// Rank caps scale with the universe so scaled-down test universes
+// keep the same structure.
+
+// usenetStandardShare is the fraction of the standard segment's ranks
+// that appear in Usenet text. With the default universe this puts
+// exactly 59,000 standard words in the Usenet lexicon, reproducing
+// the paper's ≈61,000-word overlap with the aspell dictionary
+// (common 2,000 + standard 59,000).
+const usenetStandardShare = 59.0 / 70.0
+
+// UsenetStandardRanks returns how many standard ranks Usenet text
+// draws on for a given universe.
+func UsenetStandardRanks(u *Universe) int {
+	n := int(float64(u.SegmentSize(SegStandard))*usenetStandardShare + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Zipf exponents shared by the mixtures. The topical exponent trades
+// off head concentration (tokens frequent enough to resist small
+// poisoning doses) against tail spread (rare tokens that flip first);
+// 1.10 places each ham message's evidence across the document-
+// frequency spectrum so attack curves rise over the 0.1–10% sweep as
+// in Figure 1 rather than saturating immediately.
+const (
+	zipfCommon  = 1.05
+	zipfTopical = 1.10
+)
+
+// HamMixture models Enron-style corporate ham: mostly common plus
+// formal topical words, a noticeable informal (colloquial) share, a
+// tail of rare personal tokens, and occasional commerce words shared
+// with spam (so the baseline filter has realistic, not infinite,
+// class separation).
+func HamMixture(u *Universe) Mixture {
+	return Mixture{
+		{Segment: SegCommon, Weight: 0.42, ZipfS: zipfCommon},
+		{Segment: SegStandard, Weight: 0.38, ZipfS: zipfTopical},
+		{Segment: SegColloquial, Weight: 0.12, ZipfS: zipfTopical},
+		{Segment: SegPersonal, Weight: 0.05}, // uniform: rare evidence tokens
+		{Segment: SegSpam, Weight: 0.03, ZipfS: zipfTopical},
+	}
+}
+
+// SpamMixture models bulk spam: heavy spam-topical vocabulary over
+// the shared common core, some formal words, a little informal text,
+// and rare throwaway identifiers.
+func SpamMixture(u *Universe) Mixture {
+	return Mixture{
+		{Segment: SegCommon, Weight: 0.37, ZipfS: zipfCommon},
+		{Segment: SegSpam, Weight: 0.45, ZipfS: zipfTopical},
+		{Segment: SegStandard, Weight: 0.08, ZipfS: zipfTopical},
+		{Segment: SegColloquial, Weight: 0.04, ZipfS: zipfTopical},
+		{Segment: SegPersonal, Weight: 0.06},
+	}
+}
+
+// UsenetMixture models the public Usenet posting corpus the paper's
+// refined dictionary attack mines: informal text whose vocabulary is
+// the common core, the first UsenetStandardRanks standard ranks, and
+// the whole colloquial segment. With the default universe that is
+// 90,000 distinct words, 61,000 of them shared with the synthetic
+// aspell dictionary — the paper's reported overlap.
+func UsenetMixture(u *Universe) Mixture {
+	return Mixture{
+		{Segment: SegCommon, Weight: 0.40, ZipfS: zipfCommon},
+		{Segment: SegStandard, Weight: 0.33, Ranks: UsenetStandardRanks(u), ZipfS: zipfTopical},
+		{Segment: SegColloquial, Weight: 0.27, ZipfS: zipfTopical},
+	}
+}

@@ -1,0 +1,328 @@
+package tokenize
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mail"
+)
+
+func msgWithBody(body string) *mail.Message {
+	return &mail.Message{Body: body}
+}
+
+func TestBodyBasicWords(t *testing.T) {
+	got := Default().TokenizeText("The quick brown fox")
+	want := []string{"the", "quick", "brown", "fox"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestBodyLowercased(t *testing.T) {
+	got := Default().TokenizeText("FREE Money NOW")
+	want := []string{"free", "money", "now"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestBodyShortWordsDropped(t *testing.T) {
+	got := Default().TokenizeText("a an to see it")
+	want := []string{"see"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestBodyPunctuationKept(t *testing.T) {
+	// SpamBayes splits on whitespace only; trailing punctuation stays.
+	got := Default().TokenizeText("hello, world.")
+	want := []string{"hello,", "world."}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestBodyLengthBoundaries(t *testing.T) {
+	tok := Default()
+	cases := map[string][]string{
+		"ab":                    nil,              // below min
+		"abc":                   {"abc"},          // at min
+		"abcdefghijkl":          {"abcdefghijkl"}, // at max (12)
+		"abcdefghijklm":         {"skip:a 10"},    // 13 chars
+		strings.Repeat("z", 25): {"skip:z 20"},    // bucket 20
+		strings.Repeat("q", 40): {"skip:q 40"},    // bucket 40
+	}
+	for in, want := range cases {
+		got := tok.TokenizeText(in)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("TokenizeText(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestBodyEmbeddedEmailAddress(t *testing.T) {
+	got := Default().TokenizeText("contact bob.smith@mail.enron.com today")
+	want := []string{
+		"contact",
+		"email name:bob.smith",
+		"email addr:mail", "email addr:enron", "email addr:com",
+		"today",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestBodyURLTokens(t *testing.T) {
+	got := Default().TokenizeText("visit http://shop.pills.biz/buy?x=1 now")
+	want := []string{"visit", "proto:http", "url:shop", "url:pills", "url:biz", "now"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	got = Default().TokenizeText("https://secure.bank.com")
+	want = []string{"proto:https", "url:secure", "url:bank", "url:com"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	got = Default().TokenizeText("www.example.org:8080/path")
+	want = []string{"proto:http", "url:www", "url:example", "url:org"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestURLTokensDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.URLTokens = false
+	got := New(opts).TokenizeText("http://a.b.c/d")
+	// Falls through to the long-word rule.
+	if len(got) != 1 || !strings.HasPrefix(got[0], "skip:") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSkipTokensDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SkipTokens = false
+	got := New(opts).TokenizeText("short " + strings.Repeat("x", 30))
+	want := []string{"short"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSubjectTokens(t *testing.T) {
+	m := msgWithBody("body words here\n")
+	m.Header.Add("Subject", "Quarterly Budget Review")
+	got := Default().Tokenize(m)
+	for _, want := range []string{"subject:quarterly", "subject:budget", "subject:review"} {
+		if !contains(got, want) {
+			t.Errorf("missing %q in %v", want, got)
+		}
+	}
+	// Header tokens come before body tokens.
+	if got[0] != "subject:quarterly" {
+		t.Errorf("first token = %q", got[0])
+	}
+}
+
+func TestAddressTokens(t *testing.T) {
+	m := msgWithBody("")
+	m.Header.Add("From", "Alice Liddell <alice@mail.enron.com>")
+	m.Header.Add("To", "bob@other.org")
+	got := Default().Tokenize(m)
+	for _, want := range []string{
+		"from:name:alice", "from:addr:mail", "from:addr:enron", "from:addr:com",
+		"to:name:bob", "to:addr:other", "to:addr:org",
+	} {
+		if !contains(got, want) {
+			t.Errorf("missing %q in %v", want, got)
+		}
+	}
+}
+
+func TestAddressWithoutAt(t *testing.T) {
+	m := msgWithBody("")
+	m.Header.Add("From", "undisclosed-recipients")
+	got := Default().Tokenize(m)
+	if !contains(got, "from:name:undisclosed-recipients") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestWordFieldTokens(t *testing.T) {
+	m := msgWithBody("")
+	m.Header.Add("X-Mailer", "Mutt/1.5.9i")
+	m.Header.Add("Content-Type", "text/html; charset=\"us-ascii\"")
+	got := Default().Tokenize(m)
+	for _, want := range []string{"x-mailer:mutt/1.5.9i", "content-type:text/html;"} {
+		if !contains(got, want) {
+			t.Errorf("missing %q in %v", want, got)
+		}
+	}
+}
+
+func TestHeadersDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Headers = false
+	m := msgWithBody("body\n")
+	m.Header.Add("Subject", "ignored")
+	got := New(opts).Tokenize(m)
+	want := []string{"body"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestEmptyHeaderNoHeaderTokens(t *testing.T) {
+	// Dictionary attack emails have empty headers: only body tokens.
+	got := Default().Tokenize(msgWithBody("alpha beta\n"))
+	want := []string{"alpha", "beta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestReceivedMining(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MineReceived = true
+	m := msgWithBody("")
+	m.Header.Add("Received", "from relay.spam.biz ([10.20.30.40]) by mx.corp.com")
+	got := New(opts).Tokenize(m)
+	for _, want := range []string{
+		"received:relay", "received:spam", "received:biz",
+		"received:ip:10", "received:ip:10.20", "received:ip:10.20.30", "received:ip:10.20.30.40",
+		"received:mx", "received:corp", "received:com",
+	} {
+		if !contains(got, want) {
+			t.Errorf("missing %q in %v", want, got)
+		}
+	}
+	// Default options must not mine Received.
+	got = Default().Tokenize(m)
+	if len(got) != 0 {
+		t.Errorf("default tokenizer mined Received: %v", got)
+	}
+}
+
+func TestTokenSetDeduplicates(t *testing.T) {
+	got := Default().TokenSet(msgWithBody("spam spam spam eggs spam\n"))
+	want := []string{"spam", "eggs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenSetFirstSeenOrder(t *testing.T) {
+	m := msgWithBody("zebra apple zebra mango apple\n")
+	got := Default().TokenSet(m)
+	want := []string{"zebra", "apple", "mango"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenSetEmptyMessage(t *testing.T) {
+	if got := Default().TokenSet(&mail.Message{}); len(got) != 0 {
+		t.Errorf("empty message produced %v", got)
+	}
+}
+
+func TestIsIPv4ish(t *testing.T) {
+	yes := []string{"1.2.3.4", "255.255.255.255", "10.0.0.1"}
+	no := []string{"1.2.3", "1.2.3.4.5", "a.b.c.d", "1..2.3", "1234.1.1.1", "example.com"}
+	for _, s := range yes {
+		if !isIPv4ish(s) {
+			t.Errorf("isIPv4ish(%q) = false", s)
+		}
+	}
+	for _, s := range no {
+		if isIPv4ish(s) {
+			t.Errorf("isIPv4ish(%q) = true", s)
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want string
+	}{{0, "0"}, {7, "7"}, {10, "10"}, {120, "120"}, {98560, "98560"}} {
+		if got := itoa(c.n); got != c.want {
+			t.Errorf("itoa(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeDeterministic(t *testing.T) {
+	m := msgWithBody("some words repeated words and a http://x.y.z link\n")
+	m.Header.Add("Subject", "Hello There")
+	m.Header.Add("From", "p@q.com")
+	a := Default().Tokenize(m)
+	b := Default().Tokenize(m)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Tokenize is not deterministic")
+	}
+}
+
+// Property: every kept verbatim body token obeys the length bounds and
+// is lowercase; TokenSet is duplicate-free and a subset of Tokenize.
+func TestQuickTokenInvariants(t *testing.T) {
+	tok := Default()
+	f := func(body string) bool {
+		m := msgWithBody(body)
+		stream := tok.Tokenize(m)
+		set := tok.TokenSet(m)
+		seen := map[string]bool{}
+		for _, s := range set {
+			if seen[s] {
+				return false // duplicate in TokenSet
+			}
+			seen[s] = true
+		}
+		inStream := map[string]bool{}
+		for _, s := range stream {
+			inStream[s] = true
+			if !strings.ContainsAny(s, ":") { // plain body word
+				if len(s) < 3 || len(s) > 12 {
+					return false
+				}
+				if s != strings.ToLower(s) {
+					return false
+				}
+			}
+		}
+		for _, s := range set {
+			if !inStream[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func BenchmarkTokenizeBody(b *testing.B) {
+	body := strings.Repeat("the quick brown fox jumps over lazy dogs near riverbank ", 40)
+	m := msgWithBody(body)
+	tok := Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.TokenSet(m)
+	}
+}

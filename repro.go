@@ -1,0 +1,298 @@
+// Package repro is the public API of this reproduction of Nelson et
+// al., "Exploiting Machine Learning to Subvert Your Spam Filter"
+// (LEET/NSDI-workshop 2008).
+//
+// It re-exports the user-facing surface of the internal packages so a
+// downstream project can depend on a single import path:
+//
+//   - the SpamBayes statistical filter (Robinson token scores +
+//     Fisher chi-square combining, ham/unsure/spam verdicts);
+//   - the SpamBayes tokenizer;
+//   - the email message model and mbox archive I/O;
+//   - the synthetic corpus generator and attack lexicons that stand
+//     in for the paper's TREC-2005 and Usenet data;
+//   - the Causative Availability attacks (dictionary, focused,
+//     optimal) and the two defenses (RONI, dynamic thresholds);
+//   - labeled corpora with sampling and cross-validation; and
+//   - the experiment drivers that regenerate every table and figure.
+//
+// See examples/ for runnable walkthroughs and cmd/subvert for the
+// experiment harness.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/lexicon"
+	"repro/internal/mail"
+	"repro/internal/sbayes"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/textgen"
+	"repro/internal/tokenize"
+)
+
+// ---- Filter (the SpamBayes learner) ----
+
+// Filter is the SpamBayes classifier: a token-count database plus the
+// Robinson/Fisher scoring rule with ham/unsure/spam thresholds.
+type Filter = sbayes.Filter
+
+// FilterOptions are the learner's tunable parameters.
+type FilterOptions = sbayes.Options
+
+// Label is the three-way SpamBayes verdict.
+type Label = sbayes.Label
+
+// Verdicts.
+const (
+	Ham    = sbayes.Ham
+	Unsure = sbayes.Unsure
+	Spam   = sbayes.Spam
+)
+
+// Clue is one token's contribution to a classification.
+type Clue = sbayes.Clue
+
+// DefaultFilterOptions returns the SpamBayes defaults used in the
+// paper (x=0.5, s=0.45, 150 discriminators, θ0=0.15, θ1=0.9).
+func DefaultFilterOptions() FilterOptions { return sbayes.DefaultOptions() }
+
+// NewFilter returns an empty filter with default options and
+// tokenizer.
+func NewFilter() *Filter { return sbayes.NewDefault() }
+
+// NewFilterWithOptions returns an empty filter with explicit options
+// and tokenizer (nil tokenizer selects the default).
+func NewFilterWithOptions(opts FilterOptions, tok *Tokenizer) *Filter {
+	return sbayes.New(opts, tok)
+}
+
+// LoadFilter reads a filter database written by Filter.Save.
+func LoadFilter(r io.Reader, opts FilterOptions, tok *Tokenizer) (*Filter, error) {
+	return sbayes.Load(r, opts, tok)
+}
+
+// ---- Tokenizer ----
+
+// Tokenizer converts messages into SpamBayes token streams.
+type Tokenizer = tokenize.Tokenizer
+
+// TokenizerOptions configures a Tokenizer.
+type TokenizerOptions = tokenize.Options
+
+// NewTokenizer returns a tokenizer with the given options.
+func NewTokenizer(opts TokenizerOptions) *Tokenizer { return tokenize.New(opts) }
+
+// DefaultTokenizer returns the SpamBayes-equivalent tokenizer.
+func DefaultTokenizer() *Tokenizer { return tokenize.Default() }
+
+// DefaultTokenizerOptions returns the SpamBayes-equivalent
+// configuration.
+func DefaultTokenizerOptions() TokenizerOptions { return tokenize.DefaultOptions() }
+
+// ---- Mail ----
+
+// Message is a single email: ordered header plus body.
+type Message = mail.Message
+
+// Header is an ordered sequence of header fields.
+type Header = mail.Header
+
+// MboxReader reads messages from an mbox archive.
+type MboxReader = mail.MboxReader
+
+// MboxWriter writes messages to an mbox archive.
+type MboxWriter = mail.MboxWriter
+
+// NewMboxReader returns a reader over r.
+func NewMboxReader(r io.Reader) *MboxReader { return mail.NewMboxReader(r) }
+
+// NewMboxWriter returns a writer that appends messages to w.
+func NewMboxWriter(w io.Writer) *MboxWriter { return mail.NewMboxWriter(w) }
+
+// ParseMessage parses one RFC-822-style message.
+func ParseMessage(r io.Reader) (*Message, error) { return mail.Parse(r) }
+
+// ---- Corpus ----
+
+// Corpus is an ordered collection of labeled messages.
+type Corpus = corpus.Corpus
+
+// Example is one labeled message.
+type Example = corpus.Example
+
+// Fold is one train/test epoch of a cross-validation.
+type Fold = corpus.Fold
+
+// NewCorpus builds a corpus from separate ham and spam slices.
+func NewCorpus(ham, spam []*Message) *Corpus { return corpus.FromMessages(ham, spam) }
+
+// LoadMboxPair reads a corpus written by Corpus.SaveMboxPair.
+func LoadMboxPair(dir string) (*Corpus, error) { return corpus.LoadMboxPair(dir) }
+
+// ---- Synthetic data (the TREC-2005 / Usenet substitution) ----
+
+// Universe is the segmented synthetic vocabulary.
+type Universe = textgen.Universe
+
+// Generator produces synthetic ham, spam and Usenet text.
+type Generator = textgen.Generator
+
+// GeneratorConfig controls message-level generation.
+type GeneratorConfig = textgen.Config
+
+// UniverseConfig sets vocabulary segment sizes.
+type UniverseConfig = textgen.UniverseConfig
+
+// NewGenerator builds a full-scale generator (the default universe:
+// 98,568-word standard dictionary, 90,000-word Usenet vocabulary).
+func NewGenerator() (*Generator, error) {
+	u, err := textgen.NewUniverse(textgen.DefaultUniverseConfig())
+	if err != nil {
+		return nil, err
+	}
+	return textgen.New(u, textgen.DefaultConfig())
+}
+
+// NewGeneratorWith builds a generator from explicit configurations.
+func NewGeneratorWith(ucfg UniverseConfig, gcfg GeneratorConfig) (*Generator, error) {
+	u, err := textgen.NewUniverse(ucfg)
+	if err != nil {
+		return nil, err
+	}
+	return textgen.New(u, gcfg)
+}
+
+// Lexicon is an ordered word list (an attack word source).
+type Lexicon = lexicon.Lexicon
+
+// AspellLexicon builds the synthetic standard dictionary (the GNU
+// aspell stand-in) over a universe.
+func AspellLexicon(u *Universe) *Lexicon { return lexicon.Aspell(u) }
+
+// OptimalLexicon builds the whole-universe word source.
+func OptimalLexicon(u *Universe) *Lexicon { return lexicon.Optimal(u) }
+
+// UsenetLexicon samples a Usenet corpus from the generator and keeps
+// its top-k words.
+func UsenetLexicon(g *Generator, r *RNG, streamTokens, k int) *Lexicon {
+	return lexicon.UsenetFromGenerator(g, r, streamTokens, k)
+}
+
+// ---- Attacks ----
+
+// Attacker is a Causative attack against the training set.
+type Attacker = core.Attacker
+
+// DictionaryAttack is the indiscriminate attack of §3.2.
+type DictionaryAttack = core.DictionaryAttack
+
+// FocusedAttack is the targeted attack of §3.3.
+type FocusedAttack = core.FocusedAttack
+
+// Taxonomy places an attack in the §3.1 three-axis space.
+type Taxonomy = core.Taxonomy
+
+// NewDictionaryAttack builds a dictionary attack over a word source.
+func NewDictionaryAttack(lex *Lexicon) *DictionaryAttack { return core.NewDictionaryAttack(lex) }
+
+// NewOptimalAttack builds the §3.4 optimal attack simulation.
+func NewOptimalAttack(u *Universe) *DictionaryAttack { return core.NewOptimalAttack(u) }
+
+// NewFocusedAttack builds a focused attack on a target email with
+// per-word guess probability p; headerPool supplies spam headers.
+func NewFocusedAttack(target *Message, p float64, headerPool []*Message) (*FocusedAttack, error) {
+	return core.NewFocusedAttack(target, p, headerPool)
+}
+
+// AttackSize converts an attack fraction into a message count
+// (1% of 10,000 → 101, as in the paper).
+func AttackSize(fraction float64, trainSize int) int {
+	return core.AttackSize(fraction, trainSize)
+}
+
+// ---- Defenses ----
+
+// RONI is the Reject On Negative Impact defense of §5.1.
+type RONI = core.RONI
+
+// RONIConfig parameterizes RONI.
+type RONIConfig = core.RONIConfig
+
+// RONIImpact is a query email's measured impact.
+type RONIImpact = core.Impact
+
+// DynamicThreshold is the §5.2 threshold defense.
+type DynamicThreshold = core.DynamicThreshold
+
+// DefaultRONIConfig returns the paper's RONI parameters.
+func DefaultRONIConfig() RONIConfig { return core.DefaultRONIConfig() }
+
+// NewRONI samples trial sets from pool and builds the evaluator.
+func NewRONI(cfg RONIConfig, pool *Corpus, opts FilterOptions, tok *Tokenizer, r *RNG) (*RONI, error) {
+	return core.NewRONI(cfg, pool, opts, tok, r)
+}
+
+// ---- Evaluation ----
+
+// Confusion counts verdicts by true class.
+type Confusion = eval.Confusion
+
+// TrainFilter trains a fresh filter on a corpus.
+func TrainFilter(train *Corpus, opts FilterOptions, tok *Tokenizer) *Filter {
+	return eval.TrainFilter(train, opts, tok)
+}
+
+// Evaluate scores a corpus under f.
+func Evaluate(f *Filter, test *Corpus) Confusion { return eval.Evaluate(f, test) }
+
+// ---- Experiments ----
+
+// ExperimentConfig collects every experimental parameter.
+type ExperimentConfig = experiments.Config
+
+// ExperimentEnv is the shared experimental environment.
+type ExperimentEnv = experiments.Env
+
+// FullScaleConfig returns the paper's Table 1 parameters.
+func FullScaleConfig() ExperimentConfig { return experiments.FullScale() }
+
+// SmallScaleConfig returns a fast, structurally identical
+// configuration.
+func SmallScaleConfig() ExperimentConfig { return experiments.SmallScale() }
+
+// NewExperimentEnv builds the environment for a configuration.
+func NewExperimentEnv(cfg ExperimentConfig) (*ExperimentEnv, error) {
+	return experiments.NewEnv(cfg)
+}
+
+// ---- Deployment simulation ----
+
+// DeploymentConfig parameterizes the §2.1 weekly-retraining
+// simulation.
+type DeploymentConfig = scenario.Config
+
+// DeploymentResult is a simulation trace.
+type DeploymentResult = scenario.Result
+
+// DefaultDeploymentConfig returns a small office-sized deployment.
+func DefaultDeploymentConfig() DeploymentConfig { return scenario.DefaultConfig() }
+
+// RunDeployment simulates an organization retraining its filter
+// weekly, optionally under attack and with RONI scrubbing.
+func RunDeployment(g *Generator, cfg DeploymentConfig, r *RNG) (*DeploymentResult, error) {
+	return scenario.Run(g, cfg, r)
+}
+
+// ---- Randomness ----
+
+// RNG is the deterministic generator all randomness flows through.
+type RNG = stats.RNG
+
+// NewRNG returns a generator seeded from seed.
+func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
