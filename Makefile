@@ -1,0 +1,29 @@
+# Tier-1 verification and day-to-day targets.
+#
+#   make build   compile every package
+#   make test    run the full test suite
+#   make race    run the engine conformance + service suites under -race
+#   make vet     static checks
+#   make bench   run all benchmarks (one per exhibit + micro-benchmarks)
+#   make check   build + vet + test (what CI runs)
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine/ ./internal/eval/
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: build vet test

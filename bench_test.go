@@ -13,11 +13,13 @@ package repro
 // is as visible as a regression in speed.
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/graham"
@@ -468,6 +470,30 @@ func BenchmarkClassifyMessage(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.ClassifyTokens(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkClassifyBatch measures the engine's concurrent batch
+// scoring at growing worker counts against the serial baseline
+// (workers=1); the speedup at N workers is the ratio of ns/op.
+func BenchmarkClassifyBatch(b *testing.B) {
+	e := env(b)
+	r := e.RNG("micro-batch")
+	f := eval.TrainFilter(e.Gen.Corpus(r, 300, 300), sbayes.DefaultOptions(), e.Tok)
+	msgs := make([]*Message, 512)
+	for i := range msgs {
+		msgs[i] = e.Gen.Message(r, i%2 == 0)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		eng := engine.New(f, engine.Config{Name: "bench", Workers: workers})
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ClassifyBatch(ctx, msgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,23 +1,36 @@
-// Command sbfilter is a standalone SpamBayes-style spam filter over
-// mbox archives: train a token database, classify messages, or score
-// a single message from stdin — the filter a downstream user would
+// Command sbfilter is a standalone statistical spam filter over mbox
+// archives: train a token database, classify messages, or score a
+// single message from stdin — the filter a downstream user would
 // actually deploy (and the system the paper attacks).
+//
+// The learner is pluggable: -backend selects any registered engine
+// backend (sbayes, graham), and classification fans out across a
+// worker pool (-j) through the batch-scoring engine.
 //
 // Usage:
 //
-//	sbfilter train    -db FILE -ham HAM.mbox -spam SPAM.mbox
-//	sbfilter classify -db FILE MBOX...
-//	sbfilter score    -db FILE            (one message on stdin)
-//	sbfilter info     -db FILE
+//	sbfilter train    [-backend B] -db FILE -ham HAM.mbox -spam SPAM.mbox
+//	sbfilter classify [-backend B] [-j N] -db FILE MBOX...
+//	sbfilter score    [-backend B] -db FILE      (one message on stdin)
+//	sbfilter info     [-backend B] -db FILE
+//	sbfilter backends
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/mail"
 	"repro/internal/sbayes"
+
+	// Register the backends sbfilter does not otherwise import.
+	_ "repro/internal/graham"
 )
 
 func main() {
@@ -36,6 +49,8 @@ func main() {
 		err = cmdScore(args)
 	case "info":
 		err = cmdInfo(args)
+	case "backends":
+		err = cmdBackends()
 	default:
 		usage()
 		os.Exit(2)
@@ -47,12 +62,29 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage:
-  sbfilter train    -db FILE -ham HAM.mbox -spam SPAM.mbox
-  sbfilter classify -db FILE MBOX...
-  sbfilter score    -db FILE            (reads one message from stdin)
-  sbfilter info     -db FILE
-`)
+	fmt.Fprintf(os.Stderr, `usage:
+  sbfilter train    [-backend B] -db FILE -ham HAM.mbox -spam SPAM.mbox
+  sbfilter classify [-backend B] [-j N] -db FILE MBOX...
+  sbfilter score    [-backend B] -db FILE      (reads one message from stdin)
+  sbfilter info     [-backend B] -db FILE
+  sbfilter backends
+
+Backends: %s (default sbayes).
+`, strings.Join(engine.Backends(), ", "))
+}
+
+// backendFlag adds the -backend flag to a flag set.
+func backendFlag(fs *flag.FlagSet) *string {
+	return fs.String("backend", "sbayes", "learner backend ("+strings.Join(engine.Backends(), "|")+")")
+}
+
+// newClassifier constructs a fresh classifier for a backend name.
+func newClassifier(backend string) (engine.Classifier, error) {
+	b, err := engine.Lookup(backend)
+	if err != nil {
+		return nil, err
+	}
+	return b.New(), nil
 }
 
 // loadMbox reads every message of an mbox file.
@@ -65,24 +97,55 @@ func loadMbox(path string) ([]*mail.Message, error) {
 	return mail.NewMboxReader(f).ReadAll()
 }
 
-// loadDB reads a filter database.
-func loadDB(path string) (*sbayes.Filter, error) {
+// loadDB constructs a backend classifier and restores its database.
+func loadDB(path, backend string) (engine.Classifier, error) {
+	clf, err := newClassifier(backend)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := clf.(engine.Persistable)
+	if !ok {
+		return nil, fmt.Errorf("backend %q does not persist databases", backend)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return sbayes.Load(f, sbayes.DefaultOptions(), nil)
+	if err := p.Load(f); err != nil {
+		return nil, err
+	}
+	return clf, nil
+}
+
+func cmdBackends() error {
+	for _, name := range engine.Backends() {
+		b, err := engine.Lookup(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %s\n", b.Name, b.Doc)
+	}
+	return nil
 }
 
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	backend := backendFlag(fs)
 	db := fs.String("db", "", "token database file to write")
 	hamPath := fs.String("ham", "", "mbox of ham training messages")
 	spamPath := fs.String("spam", "", "mbox of spam training messages")
 	fs.Parse(args)
 	if *db == "" || *hamPath == "" || *spamPath == "" {
 		return fmt.Errorf("train needs -db, -ham and -spam")
+	}
+	clf, err := newClassifier(*backend)
+	if err != nil {
+		return err
+	}
+	p, ok := clf.(engine.Persistable)
+	if !ok {
+		return fmt.Errorf("backend %q does not persist databases", *backend)
 	}
 	ham, err := loadMbox(*hamPath)
 	if err != nil {
@@ -92,81 +155,105 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	filter := sbayes.NewDefault()
+	// Bulk training goes through the engine's buffered stream.
+	eng := engine.New(clf, engine.Config{Name: *backend})
+	in, wait := eng.LearnStream(context.Background())
 	for _, m := range ham {
-		filter.Learn(m, false)
+		in <- engine.Labeled{Msg: m, Spam: false}
 	}
 	for _, m := range spam {
-		filter.Learn(m, true)
+		in <- engine.Labeled{Msg: m, Spam: true}
+	}
+	close(in)
+	trained, err := wait()
+	if err != nil {
+		return err
 	}
 	out, err := os.Create(*db)
 	if err != nil {
 		return err
 	}
-	if err := filter.Save(out); err != nil {
+	if err := p.Save(out); err != nil {
 		out.Close()
 		return err
 	}
 	if err := out.Close(); err != nil {
 		return err
 	}
-	ns, nh := filter.Counts()
-	fmt.Printf("trained on %d ham + %d spam; %d tokens -> %s\n", nh, ns, filter.VocabSize(), *db)
+	ns, nh := clf.Counts()
+	fmt.Printf("trained %s on %d messages (%d ham + %d spam) -> %s\n", *backend, trained, nh, ns, *db)
 	return nil
 }
 
 func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	backend := backendFlag(fs)
 	db := fs.String("db", "", "token database file")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "batch-classification parallelism")
 	fs.Parse(args)
 	if *db == "" || fs.NArg() == 0 {
 		return fmt.Errorf("classify needs -db and at least one mbox")
 	}
-	filter, err := loadDB(*db)
+	clf, err := loadDB(*db, *backend)
 	if err != nil {
 		return err
 	}
-	counts := map[sbayes.Label]int{}
+	eng := engine.New(clf, engine.Config{Name: *backend, Workers: *workers})
+
+	// One batch call per mbox: the worker pool scores each archive in
+	// parallel while only one archive is resident, and output streams
+	// between archives in input order.
+	counts := map[engine.Label]int{}
 	for _, path := range fs.Args() {
 		msgs, err := loadMbox(path)
 		if err != nil {
 			return err
 		}
-		for i, m := range msgs {
-			label, score := filter.Classify(m)
-			counts[label]++
-			subject := m.Subject()
+		results, err := eng.ClassifyBatch(context.Background(), msgs)
+		if err != nil {
+			return err
+		}
+		for i, res := range results {
+			counts[res.Label]++
+			subject := msgs[i].Subject()
 			if len(subject) > 40 {
 				subject = subject[:40]
 			}
-			fmt.Printf("%s:%d\t%-6s\t%.4f\t%s\n", path, i, label, score, subject)
+			fmt.Printf("%s:%d\t%-6s\t%.4f\t%s\n", path, i, res.Label, res.Score, subject)
 		}
 	}
-	fmt.Printf("totals: %d ham, %d unsure, %d spam\n",
-		counts[sbayes.Ham], counts[sbayes.Unsure], counts[sbayes.Spam])
+	stats := eng.Stats()
+	fmt.Printf("totals: %d ham, %d unsure, %d spam (%d msgs, %d workers, %v)\n",
+		counts[engine.Ham], counts[engine.Unsure], counts[engine.Spam],
+		stats.Classified, eng.Workers(), stats.BatchLatency.Round(time.Microsecond))
 	return nil
 }
 
 func cmdScore(args []string) error {
 	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	backend := backendFlag(fs)
 	db := fs.String("db", "", "token database file")
-	explain := fs.Bool("explain", false, "print per-token clues")
+	explain := fs.Bool("explain", false, "print per-token clues (sbayes only)")
 	fs.Parse(args)
 	if *db == "" {
 		return fmt.Errorf("score needs -db")
 	}
-	filter, err := loadDB(*db)
+	clf, err := loadDB(*db, *backend)
 	if err != nil {
 		return err
+	}
+	f, isSBayes := clf.(*sbayes.Filter)
+	if *explain && !isSBayes {
+		return fmt.Errorf("-explain is only available for the sbayes backend")
 	}
 	msg, err := mail.Parse(os.Stdin)
 	if err != nil {
 		return err
 	}
-	label, score := filter.Classify(msg)
+	label, score := clf.Classify(msg)
 	fmt.Printf("%s\t%.4f\n", label, score)
 	if *explain {
-		for _, c := range filter.Explain(msg) {
+		for _, c := range f.Explain(msg) {
 			marker := " "
 			if c.Used {
 				marker = "*"
@@ -179,19 +266,21 @@ func cmdScore(args []string) error {
 
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	backend := backendFlag(fs)
 	db := fs.String("db", "", "token database file")
 	fs.Parse(args)
 	if *db == "" {
 		return fmt.Errorf("info needs -db")
 	}
-	filter, err := loadDB(*db)
+	clf, err := loadDB(*db, *backend)
 	if err != nil {
 		return err
 	}
-	ns, nh := filter.Counts()
-	opts := filter.Options()
+	ns, nh := clf.Counts()
+	fmt.Printf("backend:  %s\n", *backend)
 	fmt.Printf("messages: %d ham, %d spam\n", nh, ns)
-	fmt.Printf("tokens:   %d\n", filter.VocabSize())
-	fmt.Printf("cutoffs:  ham<=%.2f spam>%.2f\n", opts.HamCutoff, opts.SpamCutoff)
+	if v, ok := clf.(interface{ VocabSize() int }); ok {
+		fmt.Printf("tokens:   %d\n", v.VocabSize())
+	}
 	return nil
 }

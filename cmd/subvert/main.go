@@ -122,6 +122,10 @@ func main() {
 			res, err := experiments.RunTransfer(e)
 			return render("transfer", res, err)
 		},
+		"backends": func(e *experiments.Env) error {
+			res, err := experiments.RunBackendTransfer(e)
+			return render("backends", res, err)
+		},
 		"deploy": runDeploy,
 	}
 
@@ -129,7 +133,7 @@ func main() {
 	case "all":
 		fmt.Print(experiments.Table1(cfg))
 		fmt.Println()
-		for _, name := range []string{"ratios", "fig1", "fig2", "fig3", "fig4", "fig5", "roni", "informed", "pseudospam", "transfer"} {
+		for _, name := range []string{"ratios", "fig1", "fig2", "fig3", "fig4", "fig5", "roni", "informed", "pseudospam", "transfer", "backends"} {
 			stepStart := time.Now()
 			if err := run[name](env); err != nil {
 				fatal(fmt.Errorf("%s: %w", name, err))
@@ -170,6 +174,7 @@ func runDeploy(e *experiments.Env) error {
 		{"clean", func(c *scenario.Config) {}},
 		{"attacked", func(c *scenario.Config) { c.Attack = attack }},
 		{"RONI-scrubbed", func(c *scenario.Config) { c.Attack = attack; c.UseRONI = true }},
+		{"graham-attacked", func(c *scenario.Config) { c.Backend = "graham"; c.Attack = attack }},
 	}
 	for _, v := range variants {
 		c := cfg
@@ -239,7 +244,9 @@ Extensions (features the paper sketches but does not evaluate):
   informed    constrained-optimal attack under a word budget (§3.4)
   pseudospam  ham-labeled attack placing spam in the inbox (§2.2)
   transfer    the attack against BogoFilter / SpamAssassin profiles (conclusion)
-  deploy      §2.1 weekly-retraining deployment: clean / attacked / RONI-scrubbed
+  backends    the attack against every registered learner backend (sbayes, graham)
+  deploy      §2.1 weekly-retraining deployment: clean / attacked / RONI-scrubbed /
+              graham backend under attack
 
   all      everything above
 

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -79,6 +80,60 @@ func TestFacadeDynamicThreshold(t *testing.T) {
 	}
 	if conf := Evaluate(f, g.Corpus(rng, 50, 50)); conf.Accuracy() < 0.8 {
 		t.Errorf("defended accuracy %v", conf.Accuracy())
+	}
+}
+
+// TestFacadeBackendsAndEngine exercises the interface-first API end
+// to end: registry lookup, generic training, batch scoring, and the
+// backend-generic RONI constructor.
+func TestFacadeBackendsAndEngine(t *testing.T) {
+	cfg := SmallScaleConfig()
+	g, err := NewGeneratorWith(cfg.Universe, cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(8)
+	train := g.Corpus(rng, 150, 150)
+	test := g.Corpus(rng, 40, 40)
+
+	names := Backends()
+	if len(names) < 2 {
+		t.Fatalf("backends = %v", names)
+	}
+	for _, name := range names {
+		clf, err := NewClassifier(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		TrainClassifier(clf, train)
+		if conf := EvaluateBatch(clf, test, 4); conf.Accuracy() < 0.8 {
+			t.Errorf("%s accuracy %v", name, conf.Accuracy())
+		}
+		eng := NewEngine(clf, EngineConfig{Name: name, Workers: 3})
+		msgs := test.Ham()
+		results, err := eng.ClassifyBatch(context.Background(), msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(msgs) {
+			t.Fatalf("%s: %d results for %d messages", name, len(results), len(msgs))
+		}
+		if stats := eng.Stats(); stats.Classified != uint64(len(msgs)) {
+			t.Errorf("%s: stats.Classified = %d", name, stats.Classified)
+		}
+	}
+
+	// RONI over the graham backend through the facade.
+	backend, err := LookupBackend("graham")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roni, err := NewRONIBackend(DefaultRONIConfig(), train, backend.New, NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact := roni.MeasureImpact(g.HamMessage(rng), false); impact.HamAsHamDelta < 0 {
+		t.Logf("ham query impact %v", impact)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/mail"
 	"repro/internal/sbayes"
 	"repro/internal/stats"
@@ -78,36 +79,57 @@ type Impact struct {
 	CorrectDelta float64
 }
 
-// roniTrial is one sampled (T, V) pair with its baseline counts.
+// roniTrial is one sampled (T, V) pair with its baseline counts. The
+// clf is any backend; the optional capability views (tokenClf,
+// tokenLearner) are resolved once at construction so the per-query
+// hot path pays no type assertions.
 type roniTrial struct {
-	filter      *sbayes.Filter
-	val         []corpus.Example
-	valTokens   [][]string
-	baseHamHam  int
-	baseCorrect int
+	clf          engine.Classifier
+	tokenClf     engine.TokenClassifier // nil: classify val messages directly
+	tokenLearner engine.TokenLearner    // nil: Learn/Unlearn the query message
+	val          []corpus.Example
+	valTokens    [][]string
+	baseHamHam   int
+	baseCorrect  int
 }
 
-// RONI is a reusable impact evaluator over one message pool.
+// RONI is a reusable impact evaluator over one message pool. It works
+// against any backend: trial filters are built clone-and-train style
+// from a fresh classifier per trial, and queries are measured with
+// Learn → re-evaluate → Unlearn, which every Classifier supports.
 type RONI struct {
 	cfg    RONIConfig
-	tok    *tokenize.Tokenizer
+	tok    *tokenize.Tokenizer // non-nil: all trials share it, query tokens are cached
 	trials []roniTrial
 }
 
 // NewRONI samples the trial training and validation sets from pool
-// and trains the per-trial baseline filters. The pool must be large
-// enough for TrainSize+ValSize messages per class split.
+// and trains per-trial baseline SpamBayes filters. The pool must be
+// large enough for TrainSize+ValSize messages per class split. For
+// other backends use NewRONIBackend.
 func NewRONI(cfg RONIConfig, pool *corpus.Corpus, opts sbayes.Options, tok *tokenize.Tokenizer, r *stats.RNG) (*RONI, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if tok == nil {
 		tok = tokenize.Default()
 	}
-	d := &RONI{cfg: cfg, tok: tok}
+	return newRONI(cfg, pool, func() engine.Classifier { return sbayes.New(opts, tok) }, r)
+}
+
+// NewRONIBackend is NewRONI against an arbitrary backend: each trial
+// filter comes from newClassifier (typically a registered Backend's
+// New). Backends that expose their tokenizer and accept pre-tokenized
+// messages get the same cached-token fast path as SpamBayes.
+func NewRONIBackend(cfg RONIConfig, pool *corpus.Corpus, newClassifier engine.Factory, r *stats.RNG) (*RONI, error) {
+	return newRONI(cfg, pool, newClassifier, r)
+}
+
+func newRONI(cfg RONIConfig, pool *corpus.Corpus, newClassifier engine.Factory, r *stats.RNG) (*RONI, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &RONI{cfg: cfg}
 	for t := 0; t < cfg.Trials; t++ {
 		tr := r.Split(fmt.Sprintf("roni-trial-%d", t))
 		sample, err := pool.SampleInbox(tr, cfg.TrainSize+cfg.ValSize, cfg.SpamPrevalence)
@@ -116,16 +138,39 @@ func NewRONI(cfg RONIConfig, pool *corpus.Corpus, opts sbayes.Options, tok *toke
 		}
 		trainSet := sample.Examples[:cfg.TrainSize]
 		valSet := sample.Examples[cfg.TrainSize:]
-		f := sbayes.New(opts, tok)
+		clf := newClassifier()
 		for _, e := range trainSet {
-			f.Learn(e.Msg, e.Spam)
+			clf.Learn(e.Msg, e.Spam)
 		}
-		trial := roniTrial{filter: f, val: valSet}
-		for _, e := range valSet {
-			trial.valTokens = append(trial.valTokens, tok.TokenSet(e.Msg))
+		trial := roniTrial{clf: clf, val: valSet}
+		trial.tokenLearner, _ = clf.(engine.TokenLearner)
+		// Pre-tokenize the validation set when the backend can both
+		// expose its tokenizer and score token sets.
+		if tokenizing, ok := clf.(engine.Tokenizing); ok {
+			if tokenClf, ok := clf.(engine.TokenClassifier); ok {
+				trial.tokenClf = tokenClf
+				for _, e := range valSet {
+					trial.valTokens = append(trial.valTokens, tokenizing.Tokenizer().TokenSet(e.Msg))
+				}
+			}
 		}
 		trial.baseHamHam, trial.baseCorrect = trial.evaluate()
 		d.trials = append(d.trials, trial)
+	}
+	// When every trial filter learns token sets, one tokenization of
+	// the query serves all trials: a factory hands every trial an
+	// identically configured tokenizer, so any trial's will do.
+	allTokenLearners := len(d.trials) > 0
+	for i := range d.trials {
+		if d.trials[i].tokenLearner == nil {
+			allTokenLearners = false
+			break
+		}
+	}
+	if allTokenLearners {
+		if tokenizing, ok := d.trials[0].clf.(engine.Tokenizing); ok {
+			d.tok = tokenizing.Tokenizer()
+		}
 	}
 	return d, nil
 }
@@ -134,13 +179,18 @@ func NewRONI(cfg RONIConfig, pool *corpus.Corpus, opts sbayes.Options, tok *toke
 // correct counts.
 func (t *roniTrial) evaluate() (hamHam, correct int) {
 	for i, e := range t.val {
-		label, _ := t.filter.ClassifyTokens(t.valTokens[i])
+		var label engine.Label
+		if t.tokenClf != nil {
+			label, _ = t.tokenClf.ClassifyTokens(t.valTokens[i])
+		} else {
+			label, _ = t.clf.Classify(e.Msg)
+		}
 		if e.Spam {
-			if label == sbayes.Spam {
+			if label == engine.Spam {
 				correct++
 			}
 		} else {
-			if label == sbayes.Ham {
+			if label == engine.Ham {
 				hamHam++
 				correct++
 			}
@@ -156,13 +206,26 @@ func (d *RONI) Config() RONIConfig { return d.cfg }
 // learns Q (as spam or ham per qSpam), re-scores its validation set,
 // and unlearns Q, leaving the evaluator unchanged.
 func (d *RONI) MeasureImpact(q *mail.Message, qSpam bool) Impact {
-	tokens := d.tok.TokenSet(q)
+	var tokens []string
+	if d.tok != nil {
+		tokens = d.tok.TokenSet(q)
+	}
 	var hamHamDelta, correctDelta float64
 	for i := range d.trials {
 		t := &d.trials[i]
-		t.filter.LearnTokens(tokens, qSpam, 1)
+		if tokens != nil && t.tokenLearner != nil {
+			t.tokenLearner.LearnTokens(tokens, qSpam, 1)
+		} else {
+			t.clf.Learn(q, qSpam)
+		}
 		hh, corr := t.evaluate()
-		if err := t.filter.UnlearnTokens(tokens, qSpam, 1); err != nil {
+		var err error
+		if tokens != nil && t.tokenLearner != nil {
+			err = t.tokenLearner.UnlearnTokens(tokens, qSpam, 1)
+		} else {
+			err = t.clf.Unlearn(q, qSpam)
+		}
+		if err != nil {
 			// Unlearning what was just learned cannot underflow.
 			panic(fmt.Sprintf("core: RONI unlearn: %v", err))
 		}

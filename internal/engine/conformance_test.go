@@ -1,0 +1,296 @@
+package engine_test
+
+// Interface-conformance suite: every registered backend must honor
+// the Classifier contract the same way — train/classify round-trip,
+// Unlearn as the exact inverse of Learn, Save/Load fidelity, and
+// race-free concurrent batch classification (run under -race).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mail"
+
+	// Backends under test register themselves on import.
+	_ "repro/internal/graham"
+	_ "repro/internal/sbayes"
+)
+
+// msg builds a deterministic message from a body string.
+func msg(body string) *mail.Message {
+	return &mail.Message{
+		Header: mail.Header{{Name: "Subject", Value: "conformance probe"}},
+		Body:   body,
+	}
+}
+
+// trainingSet returns clearly separable ham and spam messages,
+// repeated often enough to clear Graham's five-occurrence evidence
+// floor.
+func trainingSet() (ham, spam []*mail.Message) {
+	hamBodies := []string{
+		"meeting agenda quarterly report budget review minutes\n",
+		"project deadline milestone deliverable schedule review\n",
+		"lunch tomorrow agenda notes report meeting schedule\n",
+	}
+	spamBodies := []string{
+		"winner prize lottery claim millions urgent transfer\n",
+		"cheap pills discount offer urgent winner lottery\n",
+		"claim prize transfer millions discount offer pills\n",
+	}
+	for i := 0; i < 10; i++ {
+		for _, b := range hamBodies {
+			ham = append(ham, msg(b))
+		}
+		for _, b := range spamBodies {
+			spam = append(spam, msg(b))
+		}
+	}
+	return ham, spam
+}
+
+// trained returns a classifier of the named backend trained on the
+// standard set.
+func trained(t *testing.T, backend string) engine.Classifier {
+	t.Helper()
+	b, err := engine.Lookup(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := b.New()
+	ham, spam := trainingSet()
+	for _, m := range ham {
+		clf.Learn(m, false)
+	}
+	for _, m := range spam {
+		clf.Learn(m, true)
+	}
+	return clf
+}
+
+func TestStockBackendsRegistered(t *testing.T) {
+	names := engine.Backends()
+	want := map[string]bool{"sbayes": false, "graham": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("backend %q not registered (have %v)", n, names)
+		}
+	}
+}
+
+func TestLookupUnknownBackend(t *testing.T) {
+	if _, err := engine.Lookup("nonesuch"); err == nil {
+		t.Fatal("unknown backend looked up without error")
+	}
+}
+
+// stockBackends are the backends held to the full conformance
+// contract. (The registry may also hold test stubs registered by
+// other tests in this binary, so the suite pins the list rather than
+// sweeping engine.Backends().)
+var stockBackends = []string{"sbayes", "graham"}
+
+// forEachBackend runs a conformance check against every stock
+// backend.
+func forEachBackend(t *testing.T, check func(t *testing.T, backend string)) {
+	for _, name := range stockBackends {
+		t.Run(name, func(t *testing.T) { check(t, name) })
+	}
+}
+
+func TestConformanceTrainClassifyRoundTrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		clf := trained(t, backend)
+		ns, nh := clf.Counts()
+		if ns != 30 || nh != 30 {
+			t.Fatalf("counts = (%d, %d), want (30, 30)", ns, nh)
+		}
+		spamScore := clf.Score(msg("winner lottery prize claim urgent millions\n"))
+		hamScore := clf.Score(msg("meeting agenda report budget schedule\n"))
+		if spamScore <= hamScore {
+			t.Fatalf("spam score %v not above ham score %v", spamScore, hamScore)
+		}
+		if label, _ := clf.Classify(msg("winner lottery prize claim urgent millions\n")); label != engine.Spam {
+			t.Errorf("trained spam message classified %v", label)
+		}
+		if label, _ := clf.Classify(msg("meeting agenda report budget schedule\n")); label == engine.Spam {
+			t.Errorf("trained ham message classified spam")
+		}
+	})
+}
+
+func TestConformanceScoreAndClassifyAgree(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		clf := trained(t, backend)
+		probe := msg("meeting winner agenda lottery report prize\n")
+		label, score := clf.Classify(probe)
+		if got := clf.Score(probe); got != score {
+			t.Errorf("Score = %v, Classify score = %v", got, score)
+		}
+		if score < 0 || score > 1 {
+			t.Errorf("score %v outside [0,1]", score)
+		}
+		_ = label
+	})
+}
+
+func TestConformanceUnlearnInverse(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		clf := trained(t, backend)
+		probes := []*mail.Message{
+			msg("meeting winner agenda lottery report\n"),
+			msg("budget pills schedule discount review\n"),
+		}
+		before := make([]float64, len(probes))
+		for i, p := range probes {
+			before[i] = clf.Score(p)
+		}
+		ns0, nh0 := clf.Counts()
+
+		extra := msg("novel tokens appearing nowhere else whatsoever\n")
+		clf.Learn(extra, true)
+		if err := clf.Unlearn(extra, true); err != nil {
+			t.Fatalf("unlearn just-learned message: %v", err)
+		}
+		ns1, nh1 := clf.Counts()
+		if ns0 != ns1 || nh0 != nh1 {
+			t.Errorf("counts (%d, %d) -> (%d, %d) after learn+unlearn", ns0, nh0, ns1, nh1)
+		}
+		for i, p := range probes {
+			if got := clf.Score(p); got != before[i] {
+				t.Errorf("probe %d score %v != %v after learn+unlearn", i, got, before[i])
+			}
+		}
+	})
+}
+
+func TestConformanceUnlearnNeverLearnedErrors(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		clf := trained(t, backend)
+		if err := clf.Unlearn(msg("tokens never trained anywhere\n"), true); err == nil {
+			t.Error("unlearning a never-learned message succeeded")
+		}
+		// An empty filter cannot unlearn anything.
+		b, _ := engine.Lookup(backend)
+		if err := b.New().Unlearn(msg("anything\n"), false); err == nil {
+			t.Error("unlearning from an empty filter succeeded")
+		}
+	})
+}
+
+func TestConformanceLearnWeightedEquivalence(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		b, err := engine.Lookup(backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, weighted := b.New(), b.New()
+		background := msg("shared background vocabulary here\n")
+		naive.Learn(background, false)
+		weighted.Learn(background, false)
+		attack := msg("identical attack payload words\n")
+		for i := 0; i < 17; i++ {
+			naive.Learn(attack, true)
+		}
+		weighted.LearnWeighted(attack, true, 17)
+		probe := msg("attack background vocabulary payload\n")
+		if a, b := naive.Score(probe), weighted.Score(probe); a != b {
+			t.Errorf("naive %v != weighted %v", a, b)
+		}
+	})
+}
+
+func TestConformanceSaveLoadFidelity(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		clf := trained(t, backend)
+		p, ok := clf.(engine.Persistable)
+		if !ok {
+			t.Fatalf("backend %q is not Persistable", backend)
+		}
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+
+		b, _ := engine.Lookup(backend)
+		restored := b.New()
+		if err := restored.(engine.Persistable).Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		ns0, nh0 := clf.Counts()
+		ns1, nh1 := restored.Counts()
+		if ns0 != ns1 || nh0 != nh1 {
+			t.Fatalf("counts (%d, %d) != restored (%d, %d)", ns0, nh0, ns1, nh1)
+		}
+		probes := []*mail.Message{
+			msg("meeting winner agenda lottery report\n"),
+			msg("budget pills schedule discount review\n"),
+			msg("entirely novel probe text\n"),
+		}
+		for i, probe := range probes {
+			if a, b := clf.Score(probe), restored.Score(probe); a != b {
+				t.Errorf("probe %d: original %v != restored %v", i, a, b)
+			}
+		}
+
+		// Round-trip determinism: saving the restored filter yields
+		// identical bytes.
+		var buf2 bytes.Buffer
+		if err := restored.(engine.Persistable).Save(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Error("save -> load -> save is not byte-identical")
+		}
+
+		// Loading a foreign database fails cleanly.
+		other := "sbayes"
+		if backend == "sbayes" {
+			other = "graham"
+		}
+		ob, _ := engine.Lookup(other)
+		if err := ob.New().(engine.Persistable).Load(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Errorf("backend %q loaded a %q database", other, backend)
+		}
+	})
+}
+
+func TestConformanceConcurrentClassifyBatch(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		clf := trained(t, backend)
+		msgs := make([]*mail.Message, 200)
+		for i := range msgs {
+			if i%2 == 0 {
+				msgs[i] = msg(fmt.Sprintf("meeting agenda report budget item%d\n", i))
+			} else {
+				msgs[i] = msg(fmt.Sprintf("winner lottery prize claim item%d\n", i))
+			}
+		}
+		serial := make([]engine.Result, len(msgs))
+		for i, m := range msgs {
+			label, score := clf.Classify(m)
+			serial[i] = engine.Result{Label: label, Score: score}
+		}
+		eng := engine.New(clf, engine.Config{Name: backend, Workers: 8})
+		parallel, err := eng.ClassifyBatch(context.Background(), msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("batch returned %d results for %d messages", len(parallel), len(msgs))
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Fatalf("result %d: parallel %+v != serial %+v (order not preserved?)", i, parallel[i], serial[i])
+			}
+		}
+	})
+}

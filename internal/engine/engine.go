@@ -1,0 +1,116 @@
+// Package engine defines the backend-generic classifier contract and
+// a production-shaped scoring service on top of it.
+//
+// The paper's central claim is that Causative Availability attacks
+// exploit the statistical learning approach itself, not one filter
+// implementation. The repository therefore carries more than one
+// learner (the SpamBayes chi-square combiner in internal/sbayes and
+// Graham's naive-Bayes baseline in internal/graham), and everything
+// downstream — evaluation, the RONI defense, the deployment
+// simulator, the experiment drivers — speaks to them through the
+// Classifier interface declared here rather than to a concrete type.
+//
+// The package has three layers:
+//
+//   - the contract: Classifier plus the optional capability
+//     interfaces (TokenClassifier, TokenLearner, Persistable,
+//     Tokenizing) that fast paths and persistence discover with type
+//     assertions;
+//   - the Backend registry, keyed by name ("sbayes", "graham"), which
+//     backends join from their package init and callers query to pick
+//     a learner per deployment configuration;
+//   - Engine, a concurrent batch-scoring service with worker-pool
+//     ClassifyBatch/ScoreBatch, a buffered LearnStream for bulk
+//     training, and per-engine verdict/latency counters.
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mail"
+	"repro/internal/tokenize"
+)
+
+// Label is the three-way verdict shared by every backend. Backends
+// without an unsure band (Graham's binary rule) simply never return
+// Unsure.
+type Label int8
+
+const (
+	// Ham is legitimate email.
+	Ham Label = iota
+	// Unsure is the in-between verdict of filters that have one.
+	Unsure
+	// Spam is unsolicited email.
+	Spam
+)
+
+// String returns the lowercase label name.
+func (l Label) String() string {
+	switch l {
+	case Ham:
+		return "ham"
+	case Unsure:
+		return "unsure"
+	case Spam:
+		return "spam"
+	default:
+		return fmt.Sprintf("Label(%d)", int(l))
+	}
+}
+
+// Classifier is the backend-generic learner contract: incremental
+// training and untraining plus scoring. Implementations are not
+// required to be safe for concurrent mutation, but concurrent
+// Classify/Score calls without interleaved Learn calls must be safe —
+// Engine relies on that to parallelize batches.
+type Classifier interface {
+	// Learn trains on one message with the given label.
+	Learn(m *mail.Message, isSpam bool)
+	// LearnWeighted trains as if weight identical copies of the
+	// message were learned. It panics if weight < 0.
+	LearnWeighted(m *mail.Message, isSpam bool, weight int)
+	// Unlearn removes one previously trained message, returning an
+	// error (and leaving the state unchanged) if the counts show the
+	// message was never trained with this label.
+	Unlearn(m *mail.Message, isSpam bool) error
+	// Classify returns the verdict and the spam score in [0, 1].
+	Classify(m *mail.Message) (Label, float64)
+	// Score returns the spam score in [0, 1] without thresholding.
+	Score(m *mail.Message) float64
+	// Counts returns the number of spam and ham messages trained.
+	Counts() (nspam, nham int)
+}
+
+// TokenClassifier is the capability of scoring a pre-tokenized
+// message (a distinct-token set). Hot loops tokenize a test corpus
+// once and re-score it many times through this interface.
+type TokenClassifier interface {
+	ClassifyTokens(tokens []string) (Label, float64)
+}
+
+// TokenLearner is the capability of training directly on a
+// distinct-token set with a multiplicity. Only backends whose
+// training is per-message token presence (SpamBayes) can offer it;
+// backends that count token occurrences (Graham) cannot, and callers
+// must fall back to Learn/Unlearn on the message.
+type TokenLearner interface {
+	LearnTokens(tokens []string, isSpam bool, weight int)
+	UnlearnTokens(tokens []string, isSpam bool, weight int) error
+}
+
+// Persistable is the capability of saving the trained database and
+// restoring it in place. Load replaces the receiver's entire trained
+// state with the stream's contents.
+type Persistable interface {
+	Save(w io.Writer) error
+	Load(r io.Reader) error
+}
+
+// Tokenizing is the capability of exposing the tokenizer the
+// classifier trains and scores with, so callers can pre-tokenize
+// corpora consistently with the backend.
+type Tokenizing interface {
+	Tokenizer() *tokenize.Tokenizer
+}

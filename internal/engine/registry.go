@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a fresh, untrained classifier with the backend's
+// default configuration.
+type Factory func() Classifier
+
+// Backend is one registered learner implementation.
+type Backend struct {
+	// Name is the registry key ("sbayes", "graham").
+	Name string
+	// Doc is a one-line description for usage strings.
+	Doc string
+	// New constructs a fresh classifier.
+	New Factory
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Backend{}
+)
+
+// Register adds a backend to the registry. Backends call it from
+// their package init, so importing a backend package is what makes it
+// available. Register panics on an empty name, nil factory, or
+// duplicate registration (programmer error).
+func Register(b Backend) {
+	if b.Name == "" {
+		panic("engine: Register with empty backend name")
+	}
+	if b.New == nil {
+		panic(fmt.Sprintf("engine: Register %q with nil factory", b.Name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[b.Name]; dup {
+		panic(fmt.Sprintf("engine: backend %q registered twice", b.Name))
+	}
+	registry[b.Name] = b
+}
+
+// Lookup returns the named backend. The error lists the registered
+// names so a typo in a -backend flag is self-explaining.
+func Lookup(name string) (Backend, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return Backend{}, fmt.Errorf("engine: unknown backend %q (have %v)", name, backendsLocked())
+	}
+	return b, nil
+}
+
+// Backends returns the registered backend names in sorted order.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return backendsLocked()
+}
+
+func backendsLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

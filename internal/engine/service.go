@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mail"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Name labels the engine in stats (defaults to "engine").
+	Name string
+	// Workers is the batch-scoring parallelism (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+	// LearnBuffer is the LearnStream channel capacity (<= 0 selects
+	// 256).
+	LearnBuffer int
+}
+
+// Engine is a scoring service over one Classifier: it fans batches
+// out across a worker pool, funnels bulk training through a buffered
+// stream (classifier mutation is single-writer), and keeps verdict
+// and latency counters.
+//
+// The classifier must tolerate concurrent read-only Classify/Score
+// calls; Engine never mutates it concurrently with scoring — callers
+// are responsible for not training while a batch is in flight, just
+// as with a bare Classifier.
+type Engine struct {
+	name     string
+	clf      Classifier
+	workers  int
+	learnBuf int
+
+	classified   atomic.Uint64
+	learned      atomic.Uint64
+	batches      atomic.Uint64
+	byLabel      [3]atomic.Uint64
+	latencyNanos atomic.Uint64
+}
+
+// New returns an Engine over clf.
+func New(clf Classifier, cfg Config) *Engine {
+	if clf == nil {
+		panic("engine: New with nil classifier")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "engine"
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	learnBuf := cfg.LearnBuffer
+	if learnBuf <= 0 {
+		learnBuf = 256
+	}
+	return &Engine{name: name, clf: clf, workers: workers, learnBuf: learnBuf}
+}
+
+// Classifier returns the underlying classifier.
+func (e *Engine) Classifier() Classifier { return e.clf }
+
+// Name returns the engine's stats label.
+func (e *Engine) Name() string { return e.name }
+
+// Workers returns the effective batch parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Result is one message's verdict within a batch.
+type Result struct {
+	Label Label
+	Score float64
+}
+
+// ClassifyBatch scores msgs across the worker pool and returns the
+// results in input order: out[i] is the verdict of msgs[i]. It stops
+// early and returns ctx.Err() if the context is cancelled.
+func (e *Engine) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Result, error) {
+	out := make([]Result, len(msgs))
+	err := e.run(ctx, len(msgs), func(i int) {
+		label, score := e.clf.Classify(msgs[i])
+		out[i] = Result{Label: label, Score: score}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		e.byLabel[labelIndex(out[i].Label)].Add(1)
+	}
+	return out, nil
+}
+
+// ScoreBatch is ClassifyBatch without thresholding: out[i] is the
+// spam score of msgs[i].
+func (e *Engine) ScoreBatch(ctx context.Context, msgs []*mail.Message) ([]float64, error) {
+	out := make([]float64, len(msgs))
+	err := e.run(ctx, len(msgs), func(i int) {
+		out[i] = e.clf.Score(msgs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// run executes fn(0..n-1) on the worker pool, counting work and
+// latency. Indices are handed out through a shared atomic cursor so
+// an uneven batch cannot starve a worker.
+func (e *Engine) run(ctx context.Context, n int, fn func(i int)) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	start := time.Now()
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if cancelled.Load() {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.classified.Add(uint64(n))
+	e.batches.Add(1)
+	e.latencyNanos.Add(uint64(time.Since(start)))
+	return nil
+}
+
+// Labeled is one training example flowing through LearnStream.
+type Labeled struct {
+	Msg  *mail.Message
+	Spam bool
+}
+
+// LearnStream starts a single-consumer bulk-training stream: send
+// examples on the returned channel, close it, then call wait for the
+// count of examples learned. The channel is buffered (Config
+// LearnBuffer) so producers — an mbox reader, a corpus generator —
+// run ahead of the learner. Training is serialized on one goroutine
+// because classifier mutation is single-writer. If ctx is cancelled,
+// remaining examples are discarded and wait returns ctx.Err(); the
+// channel keeps accepting (and dropping) sends, but the caller must
+// still close it to release the drain.
+func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, error)) {
+	in := make(chan Labeled, e.learnBuf)
+	done := make(chan struct{})
+	var n int
+	var err error
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				err = ctx.Err()
+				// Keep draining so a producer blocked on a full
+				// buffer can finish sending and close the channel.
+				go func() {
+					for range in {
+					}
+				}()
+				return
+			case ex, ok := <-in:
+				if !ok {
+					return
+				}
+				e.clf.Learn(ex.Msg, ex.Spam)
+				e.learned.Add(1)
+				n++
+			}
+		}
+	}()
+	wait := func() (int, error) {
+		<-done
+		return n, err
+	}
+	return in, wait
+}
+
+// Stats is a point-in-time snapshot of an engine's counters.
+type Stats struct {
+	Name string
+	// Classified is the total number of messages scored in batches.
+	Classified uint64
+	// Learned is the total number of messages trained via LearnStream.
+	Learned uint64
+	// Batches is the number of completed batch calls.
+	Batches uint64
+	// ByLabel counts ClassifyBatch verdicts, indexed by Label.
+	ByLabel [3]uint64
+	// BatchLatency is the cumulative wall-clock time spent in
+	// completed batch calls.
+	BatchLatency time.Duration
+}
+
+// Stats returns the current counters. Counters from a batch are
+// published only when the batch completes, so a snapshot is always
+// internally consistent to within the in-flight batch.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Name:       e.name,
+		Classified: e.classified.Load(),
+		Learned:    e.learned.Load(),
+		Batches:    e.batches.Load(),
+		ByLabel: [3]uint64{
+			e.byLabel[0].Load(),
+			e.byLabel[1].Load(),
+			e.byLabel[2].Load(),
+		},
+		BatchLatency: time.Duration(e.latencyNanos.Load()),
+	}
+}
+
+// labelIndex clamps a label into the counter array.
+func labelIndex(l Label) int {
+	if l < Ham || l > Spam {
+		return int(Unsure)
+	}
+	return int(l)
+}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mail"
+)
+
+// stubClassifier is a deterministic in-memory Classifier for service
+// tests: the score is parsed from the message body.
+type stubClassifier struct {
+	nspam, nham int
+	slow        time.Duration
+	calls       atomic.Int64
+}
+
+func (s *stubClassifier) Learn(m *mail.Message, isSpam bool) {
+	if isSpam {
+		s.nspam++
+	} else {
+		s.nham++
+	}
+}
+
+func (s *stubClassifier) LearnWeighted(m *mail.Message, isSpam bool, weight int) {
+	for i := 0; i < weight; i++ {
+		s.Learn(m, isSpam)
+	}
+}
+
+func (s *stubClassifier) Unlearn(m *mail.Message, isSpam bool) error {
+	if isSpam && s.nspam == 0 || !isSpam && s.nham == 0 {
+		return errors.New("stub: underflow")
+	}
+	if isSpam {
+		s.nspam--
+	} else {
+		s.nham--
+	}
+	return nil
+}
+
+func (s *stubClassifier) Score(m *mail.Message) float64 {
+	s.calls.Add(1)
+	if s.slow > 0 {
+		time.Sleep(s.slow)
+	}
+	v, err := strconv.ParseFloat(m.Body, 64)
+	if err != nil {
+		return 0.5
+	}
+	return v
+}
+
+func (s *stubClassifier) Classify(m *mail.Message) (Label, float64) {
+	v := s.Score(m)
+	switch {
+	case v <= 0.15:
+		return Ham, v
+	case v <= 0.9:
+		return Unsure, v
+	default:
+		return Spam, v
+	}
+}
+
+func (s *stubClassifier) Counts() (int, int) { return s.nspam, s.nham }
+
+func scoreMsg(v float64) *mail.Message {
+	return &mail.Message{Body: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+func TestClassifyBatchOrderPreserved(t *testing.T) {
+	e := New(&stubClassifier{}, Config{Workers: 7})
+	msgs := make([]*mail.Message, 100)
+	for i := range msgs {
+		msgs[i] = scoreMsg(float64(i) / 100)
+	}
+	out, err := e.ClassifyBatch(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out {
+		if want := float64(i) / 100; res.Score != want {
+			t.Fatalf("out[%d].Score = %v, want %v (order broken)", i, res.Score, want)
+		}
+	}
+}
+
+func TestScoreBatch(t *testing.T) {
+	e := New(&stubClassifier{}, Config{Workers: 3})
+	msgs := []*mail.Message{scoreMsg(0.1), scoreMsg(0.5), scoreMsg(0.95)}
+	out, err := e.ScoreBatch(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.5, 0.95}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestClassifyBatchEmpty(t *testing.T) {
+	e := New(&stubClassifier{}, Config{})
+	out, err := e.ClassifyBatch(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("%d results for empty batch", len(out))
+	}
+}
+
+func TestClassifyBatchCancellation(t *testing.T) {
+	clf := &stubClassifier{slow: time.Millisecond}
+	e := New(clf, Config{Workers: 2})
+	msgs := make([]*mail.Message, 10000)
+	for i := range msgs {
+		msgs[i] = scoreMsg(0.5)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := e.ClassifyBatch(ctx, msgs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation stopped the sweep well short of the full batch.
+	if n := clf.calls.Load(); n >= int64(len(msgs)) {
+		t.Errorf("classified all %d messages despite cancellation", n)
+	}
+	// A cancelled batch publishes no counters.
+	if s := e.Stats(); s.Classified != 0 || s.Batches != 0 {
+		t.Errorf("cancelled batch published stats %+v", s)
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	e := New(&stubClassifier{}, Config{Name: "stub", Workers: 4})
+	msgs := []*mail.Message{scoreMsg(0.05), scoreMsg(0.5), scoreMsg(0.95), scoreMsg(0.99)}
+	if _, err := e.ClassifyBatch(context.Background(), msgs); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Name != "stub" {
+		t.Errorf("name %q", s.Name)
+	}
+	if s.Classified != 4 || s.Batches != 1 {
+		t.Errorf("classified %d in %d batches, want 4 in 1", s.Classified, s.Batches)
+	}
+	if s.ByLabel[Ham] != 1 || s.ByLabel[Unsure] != 1 || s.ByLabel[Spam] != 2 {
+		t.Errorf("label counts %v, want [1 1 2]", s.ByLabel)
+	}
+}
+
+func TestLearnStream(t *testing.T) {
+	clf := &stubClassifier{}
+	e := New(clf, Config{LearnBuffer: 4})
+	in, wait := e.LearnStream(context.Background())
+	for i := 0; i < 25; i++ {
+		in <- Labeled{Msg: scoreMsg(0.5), Spam: i%5 == 0}
+	}
+	close(in)
+	n, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("learned %d, want 25", n)
+	}
+	ns, nh := clf.Counts()
+	if ns != 5 || nh != 20 {
+		t.Fatalf("counts (%d, %d), want (5, 20)", ns, nh)
+	}
+	if s := e.Stats(); s.Learned != 25 {
+		t.Errorf("stats.Learned = %d", s.Learned)
+	}
+}
+
+func TestLearnStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New(&stubClassifier{}, Config{})
+	in, wait := e.LearnStream(ctx)
+	in <- Labeled{Msg: scoreMsg(0.5), Spam: true}
+	cancel()
+	if _, err := wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestLearnStreamCancellationUnblocksProducer(t *testing.T) {
+	// After cancellation the stream keeps draining, so a producer
+	// mid-send on a full buffer can finish and close the channel.
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New(&stubClassifier{}, Config{LearnBuffer: 1})
+	in, wait := e.LearnStream(ctx)
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			in <- Labeled{Msg: scoreMsg(0.5)}
+		}
+		close(in)
+	}()
+	if _, err := wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked after cancellation")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	for _, b := range []Backend{
+		{Name: "", New: func() Classifier { return &stubClassifier{} }},
+		{Name: "stub-no-factory"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%+v) did not panic", b)
+				}
+			}()
+			Register(b)
+		}()
+	}
+	// Duplicate registration panics too.
+	Register(Backend{Name: "stub-dup-test", New: func() Classifier { return &stubClassifier{} }})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(Backend{Name: "stub-dup-test", New: func() Classifier { return &stubClassifier{} }})
+}

@@ -1,8 +1,10 @@
 // Package eval provides the measurement layer of the experiment
-// harness: three-way confusion matrices over the SpamBayes verdicts,
-// corpus tokenization caches, filter training helpers, and a small
-// deterministic parallel-for used to run cross-validation folds
-// concurrently.
+// harness: three-way confusion matrices over the backend-generic
+// verdicts, corpus tokenization caches, classifier training helpers,
+// serial and parallel corpus evaluation, and a small deterministic
+// parallel-for used to run cross-validation folds concurrently.
+// Everything is written against engine.Classifier, so the same
+// harness measures any registered backend.
 //
 // The paper's §2.3 observation drives the metric design: because of
 // the unsure verdict, plain false positive/negative rates are not
@@ -14,9 +16,11 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/sbayes"
 	"repro/internal/tokenize"
 )
@@ -32,21 +36,21 @@ type Confusion struct {
 }
 
 // Observe tallies one classification.
-func (c *Confusion) Observe(actualSpam bool, predicted sbayes.Label) {
+func (c *Confusion) Observe(actualSpam bool, predicted engine.Label) {
 	if actualSpam {
 		switch predicted {
-		case sbayes.Ham:
+		case engine.Ham:
 			c.SpamAsHam++
-		case sbayes.Unsure:
+		case engine.Unsure:
 			c.SpamAsUnsure++
 		default:
 			c.SpamAsSpam++
 		}
 	} else {
 		switch predicted {
-		case sbayes.Ham:
+		case engine.Ham:
 			c.HamAsHam++
-		case sbayes.Unsure:
+		case engine.Unsure:
 			c.HamAsUnsure++
 		default:
 			c.HamAsSpam++
@@ -138,32 +142,102 @@ func TokenizeCorpus(c *corpus.Corpus, tok *tokenize.Tokenizer) TokenSet {
 	return out
 }
 
-// EvaluateTokenSet scores a tokenized corpus under f.
-func EvaluateTokenSet(f *sbayes.Filter, ts TokenSet) Confusion {
-	var c Confusion
+// EvaluateTokenSet scores a tokenized corpus under any classifier
+// that accepts pre-tokenized messages.
+func EvaluateTokenSet(c engine.TokenClassifier, ts TokenSet) Confusion {
+	var conf Confusion
 	for _, ex := range ts {
-		label, _ := f.ClassifyTokens(ex.Tokens)
-		c.Observe(ex.Spam, label)
+		label, _ := c.ClassifyTokens(ex.Tokens)
+		conf.Observe(ex.Spam, label)
 	}
-	return c
+	return conf
 }
 
-// Evaluate scores a corpus under f using f's tokenizer.
-func Evaluate(f *sbayes.Filter, test *corpus.Corpus) Confusion {
-	var c Confusion
+// EvaluateTokenSetBatch is EvaluateTokenSet sharded across up to
+// workers goroutines (GOMAXPROCS when workers <= 0). The classifier
+// must tolerate concurrent ClassifyTokens calls. The sum of per-shard
+// confusions is order-independent, so the result is deterministic.
+func EvaluateTokenSetBatch(c engine.TokenClassifier, ts TokenSet, workers int) Confusion {
+	confs := shardedConfusions(len(ts), &workers)
+	Parallel(workers, workers, func(w int) {
+		for i := w; i < len(ts); i += workers {
+			label, _ := c.ClassifyTokens(ts[i].Tokens)
+			confs[w].Observe(ts[i].Spam, label)
+		}
+	})
+	return sumConfusions(confs)
+}
+
+// Evaluate scores a corpus under any classifier.
+func Evaluate(c engine.Classifier, test *corpus.Corpus) Confusion {
+	var conf Confusion
 	for _, e := range test.Examples {
-		label, _ := f.Classify(e.Msg)
-		c.Observe(e.Spam, label)
+		label, _ := c.Classify(e.Msg)
+		conf.Observe(e.Spam, label)
 	}
+	return conf
+}
+
+// EvaluateBatch is Evaluate sharded across up to workers goroutines
+// (GOMAXPROCS when workers <= 0). The classifier must tolerate
+// concurrent Classify calls — every backend does, as long as nothing
+// trains it mid-batch.
+func EvaluateBatch(c engine.Classifier, test *corpus.Corpus, workers int) Confusion {
+	confs := shardedConfusions(test.Len(), &workers)
+	Parallel(workers, workers, func(w int) {
+		for i := w; i < len(test.Examples); i += workers {
+			e := test.Examples[i]
+			label, _ := c.Classify(e.Msg)
+			confs[w].Observe(e.Spam, label)
+		}
+	})
+	return sumConfusions(confs)
+}
+
+// shardedConfusions clamps workers to [1, n] (defaulting to
+// GOMAXPROCS) and allocates one accumulator per shard.
+func shardedConfusions(n int, workers *int) []Confusion {
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *workers > n {
+		*workers = n
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+	return make([]Confusion, *workers)
+}
+
+func sumConfusions(confs []Confusion) Confusion {
+	var total Confusion
+	for _, c := range confs {
+		total.Add(c)
+	}
+	return total
+}
+
+// Train trains any classifier on a corpus in corpus order.
+func Train(c engine.Classifier, train *corpus.Corpus) {
+	for _, e := range train.Examples {
+		c.Learn(e.Msg, e.Spam)
+	}
+}
+
+// TrainBackend constructs a fresh classifier from a backend factory
+// and trains it on a corpus.
+func TrainBackend(newClassifier engine.Factory, train *corpus.Corpus) engine.Classifier {
+	c := newClassifier()
+	Train(c, train)
 	return c
 }
 
-// TrainFilter trains a fresh filter on a corpus.
+// TrainFilter trains a fresh SpamBayes filter on a corpus. It remains
+// the concrete-typed helper for code that needs sbayes-only surface
+// (Clone, LearnTokens); backend-generic code uses Train.
 func TrainFilter(train *corpus.Corpus, opts sbayes.Options, tok *tokenize.Tokenizer) *sbayes.Filter {
 	f := sbayes.New(opts, tok)
-	for _, e := range train.Examples {
-		f.Learn(e.Msg, e.Spam)
-	}
+	Train(f, train)
 	return f
 }
 

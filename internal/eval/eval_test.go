@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/corpus"
+	"repro/internal/graham"
 	"repro/internal/mail"
 	"repro/internal/sbayes"
 )
@@ -117,6 +118,52 @@ func TestTokenizeCorpusAndEvaluateTokenSet(t *testing.T) {
 	viaTokens := EvaluateTokenSet(f, ts)
 	if direct != viaTokens {
 		t.Errorf("tokenized evaluation differs: %+v vs %+v", direct, viaTokens)
+	}
+}
+
+func TestEvaluateBatchMatchesSerial(t *testing.T) {
+	c := buildTinyCorpus(40)
+	f := TrainFilter(c, sbayes.DefaultOptions(), nil)
+	serial := Evaluate(f, c)
+	for _, workers := range []int{0, 1, 2, 7, 1000} {
+		if got := EvaluateBatch(f, c, workers); got != serial {
+			t.Errorf("workers=%d: %+v != serial %+v", workers, got, serial)
+		}
+	}
+	// Empty corpus is safe at any worker count.
+	if got := EvaluateBatch(f, &corpus.Corpus{}, 4); got != (Confusion{}) {
+		t.Errorf("empty corpus confusion %+v", got)
+	}
+}
+
+func TestEvaluateTokenSetBatchMatchesSerial(t *testing.T) {
+	c := buildTinyCorpus(30)
+	f := TrainFilter(c, sbayes.DefaultOptions(), nil)
+	ts := TokenizeCorpus(c, nil)
+	serial := EvaluateTokenSet(f, ts)
+	for _, workers := range []int{0, 1, 3, 64} {
+		if got := EvaluateTokenSetBatch(f, ts, workers); got != serial {
+			t.Errorf("workers=%d: %+v != serial %+v", workers, got, serial)
+		}
+	}
+}
+
+func TestTrainAndEvaluateGenericBackend(t *testing.T) {
+	// The evaluation harness accepts any Classifier, not just the
+	// SpamBayes filter; Graham's binary verdict lands only in the
+	// Ham/Spam cells.
+	c := buildTinyCorpus(20)
+	g := graham.NewDefault()
+	Train(g, c)
+	conf := EvaluateBatch(g, c, 4)
+	if conf.NumHam() != 20 || conf.NumSpam() != 20 {
+		t.Fatalf("totals = %d/%d", conf.NumHam(), conf.NumSpam())
+	}
+	if conf.HamAsUnsure != 0 || conf.SpamAsUnsure != 0 {
+		t.Errorf("graham produced unsure verdicts: %+v", conf)
+	}
+	if conf.HamAsHam != 20 || conf.SpamAsSpam != 20 {
+		t.Errorf("separable corpus not perfectly classified: %+v", conf)
 	}
 }
 

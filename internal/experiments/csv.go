@@ -28,6 +28,7 @@ var (
 	_ CSVWriter = (*InformedResult)(nil)
 	_ CSVWriter = (*PseudospamResult)(nil)
 	_ CSVWriter = (*TransferResult)(nil)
+	_ CSVWriter = (*BackendTransferResult)(nil)
 )
 
 func f64(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
@@ -169,6 +170,18 @@ func (r *TransferResult) WriteCSV(w io.Writer) error {
 	rows := [][]string{{"profile", "baseline_accuracy", "baseline_ham_misclassified", "attacked_ham_as_spam", "attacked_ham_misclassified"}}
 	for _, row := range r.Rows {
 		rows = append(rows, []string{row.Profile.Name,
+			f64(row.Baseline.Accuracy()), f64(row.Baseline.HamMisclassifiedRate()),
+			f64(row.Attacked.HamAsSpamRate()), f64(row.Attacked.HamMisclassifiedRate())})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits backend,baseline_accuracy,baseline_ham_misclassified,
+// attacked_ham_as_spam,attacked_ham_misclassified.
+func (r *BackendTransferResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"backend", "baseline_accuracy", "baseline_ham_misclassified", "attacked_ham_as_spam", "attacked_ham_misclassified"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Backend,
 			f64(row.Baseline.Accuracy()), f64(row.Baseline.HamMisclassifiedRate()),
 			f64(row.Attacked.HamAsSpamRate()), f64(row.Attacked.HamMisclassifiedRate())})
 	}

@@ -105,6 +105,52 @@ func TestTransferShapes(t *testing.T) {
 	}
 }
 
+func TestBackendTransferShapes(t *testing.T) {
+	env := smallEnv(t)
+	res, err := RunBackendTransfer(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]BackendTransferRow{}
+	for _, row := range res.Rows {
+		rows[row.Backend] = row
+		// Every backend must be a working spam filter before the
+		// attack.
+		if acc := row.Baseline.Accuracy(); acc < 0.8 {
+			t.Errorf("%s baseline accuracy %v", row.Backend, acc)
+		}
+	}
+	sb, ok := rows["sbayes"]
+	if !ok {
+		t.Fatal("no sbayes row")
+	}
+	gr, ok := rows["graham"]
+	if !ok {
+		t.Fatal("no graham row")
+	}
+	// The dictionary attack breaks SpamBayes at this dose...
+	if after := sb.Attacked.HamMisclassifiedRate(); after < sb.Baseline.HamMisclassifiedRate()+0.3 {
+		t.Errorf("sbayes: attack did not bite (%v -> %v)", sb.Baseline.HamMisclassifiedRate(), after)
+	}
+	// ...while Graham's clamps and 15-token cap need roughly an order
+	// of magnitude more volume: at the same dose it must not lose
+	// more ham than SpamBayes (the measured dose-response gap).
+	if gr.Attacked.HamMisclassifiedRate() > sb.Attacked.HamMisclassifiedRate() {
+		t.Errorf("graham lost more ham (%v) than sbayes (%v) at the same dose",
+			gr.Attacked.HamMisclassifiedRate(), sb.Attacked.HamMisclassifiedRate())
+	}
+	// Graham's verdict is binary: no unsure cells.
+	if gr.Baseline.HamAsUnsure != 0 || gr.Attacked.HamAsUnsure != 0 {
+		t.Errorf("graham produced unsure verdicts: %+v / %+v", gr.Baseline, gr.Attacked)
+	}
+	out := res.Render()
+	for _, want := range []string{"sbayes", "graham", "EXTENSION"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
 func TestTransferProfilesValid(t *testing.T) {
 	for _, p := range TransferProfiles() {
 		if err := p.Opts.Validate(); err != nil {

@@ -5,9 +5,15 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/eval"
+	"repro/internal/mail"
 	"repro/internal/sbayes"
 	"repro/internal/tokenize"
+
+	// The backend transfer experiment runs every registered backend.
+	_ "repro/internal/graham"
 )
 
 // FilterProfile bundles learner and tokenizer settings to mimic the
@@ -92,38 +98,127 @@ type TransferResult struct {
 	Rows      []TransferRow
 }
 
-// RunTransfer trains each profile on the same inbox, applies the
+// transferSetup samples the shared train/test corpora and builds the
 // Usenet dictionary attack at the informed-attack fraction (1% at
-// full scale), and measures ham misclassification before and after.
+// full scale) — the common scaffold of both transfer exhibits.
+func transferSetup(env *Env, rngLabel string) (inbox, test *corpus.Corpus, attackMsg *mail.Message, attackName string, n int, err error) {
+	cfg := env.Cfg
+	r := env.RNG(rngLabel)
+	inbox, err = env.Pool.SampleInbox(r, cfg.TrainSize, cfg.SpamPrevalence)
+	if err != nil {
+		return nil, nil, nil, "", 0, err
+	}
+	testSize := cfg.TrainSize / 10
+	test = env.Gen.Corpus(r, testSize/2, testSize/2)
+	attack := core.NewDictionaryAttack(env.Usenet)
+	n = core.AttackSize(cfg.InformedFraction, cfg.TrainSize)
+	attackMsg = attack.BuildAttack(r)
+	return inbox, test, attackMsg, attack.Name(), n, nil
+}
+
+// RunTransfer trains each profile on the same inbox, applies the
+// Usenet dictionary attack, and measures ham misclassification before
+// and after.
 func RunTransfer(env *Env) (*TransferResult, error) {
 	cfg := env.Cfg
-	r := env.RNG("transfer")
-	inbox, err := env.Pool.SampleInbox(r, cfg.TrainSize, cfg.SpamPrevalence)
+	inbox, test, attackMsg, attackName, n, err := transferSetup(env, "transfer")
 	if err != nil {
 		return nil, fmt.Errorf("transfer: %w", err)
 	}
-	testSize := cfg.TrainSize / 10
-	test := env.Gen.Corpus(r, testSize/2, testSize/2)
-	attack := core.NewDictionaryAttack(env.Usenet)
-	n := core.AttackSize(cfg.InformedFraction, cfg.TrainSize)
 
 	res := &TransferResult{
 		TrainSize: cfg.TrainSize,
 		Fraction:  cfg.InformedFraction,
 		NumAttack: n,
-		Attack:    attack.Name(),
+		Attack:    attackName,
 	}
-	attackMsg := attack.BuildAttack(r)
 	for _, p := range TransferProfiles() {
 		tok := tokenize.New(p.Tok)
 		f := eval.TrainFilter(inbox, p.Opts, tok)
 		testTokens := eval.TokenizeCorpus(test, tok)
-		row := TransferRow{Profile: p, Baseline: eval.EvaluateTokenSet(f, testTokens)}
+		row := TransferRow{Profile: p, Baseline: eval.EvaluateTokenSetBatch(f, testTokens, cfg.Workers)}
 		f.LearnWeighted(attackMsg, true, n)
-		row.Attacked = eval.EvaluateTokenSet(f, testTokens)
+		row.Attacked = eval.EvaluateTokenSetBatch(f, testTokens, cfg.Workers)
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// BackendTransferRow is one backend's baseline and post-attack
+// confusions.
+type BackendTransferRow struct {
+	Backend  string
+	Doc      string
+	Baseline eval.Confusion
+	Attacked eval.Confusion
+}
+
+// BackendTransferResult is the cross-learner transfer experiment: the
+// same dictionary attack against every registered backend. Where
+// RunTransfer varies the parameterization of one combining rule,
+// this varies the learning algorithm itself — the paper's claim that
+// the vulnerability is a property of the statistical approach.
+type BackendTransferResult struct {
+	TrainSize int
+	Fraction  float64
+	NumAttack int
+	Attack    string
+	Rows      []BackendTransferRow
+}
+
+// RunBackendTransfer trains every registered backend on the same
+// inbox, applies the same Usenet dictionary attack to each, and
+// measures ham misclassification before and after.
+func RunBackendTransfer(env *Env) (*BackendTransferResult, error) {
+	cfg := env.Cfg
+	inbox, test, attackMsg, attackName, n, err := transferSetup(env, "backend-transfer")
+	if err != nil {
+		return nil, fmt.Errorf("backend transfer: %w", err)
+	}
+
+	res := &BackendTransferResult{
+		TrainSize: cfg.TrainSize,
+		Fraction:  cfg.InformedFraction,
+		NumAttack: n,
+		Attack:    attackName,
+	}
+	for _, name := range engine.Backends() {
+		backend, err := engine.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("backend transfer: %w", err)
+		}
+		clf := eval.TrainBackend(backend.New, inbox)
+		row := BackendTransferRow{
+			Backend:  name,
+			Doc:      backend.Doc,
+			Baseline: eval.EvaluateBatch(clf, test, cfg.Workers),
+		}
+		clf.LearnWeighted(attackMsg, true, n)
+		row.Attacked = eval.EvaluateBatch(clf, test, cfg.Workers)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the backend transfer table.
+func (r *BackendTransferResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXTENSION — attack transfer across learner backends (the attack poisons\n")
+	fmt.Fprintf(&b, "token statistics, so it applies to any learner built on them). %s attack,\n", r.Attack)
+	fmt.Fprintf(&b, "%.1f%% control (%d emails), train %d.\n", 100*r.Fraction, r.NumAttack, r.TrainSize)
+	t := newTable("backend", "base acc", "base ham lost", "attacked ham spam", "attacked ham lost")
+	for _, row := range r.Rows {
+		t.addRow(row.Backend,
+			pct(row.Baseline.Accuracy()),
+			pct(row.Baseline.HamMisclassifiedRate()),
+			pct(row.Attacked.HamAsSpamRate()),
+			pct(row.Attacked.HamMisclassifiedRate()))
+	}
+	b.WriteString(t.String())
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %s: %s\n", row.Backend, row.Doc)
+	}
+	return b.String()
 }
 
 // Render prints the transfer table.

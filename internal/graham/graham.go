@@ -32,9 +32,28 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/mail"
 	"repro/internal/tokenize"
 )
+
+// Filter satisfies the backend-generic contract. It is not a
+// TokenLearner: Graham counts token occurrences with multiplicity, so
+// training cannot be reconstructed from a distinct-token set.
+var (
+	_ engine.Classifier      = (*Filter)(nil)
+	_ engine.TokenClassifier = (*Filter)(nil)
+	_ engine.Persistable     = (*Filter)(nil)
+	_ engine.Tokenizing      = (*Filter)(nil)
+)
+
+func init() {
+	engine.Register(engine.Backend{
+		Name: "graham",
+		Doc:  "Graham (2002) baseline: clamped naive-Bayes over the 15 most interesting tokens, binary verdict",
+		New:  func() engine.Classifier { return NewDefault() },
+	})
+}
 
 // Options holds Graham's tunables (defaults are the essay's values).
 type Options struct {
@@ -117,8 +136,44 @@ func New(opts Options, tok *tokenize.Tokenizer) *Filter {
 // NewDefault returns an empty filter with essay defaults.
 func NewDefault() *Filter { return New(DefaultOptions(), nil) }
 
+// Options returns the filter's options.
+func (f *Filter) Options() Options { return f.opts }
+
+// Tokenizer returns the filter's tokenizer.
+func (f *Filter) Tokenizer() *tokenize.Tokenizer { return f.tok }
+
 // Counts returns the trained message counts (spam, ham).
 func (f *Filter) Counts() (nbad, ngood int) { return f.nbad, f.ngood }
+
+// VocabSize returns the number of distinct tokens in the database.
+func (f *Filter) VocabSize() int {
+	n := len(f.bad)
+	for t := range f.good {
+		if _, also := f.bad[t]; !also {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent deep copy of the filter.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{
+		opts:  f.opts,
+		tok:   f.tok,
+		ngood: f.ngood,
+		nbad:  f.nbad,
+		good:  make(map[string]int, len(f.good)),
+		bad:   make(map[string]int, len(f.bad)),
+	}
+	for t, n := range f.good {
+		c.good[t] = n
+	}
+	for t, n := range f.bad {
+		c.bad[t] = n
+	}
+	return c
+}
 
 // Learn trains on one message. Unlike SpamBayes, occurrences count
 // with multiplicity.
@@ -149,6 +204,57 @@ func (f *Filter) LearnWeighted(m *mail.Message, isSpam bool, weight int) {
 	}
 }
 
+// Unlearn removes one previously trained message from the database.
+// It returns an error (leaving the filter unchanged) if the message
+// was not counted with this label, as far as the counts can tell.
+func (f *Filter) Unlearn(m *mail.Message, isSpam bool) error {
+	return f.UnlearnWeighted(m, isSpam, 1)
+}
+
+// UnlearnWeighted is the inverse of LearnWeighted. It panics if
+// weight < 0.
+func (f *Filter) UnlearnWeighted(m *mail.Message, isSpam bool, weight int) error {
+	if weight < 0 {
+		panic("graham: negative unlearn weight")
+	}
+	if weight == 0 {
+		return nil
+	}
+	counts := f.good
+	total := f.ngood
+	if isSpam {
+		counts = f.bad
+		total = f.nbad
+	}
+	if total < weight {
+		return fmt.Errorf("graham: unlearn message underflow (have %d, remove %d)", total, weight)
+	}
+	// Occurrences count with multiplicity; validate every token's
+	// removal before mutating anything.
+	remove := map[string]int{}
+	for _, t := range f.tok.Tokenize(m) {
+		remove[t] += weight
+	}
+	for t, n := range remove {
+		if counts[t] < n {
+			return fmt.Errorf("graham: unlearn underflow on token %q", t)
+		}
+	}
+	if isSpam {
+		f.nbad -= weight
+	} else {
+		f.ngood -= weight
+	}
+	for t, n := range remove {
+		if counts[t] == n {
+			delete(counts, t)
+		} else {
+			counts[t] -= n
+		}
+	}
+	return nil
+}
+
 // TokenProb returns Graham's per-token spam probability.
 func (f *Filter) TokenProb(token string) float64 {
 	g := f.opts.HamWeight * f.good[token]
@@ -172,7 +278,12 @@ func (f *Filter) TokenProb(token string) float64 {
 
 // Score returns the combined spam probability of a message.
 func (f *Filter) Score(m *mail.Message) float64 {
-	tokens := f.tok.TokenSet(m)
+	return f.ScoreTokens(f.tok.TokenSet(m))
+}
+
+// ScoreTokens computes the combined spam probability over a
+// distinct-token set.
+func (f *Filter) ScoreTokens(tokens []string) float64 {
 	if len(tokens) == 0 {
 		return f.opts.UnknownProb
 	}
@@ -216,4 +327,22 @@ func (f *Filter) Score(m *mail.Message) float64 {
 func (f *Filter) IsSpam(m *mail.Message) (bool, float64) {
 	s := f.Score(m)
 	return s > f.opts.SpamCutoff, s
+}
+
+// Classify returns the backend-generic verdict and score. Graham's
+// rule is binary, so the verdict is never Unsure.
+func (f *Filter) Classify(m *mail.Message) (engine.Label, float64) {
+	return f.labelFor(f.Score(m))
+}
+
+// ClassifyTokens is Classify over a pre-tokenized message.
+func (f *Filter) ClassifyTokens(tokens []string) (engine.Label, float64) {
+	return f.labelFor(f.ScoreTokens(tokens))
+}
+
+func (f *Filter) labelFor(s float64) (engine.Label, float64) {
+	if s > f.opts.SpamCutoff {
+		return engine.Spam, s
+	}
+	return engine.Ham, s
 }

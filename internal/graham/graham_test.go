@@ -161,6 +161,54 @@ func TestLearnWeightedEquivalence(t *testing.T) {
 	}
 }
 
+func TestUnlearnRestoresMultiplicity(t *testing.T) {
+	// Graham counts occurrences, so unlearning must subtract each
+	// token's full multiplicity.
+	f := NewDefault()
+	f.Learn(mkMsg("echo echo echo other\n"), true)
+	f.Learn(mkMsg("echo keeper\n"), true)
+	if err := f.Unlearn(mkMsg("echo echo echo other\n"), true); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.bad["echo"]; got != 1 {
+		t.Errorf("echo occurrences = %d, want 1", got)
+	}
+	if _, left := f.bad["other"]; left {
+		t.Error("fully unlearned token not deleted")
+	}
+	if nbad, _ := f.Counts(); nbad != 1 {
+		t.Errorf("nbad = %d, want 1", nbad)
+	}
+	// Unlearning more than was trained fails without mutating.
+	if err := f.Unlearn(mkMsg("echo echo\n"), true); err == nil {
+		t.Error("over-unlearn succeeded")
+	}
+	if got := f.bad["echo"]; got != 1 {
+		t.Errorf("failed unlearn mutated counts: echo = %d", got)
+	}
+	// Wrong label fails too.
+	if err := f.Unlearn(mkMsg("echo keeper\n"), false); err == nil {
+		t.Error("unlearning spam as ham succeeded")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	f := NewDefault()
+	f.Learn(mkMsg("original training words\n"), true)
+	c := f.Clone()
+	c.Learn(mkMsg("divergent extra words\n"), true)
+	if nbad, _ := f.Counts(); nbad != 1 {
+		t.Errorf("clone training leaked into original (nbad=%d)", nbad)
+	}
+	if nbad, _ := c.Counts(); nbad != 2 {
+		t.Errorf("clone nbad = %d, want 2", nbad)
+	}
+	probe := mkMsg("original words probe\n")
+	if f.Score(probe) == 0.4 {
+		t.Error("original lost its training")
+	}
+}
+
 func TestLearnWeightedPanicsNegative(t *testing.T) {
 	defer func() {
 		if recover() == nil {

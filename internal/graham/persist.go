@@ -1,0 +1,148 @@
+package graham
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/tokenize"
+)
+
+// Binary database format (all integers unsigned varints), mirroring
+// the sbayes format but with Graham's two occurrence maps:
+//
+//	magic   "GRDB\x01"
+//	ngood, nbad
+//	ngoodTokens, ngoodTokens × { len(token), token bytes, count }
+//	nbadTokens,  nbadTokens  × { len(token), token bytes, count }
+//
+// Tokens are written in sorted order, so identical databases always
+// serialize identically. Options and tokenizer configuration are the
+// caller's to manage (they are code, not data).
+
+var persistMagic = [5]byte{'G', 'R', 'D', 'B', 1}
+
+// Save writes the token database to w.
+func (f *Filter) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(persistMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(f.ngood)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(f.nbad)); err != nil {
+		return err
+	}
+	for _, counts := range []map[string]int{f.good, f.bad} {
+		if err := writeUvarint(uint64(len(counts))); err != nil {
+			return err
+		}
+		tokens := make([]string, 0, len(counts))
+		for t := range counts {
+			tokens = append(tokens, t)
+		}
+		sort.Strings(tokens)
+		for _, t := range tokens {
+			if err := writeUvarint(uint64(len(t))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(t); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(counts[t])); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load replaces the filter's trained state with a database written by
+// Save, keeping its options and tokenizer. On error the filter is
+// left unchanged.
+func (f *Filter) Load(r io.Reader) error {
+	loaded, err := Load(r, f.opts, f.tok)
+	if err != nil {
+		return err
+	}
+	f.ngood, f.nbad, f.good, f.bad = loaded.ngood, loaded.nbad, loaded.good, loaded.bad
+	return nil
+}
+
+// Load reads a token database written by Save, returning a filter
+// with the given options and tokenizer (nil selects defaults).
+func Load(r io.Reader, opts Options, tok *tokenize.Tokenizer) (*Filter, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graham: reading magic: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("graham: bad magic %q", magic[:])
+	}
+	readUvarint := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("graham: reading %s: %w", what, err)
+		}
+		return v, nil
+	}
+	const maxReasonable = 1 << 31
+	f := New(opts, tok)
+	ngood, err := readUvarint("ngood")
+	if err != nil {
+		return nil, err
+	}
+	nbad, err := readUvarint("nbad")
+	if err != nil {
+		return nil, err
+	}
+	if ngood > maxReasonable || nbad > maxReasonable {
+		return nil, fmt.Errorf("graham: implausible database header (%d, %d)", ngood, nbad)
+	}
+	f.ngood, f.nbad = int(ngood), int(nbad)
+	tokenBuf := make([]byte, 0, 64)
+	for _, counts := range []map[string]int{f.good, f.bad} {
+		ntokens, err := readUvarint("token count")
+		if err != nil {
+			return nil, err
+		}
+		if ntokens > maxReasonable {
+			return nil, fmt.Errorf("graham: implausible token count %d", ntokens)
+		}
+		for i := uint64(0); i < ntokens; i++ {
+			tlen, err := readUvarint("token length")
+			if err != nil {
+				return nil, err
+			}
+			if tlen > 1<<20 {
+				return nil, fmt.Errorf("graham: implausible token length %d", tlen)
+			}
+			if uint64(cap(tokenBuf)) < tlen {
+				tokenBuf = make([]byte, tlen)
+			}
+			tokenBuf = tokenBuf[:tlen]
+			if _, err := io.ReadFull(br, tokenBuf); err != nil {
+				return nil, fmt.Errorf("graham: reading token: %w", err)
+			}
+			n, err := readUvarint("occurrence count")
+			if err != nil {
+				return nil, err
+			}
+			if n > maxReasonable {
+				return nil, fmt.Errorf("graham: implausible counts for %q", tokenBuf)
+			}
+			counts[string(tokenBuf)] = int(n)
+		}
+	}
+	return f, nil
+}

@@ -4,9 +4,28 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/mail"
 	"repro/internal/tokenize"
 )
+
+// Filter satisfies the backend-generic contract plus every optional
+// capability.
+var (
+	_ engine.Classifier      = (*Filter)(nil)
+	_ engine.TokenClassifier = (*Filter)(nil)
+	_ engine.TokenLearner    = (*Filter)(nil)
+	_ engine.Persistable     = (*Filter)(nil)
+	_ engine.Tokenizing      = (*Filter)(nil)
+)
+
+func init() {
+	engine.Register(engine.Backend{
+		Name: "sbayes",
+		Doc:  "SpamBayes learner: Robinson token scores, Fisher chi-square combining, ham/unsure/spam verdicts",
+		New:  func() engine.Classifier { return NewDefault() },
+	})
+}
 
 // record holds per-token training counts: the number of spam and ham
 // training messages that contained the token at least once.

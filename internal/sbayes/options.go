@@ -19,33 +19,22 @@
 // experiments and the RONI defense rely on.
 package sbayes
 
-import "fmt"
+import (
+	"fmt"
 
-// Label is the three-way SpamBayes verdict.
-type Label int8
-
-const (
-	// Ham is legitimate email (score ≤ θ0).
-	Ham Label = iota
-	// Unsure is the in-between verdict (θ0 < score ≤ θ1).
-	Unsure
-	// Spam is unsolicited email (score > θ1).
-	Spam
+	"repro/internal/engine"
 )
 
-// String returns the lowercase label name.
-func (l Label) String() string {
-	switch l {
-	case Ham:
-		return "ham"
-	case Unsure:
-		return "unsure"
-	case Spam:
-		return "spam"
-	default:
-		return fmt.Sprintf("Label(%d)", int(l))
-	}
-}
+// Label is the three-way verdict, shared with every backend through
+// the engine package: Ham (score ≤ θ0), Unsure (θ0 < score ≤ θ1),
+// Spam (score > θ1).
+type Label = engine.Label
+
+const (
+	Ham    = engine.Ham
+	Unsure = engine.Unsure
+	Spam   = engine.Spam
+)
 
 // Options holds the learner's tunable parameters. The zero value is
 // not meaningful; start from DefaultOptions.

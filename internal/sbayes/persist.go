@@ -60,6 +60,19 @@ func (f *Filter) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// Load replaces the filter's trained state with a database written by
+// Save, keeping its options and tokenizer. On error the filter is
+// left unchanged. It is the engine.Persistable counterpart of the
+// package-level Load.
+func (f *Filter) Load(r io.Reader) error {
+	loaded, err := Load(r, f.opts, f.tok)
+	if err != nil {
+		return err
+	}
+	f.nspam, f.nham, f.records = loaded.nspam, loaded.nham, loaded.records
+	return nil
+}
+
 // Load reads a token database written by Save, returning a filter
 // with the given options and tokenizer (nil selects defaults).
 func Load(r io.Reader, opts Options, tok *tokenize.Tokenizer) (*Filter, error) {

@@ -18,15 +18,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/eval"
-	"repro/internal/sbayes"
 	"repro/internal/stats"
 	"repro/internal/textgen"
-	"repro/internal/tokenize"
+
+	// Register the stock backends so a Config can name them.
+	_ "repro/internal/graham"
+	_ "repro/internal/sbayes"
 )
 
 // Config parameterizes a simulated deployment.
 type Config struct {
+	// Backend names the learner the organization deploys, from the
+	// engine registry ("sbayes", "graham"; empty selects "sbayes").
+	// Attack-transfer scenarios run the same attack stream against
+	// different backends by varying only this field.
+	Backend string
 	// Weeks is how many retraining periods to simulate.
 	Weeks int
 	// InitialMailStore is the clean bootstrap corpus size.
@@ -66,8 +74,19 @@ func DefaultConfig() Config {
 	}
 }
 
+// BackendName returns the configured backend, defaulting to sbayes.
+func (c Config) BackendName() string {
+	if c.Backend == "" {
+		return "sbayes"
+	}
+	return c.Backend
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
+	if _, err := engine.Lookup(c.BackendName()); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	switch {
 	case c.Weeks < 1:
 		return fmt.Errorf("scenario: Weeks %d", c.Weeks)
@@ -106,13 +125,18 @@ type Result struct {
 	Weeks []WeekReport
 }
 
-// Run simulates the deployment. All randomness comes from r.
+// Run simulates the deployment. All randomness comes from r. The
+// learner is whichever backend cfg names — the attack stream, the
+// RONI defense, and the weekly evaluation all operate through the
+// backend-generic interface.
 func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tok := tokenize.Default()
-	opts := sbayes.DefaultOptions()
+	backend, err := engine.Lookup(cfg.BackendName())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
 
 	nSpam := int(float64(cfg.InitialMailStore)*cfg.SpamPrevalence + 0.5)
 	store := g.Corpus(r.Split("bootstrap"), cfg.InitialMailStore-nSpam, nSpam)
@@ -142,7 +166,7 @@ func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 
 		// Optional RONI scrubbing against the trusted store.
 		if cfg.UseRONI {
-			defense, err := core.NewRONI(cfg.RONI, store, opts, tok, wr)
+			defense, err := core.NewRONIBackend(cfg.RONI, store, backend.New, wr)
 			if err != nil {
 				return nil, fmt.Errorf("scenario week %d: %w", week, err)
 			}
@@ -160,11 +184,12 @@ func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 		store.Append(weekly)
 		report.MailStoreSize = store.Len()
 
-		// Weekly retraining and evaluation on fresh mail.
-		filter := eval.TrainFilter(store, opts, tok)
+		// Weekly retraining and evaluation on fresh mail, scored in
+		// parallel across GOMAXPROCS.
+		clf := eval.TrainBackend(backend.New, store)
 		tSpam := int(float64(cfg.TestSize)*cfg.SpamPrevalence + 0.5)
 		test := g.Corpus(wr.Split("test"), cfg.TestSize-tSpam, tSpam)
-		report.Confusion = eval.Evaluate(filter, test)
+		report.Confusion = eval.EvaluateBatch(clf, test, 0)
 		res.Weeks = append(res.Weeks, report)
 	}
 	return res, nil
@@ -216,7 +241,8 @@ func (r *Result) Render() string {
 	if r.Cfg.UseRONI {
 		defense = "RONI scrubbing"
 	}
-	fmt.Fprintf(&b, "Deployment simulation (§2.1): weekly retraining, %s, %s.\n", label, defense)
+	fmt.Fprintf(&b, "Deployment simulation (§2.1): %s backend, weekly retraining, %s, %s.\n",
+		r.Cfg.BackendName(), label, defense)
 	t := newTable("week", "store", "atk in", "atk rej", "org rej", "ham lost", "spam caught")
 	for _, w := range r.Weeks {
 		t.addRow(

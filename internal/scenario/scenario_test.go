@@ -148,6 +148,52 @@ func TestRONIScrubbingSavesDeployment(t *testing.T) {
 	}
 }
 
+func TestUnknownBackendRejected(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Backend = "nonesuch"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown backend validated")
+	}
+	g := testGen(t)
+	if _, err := Run(g, cfg, stats.NewRNG(9)); err == nil {
+		t.Error("Run accepted unknown backend")
+	}
+}
+
+func TestGrahamBackendDeploymentUnderDictionaryAttack(t *testing.T) {
+	// The same deployment, the same attack stream, a different
+	// learner: the dictionary attack transfers to the Graham baseline
+	// once the dose is high enough (its clamps and 15-token cap need
+	// roughly an order of magnitude more volume than SpamBayes).
+	g := testGen(t)
+	cfg := smallCfg()
+	cfg.Backend = "graham"
+	cfg.Attack = core.NewDictionaryAttack(lexicon.Optimal(g.Universe()))
+	cfg.AttackFraction = 0.5
+	res, err := Run(g, cfg, stats.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the attack starts, the Graham filter works.
+	pre := res.Weeks[cfg.AttackStartWeek-2]
+	if loss := pre.Confusion.HamMisclassifiedRate(); loss > 0.1 {
+		t.Errorf("pre-attack week loses %v of ham", loss)
+	}
+	// Graham's verdict is binary: no unsure cells, ever.
+	for _, w := range res.Weeks {
+		if w.Confusion.HamAsUnsure != 0 || w.Confusion.SpamAsUnsure != 0 {
+			t.Errorf("week %d: graham produced unsure verdicts: %+v", w.Week, w.Confusion)
+		}
+	}
+	// After the sustained high-dose attack, the filter is degraded.
+	if res.FinalHamLoss() < 0.25 {
+		t.Errorf("final ham loss only %v; dictionary attack did not transfer to graham", res.FinalHamLoss())
+	}
+	if !strings.Contains(res.Render(), "graham backend") {
+		t.Error("render does not name the backend")
+	}
+}
+
 func TestScenarioDeterminism(t *testing.T) {
 	g := testGen(t)
 	cfg := smallCfg()

@@ -2,19 +2,36 @@
 // al., "Exploiting Machine Learning to Subvert Your Spam Filter"
 // (LEET/NSDI-workshop 2008).
 //
-// It re-exports the user-facing surface of the internal packages so a
-// downstream project can depend on a single import path:
+// The API is interface-first: every learner implements Classifier
+// (Learn/Unlearn/Classify/Score), backends are constructed by name
+// through the engine registry (NewClassifier, Backends), and the
+// Engine service scores batches concurrently over any of them. The
+// attacks, the defenses, the evaluation harness, and the deployment
+// simulator all operate on the interface, mirroring the paper's
+// claim that Causative Availability attacks exploit the statistical
+// learning approach rather than one filter implementation.
 //
-//   - the SpamBayes statistical filter (Robinson token scores +
-//     Fisher chi-square combining, ham/unsure/spam verdicts);
-//   - the SpamBayes tokenizer;
-//   - the email message model and mbox archive I/O;
+// The layers, top to bottom:
+//
+//   - Classifier, Persistable, Backend and Engine: the
+//     backend-generic contract, the named-backend registry
+//     ("sbayes", "graham"), and the concurrent batch-scoring
+//     service;
+//   - Filter, the SpamBayes learner (Robinson token scores + Fisher
+//     chi-square combining, ham/unsure/spam verdicts), and
+//     GrahamFilter, the "A Plan for Spam" baseline — both satisfy
+//     Classifier;
+//   - the SpamBayes tokenizer, the email message model, and mbox
+//     archive I/O;
 //   - the synthetic corpus generator and attack lexicons that stand
 //     in for the paper's TREC-2005 and Usenet data;
 //   - the Causative Availability attacks (dictionary, focused,
-//     optimal) and the two defenses (RONI, dynamic thresholds);
-//   - labeled corpora with sampling and cross-validation; and
-//   - the experiment drivers that regenerate every table and figure.
+//     optimal) and the two defenses (RONI — against any backend —
+//     and dynamic thresholds);
+//   - labeled corpora with sampling and cross-validation, serial and
+//     parallel evaluation; and
+//   - the experiment drivers that regenerate every table and figure,
+//     including cross-backend attack transfer.
 //
 // See examples/ for runnable walkthroughs and cmd/subvert for the
 // experiment harness.
@@ -25,8 +42,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/graham"
 	"repro/internal/lexicon"
 	"repro/internal/mail"
 	"repro/internal/sbayes"
@@ -35,6 +54,56 @@ import (
 	"repro/internal/textgen"
 	"repro/internal/tokenize"
 )
+
+// ---- The backend-generic classifier API ----
+
+// Classifier is the learner contract every backend implements:
+// incremental Learn/Unlearn, Classify into ham/unsure/spam, and raw
+// spam scores.
+type Classifier = engine.Classifier
+
+// Persistable is the optional capability of saving and restoring a
+// trained database; both stock backends have it.
+type Persistable = engine.Persistable
+
+// Backend is one registered learner implementation.
+type Backend = engine.Backend
+
+// Backends returns the registered backend names ("graham", "sbayes").
+func Backends() []string { return engine.Backends() }
+
+// LookupBackend returns the named backend.
+func LookupBackend(name string) (Backend, error) { return engine.Lookup(name) }
+
+// NewClassifier constructs a fresh classifier for a backend name.
+func NewClassifier(backend string) (Classifier, error) {
+	b, err := engine.Lookup(backend)
+	if err != nil {
+		return nil, err
+	}
+	return b.New(), nil
+}
+
+// Engine is the concurrent scoring service over one classifier:
+// worker-pool ClassifyBatch/ScoreBatch, a buffered LearnStream, and
+// verdict/latency counters.
+type Engine = engine.Engine
+
+// EngineConfig tunes an Engine (name, workers, learn buffer).
+type EngineConfig = engine.Config
+
+// ClassifyResult is one message's verdict within a batch.
+type ClassifyResult = engine.Result
+
+// LabeledMessage is one training example flowing through an Engine's
+// LearnStream.
+type LabeledMessage = engine.Labeled
+
+// EngineStats is a snapshot of an Engine's counters.
+type EngineStats = engine.Stats
+
+// NewEngine returns a scoring engine over any classifier.
+func NewEngine(c Classifier, cfg EngineConfig) *Engine { return engine.New(c, cfg) }
 
 // ---- Filter (the SpamBayes learner) ----
 
@@ -45,14 +114,14 @@ type Filter = sbayes.Filter
 // FilterOptions are the learner's tunable parameters.
 type FilterOptions = sbayes.Options
 
-// Label is the three-way SpamBayes verdict.
-type Label = sbayes.Label
+// Label is the three-way verdict shared by every backend.
+type Label = engine.Label
 
 // Verdicts.
 const (
-	Ham    = sbayes.Ham
-	Unsure = sbayes.Unsure
-	Spam   = sbayes.Spam
+	Ham    = engine.Ham
+	Unsure = engine.Unsure
+	Spam   = engine.Spam
 )
 
 // Clue is one token's contribution to a classification.
@@ -75,6 +144,29 @@ func NewFilterWithOptions(opts FilterOptions, tok *Tokenizer) *Filter {
 // LoadFilter reads a filter database written by Filter.Save.
 func LoadFilter(r io.Reader, opts FilterOptions, tok *Tokenizer) (*Filter, error) {
 	return sbayes.Load(r, opts, tok)
+}
+
+// ---- GrahamFilter (the "A Plan for Spam" baseline) ----
+
+// GrahamFilter is Paul Graham's 2002 classifier: clamped naive Bayes
+// over the fifteen most interesting tokens with a binary verdict. It
+// is the second registered backend and demonstrates attack transfer
+// across learners.
+type GrahamFilter = graham.Filter
+
+// GrahamOptions are the Graham learner's tunable parameters.
+type GrahamOptions = graham.Options
+
+// DefaultGrahamOptions returns the essay's parameters.
+func DefaultGrahamOptions() GrahamOptions { return graham.DefaultOptions() }
+
+// NewGrahamFilter returns an empty Graham filter with essay defaults.
+func NewGrahamFilter() *GrahamFilter { return graham.NewDefault() }
+
+// NewGrahamFilterWithOptions returns an empty Graham filter with
+// explicit options and tokenizer (nil tokenizer selects the default).
+func NewGrahamFilterWithOptions(opts GrahamOptions, tok *Tokenizer) *GrahamFilter {
+	return graham.New(opts, tok)
 }
 
 // ---- Tokenizer ----
@@ -233,9 +325,16 @@ type DynamicThreshold = core.DynamicThreshold
 // DefaultRONIConfig returns the paper's RONI parameters.
 func DefaultRONIConfig() RONIConfig { return core.DefaultRONIConfig() }
 
-// NewRONI samples trial sets from pool and builds the evaluator.
+// NewRONI samples trial sets from pool and builds the evaluator over
+// SpamBayes trial filters.
 func NewRONI(cfg RONIConfig, pool *Corpus, opts FilterOptions, tok *Tokenizer, r *RNG) (*RONI, error) {
 	return core.NewRONI(cfg, pool, opts, tok, r)
+}
+
+// NewRONIBackend is NewRONI with trial filters built by any backend
+// factory (clone-and-train against an arbitrary learner).
+func NewRONIBackend(cfg RONIConfig, pool *Corpus, newClassifier func() Classifier, r *RNG) (*RONI, error) {
+	return core.NewRONIBackend(cfg, pool, newClassifier, r)
 }
 
 // ---- Evaluation ----
@@ -243,13 +342,22 @@ func NewRONI(cfg RONIConfig, pool *Corpus, opts FilterOptions, tok *Tokenizer, r
 // Confusion counts verdicts by true class.
 type Confusion = eval.Confusion
 
-// TrainFilter trains a fresh filter on a corpus.
+// TrainFilter trains a fresh SpamBayes filter on a corpus.
 func TrainFilter(train *Corpus, opts FilterOptions, tok *Tokenizer) *Filter {
 	return eval.TrainFilter(train, opts, tok)
 }
 
-// Evaluate scores a corpus under f.
-func Evaluate(f *Filter, test *Corpus) Confusion { return eval.Evaluate(f, test) }
+// TrainClassifier trains any classifier on a corpus in corpus order.
+func TrainClassifier(c Classifier, train *Corpus) { eval.Train(c, train) }
+
+// Evaluate scores a corpus under any classifier.
+func Evaluate(c Classifier, test *Corpus) Confusion { return eval.Evaluate(c, test) }
+
+// EvaluateBatch is Evaluate sharded across up to workers goroutines
+// (GOMAXPROCS when workers <= 0).
+func EvaluateBatch(c Classifier, test *Corpus, workers int) Confusion {
+	return eval.EvaluateBatch(c, test, workers)
+}
 
 // ---- Experiments ----
 
