@@ -2,10 +2,12 @@
 #
 #   make build   compile every package
 #   make test    run the full test suite
-#   make race    run the engine conformance + service suites under -race
+#   make race    run the concurrency-sensitive suites under -race
+#                (engine snapshot swap, eval parallelism, scenario
+#                online serving)
 #   make vet     static checks
 #   make bench   run all benchmarks (one per exhibit + micro-benchmarks)
-#   make check   build + vet + test (what CI runs)
+#   make check   build + vet + test + race (what CI runs)
 
 GO ?= go
 
@@ -18,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/eval/
+	$(GO) test -race ./internal/engine/ ./internal/eval/ ./internal/scenario/
 
 vet:
 	$(GO) vet ./...
@@ -26,4 +28,4 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-check: build vet test
+check: build vet test race

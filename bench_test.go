@@ -497,6 +497,70 @@ func BenchmarkClassifyBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkServeWhileRetraining proves the snapshot-swap serving
+// layer: batch scoring throughput with a continuous background
+// Retrain loop publishing fresh snapshots, against the same engine
+// idle. The two ns/op figures should be close — scoring never blocks
+// on the rebuild — and the retraining run reports how many
+// generations were published while it scored.
+func BenchmarkServeWhileRetraining(b *testing.B) {
+	e := env(b)
+	r := e.RNG("serve-retrain")
+	store := e.Gen.Corpus(r, 400, 400)
+	backend, err := engine.Lookup("sbayes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := make([]*Message, 256)
+	for i := range msgs {
+		msgs[i] = e.Gen.Message(r, i%2 == 0)
+	}
+	ctx := context.Background()
+	newEngine := func() *engine.Engine {
+		return engine.New(eval.TrainBackend(backend.New, store), engine.Config{Name: "serve", Workers: 4})
+	}
+
+	b.Run("idle", func(b *testing.B) {
+		eng := newEngine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ClassifyBatch(ctx, msgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("retraining", func(b *testing.B) {
+		eng := newEngine()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.Retrain(ctx, backend.New, store); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ClassifyBatch(ctx, msgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		b.ReportMetric(float64(eng.Stats().Retrains)/float64(b.N), "retrains/op")
+	})
+}
+
 // BenchmarkCloneFilter measures the cost of branching a poisoned
 // filter off a clean baseline.
 func BenchmarkCloneFilter(b *testing.B) {

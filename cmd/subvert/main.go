@@ -127,6 +127,7 @@ func main() {
 			return render("backends", res, err)
 		},
 		"deploy": runDeploy,
+		"online": runOnline,
 	}
 
 	switch exhibit {
@@ -182,6 +183,47 @@ func runDeploy(e *experiments.Env) error {
 		res, err := scenario.Run(e.Gen, c, e.RNG("deploy-"+v.name))
 		if err != nil {
 			return fmt.Errorf("deploy %s: %w", v.name, err)
+		}
+		fmt.Printf("== %s ==\n%s\n", v.name, res.Render())
+	}
+	return nil
+}
+
+// runOnline simulates the same deployment per message through the
+// serving engine: every verdict is the one the user saw at delivery,
+// and each week's retrain is built in the background and swapped in
+// a third of the way into the next week.
+func runOnline(e *experiments.Env) error {
+	cfg := scenario.DefaultConfig()
+	if e.Cfg.TrainSize < 2000 { // small scale
+		cfg.Weeks = 4
+		cfg.InitialMailStore = 400
+		cfg.MessagesPerWeek = 200
+		cfg.TestSize = 100
+		cfg.AttackFraction = 0.05
+		cfg.AttackStartWeek = 2
+	}
+	cfg.RetrainLag = cfg.MessagesPerWeek / 3
+	attack := core.NewDictionaryAttack(e.Usenet)
+	variants := []struct {
+		name   string
+		mutate func(*scenario.Config)
+	}{
+		{"clean", func(c *scenario.Config) {}},
+		{"attacked", func(c *scenario.Config) { c.Attack = attack }},
+		{"attacked, incremental retraining", func(c *scenario.Config) {
+			c.Attack = attack
+			c.Retraining = scenario.RetrainIncremental
+		}},
+		{"attacked, chunked x4", func(c *scenario.Config) { c.Attack = attack; c.AttackChunks = 4 }},
+		{"RONI-scrubbed", func(c *scenario.Config) { c.Attack = attack; c.UseRONI = true }},
+	}
+	for _, v := range variants {
+		c := cfg
+		v.mutate(&c)
+		res, err := scenario.RunOnline(e.Gen, c, e.RNG("online-"+v.name))
+		if err != nil {
+			return fmt.Errorf("online %s: %w", v.name, err)
 		}
 		fmt.Printf("== %s ==\n%s\n", v.name, res.Render())
 	}
@@ -247,6 +289,9 @@ Extensions (features the paper sketches but does not evaluate):
   backends    the attack against every registered learner backend (sbayes, graham)
   deploy      §2.1 weekly-retraining deployment: clean / attacked / RONI-scrubbed /
               graham backend under attack
+  online      the same deployment one message at a time through the serving
+              engine: at-delivery verdicts, background retrains swapped in
+              mid-week (periodic vs. incremental, replicated vs. chunked)
 
   all      everything above
 

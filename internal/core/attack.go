@@ -25,6 +25,16 @@ type Attacker interface {
 	BuildAttack(r *stats.RNG) *mail.Message
 }
 
+// ChunkedAttacker is the capability of splitting the attack payload
+// across n distinct emails instead of replicating one (the §4.2
+// stealth variant implemented by DictionaryAttack.BuildChunked).
+// Deployment simulators discover it with a type assertion when their
+// configuration asks for a chunked stream.
+type ChunkedAttacker interface {
+	Attacker
+	BuildChunked(n int) []*mail.Message
+}
+
 // AttackSize converts an attack fraction into a message count: the
 // number of attack messages that makes up `fraction` of the poisoned
 // training set of base size trainSize. This matches the paper's

@@ -263,6 +263,37 @@ func TestConformanceSaveLoadFidelity(t *testing.T) {
 	})
 }
 
+func TestConformanceCloneIndependence(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		clf := trained(t, backend)
+		cloner, ok := clf.(engine.Cloner)
+		if !ok {
+			t.Fatalf("backend %q is not a Cloner", backend)
+		}
+		clone := cloner.CloneClassifier()
+		ns0, nh0 := clf.Counts()
+		if ns1, nh1 := clone.Counts(); ns1 != ns0 || nh1 != nh0 {
+			t.Fatalf("clone counts (%d, %d) != original (%d, %d)", ns1, nh1, ns0, nh0)
+		}
+		probe := msg("meeting winner agenda lottery report\n")
+		before := clf.Score(probe)
+		if got := clone.Score(probe); got != before {
+			t.Fatalf("clone scores %v, original %v", got, before)
+		}
+		// Training the clone must not touch the original — the
+		// snapshot-swap property RetrainIncremental relies on.
+		for i := 0; i < 10; i++ {
+			clone.Learn(msg("meeting agenda report budget review\n"), true)
+		}
+		if got := clf.Score(probe); got != before {
+			t.Errorf("training the clone changed the original's score %v -> %v", before, got)
+		}
+		if ns1, nh1 := clf.Counts(); ns1 != ns0 || nh1 != nh0 {
+			t.Errorf("training the clone changed the original's counts")
+		}
+	})
+}
+
 func TestConformanceConcurrentClassifyBatch(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, backend string) {
 		clf := trained(t, backend)

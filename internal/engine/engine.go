@@ -14,14 +14,17 @@
 //
 //   - the contract: Classifier plus the optional capability
 //     interfaces (TokenClassifier, TokenLearner, Persistable,
-//     Tokenizing) that fast paths and persistence discover with type
-//     assertions;
+//     Tokenizing, Cloner) that fast paths, persistence, and
+//     incremental retraining discover with type assertions;
 //   - the Backend registry, keyed by name ("sbayes", "graham"), which
 //     backends join from their package init and callers query to pick
 //     a learner per deployment configuration;
-//   - Engine, a concurrent batch-scoring service with worker-pool
-//     ClassifyBatch/ScoreBatch, a buffered LearnStream for bulk
-//     training, and per-engine verdict/latency counters.
+//   - Engine, a zero-downtime scoring service: worker-pool
+//     ClassifyBatch/ScoreBatch and single-message Classify read an
+//     atomically swappable immutable snapshot, Retrain builds the
+//     replacement off the serving path and publishes it in one
+//     atomic store (generation-counted in Stats), and a buffered
+//     LearnStream bulk-loads the initial snapshot.
 package engine
 
 import (
@@ -113,4 +116,15 @@ type Persistable interface {
 // corpora consistently with the backend.
 type Tokenizing interface {
 	Tokenizer() *tokenize.Tokenizer
+}
+
+// Cloner is the capability of deep-copying the trained state into an
+// independent classifier. The Engine's RetrainIncremental uses it to
+// branch the next serving snapshot off the current one and train only
+// the new examples into the branch; experiments use it to fork a
+// poisoned filter off a shared clean baseline. (Backends keep their
+// concrete-typed Clone for callers that need the full surface;
+// CloneClassifier is the interface-typed view of the same copy.)
+type Cloner interface {
+	CloneClassifier() Classifier
 }

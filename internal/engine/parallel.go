@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(0..n-1) across up to workers goroutines (n when
+// workers <= 0 or workers > n) and waits for completion. Indices are
+// handed out through a shared atomic cursor, so an uneven workload
+// cannot starve a worker and no per-item channel send is paid — the
+// scheme the Engine's batch sweep and eval's fold/shard parallelism
+// share. Each index is processed exactly once; fn must be safe to run
+// concurrently for distinct indices, and results are deterministic as
+// long as fn(i) writes only to index-i-owned state.
+//
+// It stops handing out work and returns ctx.Err() once cancellation
+// is observed; fn calls already started are completed.
+func ParallelFor(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var cursor atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if cancelled.Load() {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

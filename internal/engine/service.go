@@ -2,11 +2,13 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/mail"
 )
 
@@ -22,20 +24,38 @@ type Config struct {
 	LearnBuffer int
 }
 
-// Engine is a scoring service over one Classifier: it fans batches
-// out across a worker pool, funnels bulk training through a buffered
-// stream (classifier mutation is single-writer), and keeps verdict
-// and latency counters.
+// snapshot is one published generation of the serving classifier.
+// Snapshots are immutable once published: retraining builds a fresh
+// classifier off to the side and installs it with one atomic pointer
+// store, so scoring never observes a half-trained filter.
+type snapshot struct {
+	clf Classifier
+	gen uint64
+}
+
+// Engine is a zero-downtime scoring service over a classifier: it
+// fans batches out across a worker pool, holds the classifier behind
+// an atomically swappable snapshot so Retrain can rebuild it while
+// batches keep flowing, funnels bulk training through a buffered
+// stream, and keeps verdict and latency counters.
 //
-// The classifier must tolerate concurrent read-only Classify/Score
-// calls; Engine never mutates it concurrently with scoring — callers
-// are responsible for not training while a batch is in flight, just
-// as with a bare Classifier.
+// Scoring (Classify, ClassifyBatch, ScoreBatch) reads the current
+// snapshot once per call and uses it throughout, so a batch never
+// mixes generations. Publishing (Retrain, RetrainIncremental, Swap)
+// replaces the snapshot atomically; the classifier only needs to
+// tolerate concurrent read-only Classify/Score calls, which every
+// backend guarantees. The one in-place mutation path, LearnStream,
+// trains the snapshot current at stream start and is meant for bulk
+// loading before serving begins.
 type Engine struct {
 	name     string
-	clf      Classifier
 	workers  int
 	learnBuf int
+
+	// cur is the serving snapshot. publishMu serializes publishers
+	// (retraining is single-writer); readers only Load.
+	cur       atomic.Pointer[snapshot]
+	publishMu sync.Mutex
 
 	classified   atomic.Uint64
 	learned      atomic.Uint64
@@ -44,7 +64,7 @@ type Engine struct {
 	latencyNanos atomic.Uint64
 }
 
-// New returns an Engine over clf.
+// New returns an Engine serving clf as generation 1.
 func New(clf Classifier, cfg Config) *Engine {
 	if clf == nil {
 		panic("engine: New with nil classifier")
@@ -61,11 +81,24 @@ func New(clf Classifier, cfg Config) *Engine {
 	if learnBuf <= 0 {
 		learnBuf = 256
 	}
-	return &Engine{name: name, clf: clf, workers: workers, learnBuf: learnBuf}
+	e := &Engine{name: name, workers: workers, learnBuf: learnBuf}
+	e.cur.Store(&snapshot{clf: clf, gen: 1})
+	return e
 }
 
-// Classifier returns the underlying classifier.
-func (e *Engine) Classifier() Classifier { return e.clf }
+// Classifier returns the currently serving classifier.
+func (e *Engine) Classifier() Classifier { return e.cur.Load().clf }
+
+// Snapshot returns the currently serving classifier and its
+// generation number in one consistent read.
+func (e *Engine) Snapshot() (Classifier, uint64) {
+	s := e.cur.Load()
+	return s.clf, s.gen
+}
+
+// Generation returns the serving snapshot's generation number. It
+// starts at 1 and increases by one per published replacement.
+func (e *Engine) Generation() uint64 { return e.cur.Load().gen }
 
 // Name returns the engine's stats label.
 func (e *Engine) Name() string { return e.name }
@@ -73,19 +106,32 @@ func (e *Engine) Name() string { return e.name }
 // Workers returns the effective batch parallelism.
 func (e *Engine) Workers() int { return e.workers }
 
-// Result is one message's verdict within a batch.
+// Result is one message's verdict.
 type Result struct {
 	Label Label
 	Score float64
 }
 
+// Classify scores one message against the current snapshot — the
+// at-delivery verdict an online deployment hands the user while
+// retraining may be running in the background.
+func (e *Engine) Classify(m *mail.Message) Result {
+	label, score := e.cur.Load().clf.Classify(m)
+	e.classified.Add(1)
+	e.byLabel[labelIndex(label)].Add(1)
+	return Result{Label: label, Score: score}
+}
+
 // ClassifyBatch scores msgs across the worker pool and returns the
-// results in input order: out[i] is the verdict of msgs[i]. It stops
-// early and returns ctx.Err() if the context is cancelled.
+// results in input order: out[i] is the verdict of msgs[i]. The whole
+// batch is scored against one snapshot, even if a retrain publishes
+// mid-batch. It stops early and returns ctx.Err() if the context is
+// cancelled.
 func (e *Engine) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Result, error) {
+	clf := e.cur.Load().clf
 	out := make([]Result, len(msgs))
 	err := e.run(ctx, len(msgs), func(i int) {
-		label, score := e.clf.Classify(msgs[i])
+		label, score := clf.Classify(msgs[i])
 		out[i] = Result{Label: label, Score: score}
 	})
 	if err != nil {
@@ -100,9 +146,10 @@ func (e *Engine) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Res
 // ScoreBatch is ClassifyBatch without thresholding: out[i] is the
 // spam score of msgs[i].
 func (e *Engine) ScoreBatch(ctx context.Context, msgs []*mail.Message) ([]float64, error) {
+	clf := e.cur.Load().clf
 	out := make([]float64, len(msgs))
 	err := e.run(ctx, len(msgs), func(i int) {
-		out[i] = e.clf.Score(msgs[i])
+		out[i] = clf.Score(msgs[i])
 	})
 	if err != nil {
 		return nil, err
@@ -111,8 +158,7 @@ func (e *Engine) ScoreBatch(ctx context.Context, msgs []*mail.Message) ([]float6
 }
 
 // run executes fn(0..n-1) on the worker pool, counting work and
-// latency. Indices are handed out through a shared atomic cursor so
-// an uneven batch cannot starve a worker.
+// latency.
 func (e *Engine) run(ctx context.Context, n int, fn func(i int)) error {
 	if n == 0 {
 		return ctx.Err()
@@ -122,36 +168,90 @@ func (e *Engine) run(ctx context.Context, n int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
-	var cursor atomic.Int64
-	var cancelled atomic.Bool
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				if cancelled.Load() {
-					return
-				}
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if ctx.Err() != nil {
-					cancelled.Store(true)
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	if err := ParallelFor(ctx, n, workers, fn); err != nil {
 		return err
 	}
 	e.classified.Add(uint64(n))
 	e.batches.Add(1)
 	e.latencyNanos.Add(uint64(time.Since(start)))
+	return nil
+}
+
+// Retrain builds a fresh classifier from factory, trains it on train,
+// and publishes it as the new serving snapshot in one atomic swap.
+// Scoring continues against the previous snapshot for the whole build
+// and never observes the half-trained replacement. Publishers are
+// serialized (retraining is single-writer); concurrent scoring is
+// never blocked. It returns the new snapshot's generation, or the
+// current generation and ctx.Err() if cancelled mid-build (the
+// serving snapshot is then left unchanged).
+func (e *Engine) Retrain(ctx context.Context, factory Factory, train *corpus.Corpus) (uint64, error) {
+	if factory == nil {
+		panic("engine: Retrain with nil factory")
+	}
+	e.publishMu.Lock()
+	defer e.publishMu.Unlock()
+	replacement := factory()
+	if err := trainAll(ctx, replacement, train); err != nil {
+		return e.cur.Load().gen, err
+	}
+	return e.publishLocked(replacement), nil
+}
+
+// RetrainIncremental clones the serving snapshot, trains only delta
+// into the clone, and publishes the clone — the cheap path when the
+// new training data is a small addition to what the snapshot already
+// knows (a week's kept mail versus the whole store). It requires the
+// serving classifier to be a Cloner and returns an error naming the
+// type otherwise.
+func (e *Engine) RetrainIncremental(ctx context.Context, delta *corpus.Corpus) (uint64, error) {
+	e.publishMu.Lock()
+	defer e.publishMu.Unlock()
+	cur := e.cur.Load()
+	cloner, ok := cur.clf.(Cloner)
+	if !ok {
+		return cur.gen, fmt.Errorf("engine: %T is not a Cloner; use Retrain", cur.clf)
+	}
+	replacement := cloner.CloneClassifier()
+	if err := trainAll(ctx, replacement, delta); err != nil {
+		return cur.gen, err
+	}
+	return e.publishLocked(replacement), nil
+}
+
+// Swap publishes an externally built classifier as the new serving
+// snapshot and returns its generation. Callers that build
+// replacements themselves (a deployment simulator overlapping the
+// build with next week's deliveries, a process loading a database
+// from disk) use it as the raw publish primitive under the same
+// single-writer serialization as Retrain. The classifier must not be
+// mutated after the call.
+func (e *Engine) Swap(clf Classifier) uint64 {
+	if clf == nil {
+		panic("engine: Swap with nil classifier")
+	}
+	e.publishMu.Lock()
+	defer e.publishMu.Unlock()
+	return e.publishLocked(clf)
+}
+
+// publishLocked installs clf as the next generation. Callers hold
+// publishMu.
+func (e *Engine) publishLocked(clf Classifier) uint64 {
+	gen := e.cur.Load().gen + 1
+	e.cur.Store(&snapshot{clf: clf, gen: gen})
+	return gen
+}
+
+// trainAll trains every example of c into clf, checking ctx between
+// examples.
+func trainAll(ctx context.Context, clf Classifier, c *corpus.Corpus) error {
+	for _, ex := range c.Examples {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		clf.Learn(ex.Msg, ex.Spam)
+	}
 	return nil
 }
 
@@ -161,18 +261,29 @@ type Labeled struct {
 	Spam bool
 }
 
-// LearnStream starts a single-consumer bulk-training stream: send
-// examples on the returned channel, close it, then call wait for the
-// count of examples learned. The channel is buffered (Config
-// LearnBuffer) so producers — an mbox reader, a corpus generator —
-// run ahead of the learner. Training is serialized on one goroutine
-// because classifier mutation is single-writer. If ctx is cancelled,
-// remaining examples are discarded and wait returns ctx.Err(); the
-// channel keeps accepting (and dropping) sends, but the caller must
-// still close it to release the drain.
+// LearnStream starts a single-consumer bulk-training stream into the
+// snapshot current at stream start: send examples on the returned
+// channel, close it, then call wait for the count of examples
+// learned. The channel is buffered (Config LearnBuffer) so producers
+// — an mbox reader, a corpus generator — run ahead of the learner.
+// Training mutates the snapshot's classifier in place (single-writer
+// on one goroutine), so the stream is for bulk loading before the
+// engine starts serving; a live deployment retrains through
+// Retrain's snapshot swap instead.
+//
+// If ctx is cancelled, remaining examples are discarded and wait
+// returns ctx.Err(). The stream keeps draining until wait observes
+// the cancellation, so a producer blocked on a full buffer is
+// released without having to close the channel. Producers running in
+// other goroutines must stop sending (or close the channel) before
+// wait is called — a send racing wait's return can block forever,
+// exactly like a send racing a close.
 func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, error)) {
+	clf := e.cur.Load().clf
 	in := make(chan Labeled, e.learnBuf)
 	done := make(chan struct{})
+	stop := make(chan struct{})
+	var stopOnce sync.Once
 	var n int
 	var err error
 	go func() {
@@ -182,9 +293,32 @@ func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, 
 			case <-ctx.Done():
 				err = ctx.Err()
 				// Keep draining so a producer blocked on a full
-				// buffer can finish sending and close the channel.
+				// buffer can finish; the drain stops once wait
+				// observes the cancellation instead of leaking until
+				// an abandoned channel is closed.
 				go func() {
-					for range in {
+					for {
+						select {
+						case _, ok := <-in:
+							if !ok {
+								return
+							}
+						case <-stop:
+							// Release any sender blocked right now,
+							// then quit. A closed channel is always
+							// receivable, so check ok or the flush
+							// would spin forever.
+							for {
+								select {
+								case _, ok := <-in:
+									if !ok {
+										return
+									}
+								default:
+									return
+								}
+							}
+						}
 					}
 				}()
 				return
@@ -192,7 +326,7 @@ func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, 
 				if !ok {
 					return
 				}
-				e.clf.Learn(ex.Msg, ex.Spam)
+				clf.Learn(ex.Msg, ex.Spam)
 				e.learned.Add(1)
 				n++
 			}
@@ -200,6 +334,7 @@ func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, 
 	}()
 	wait := func() (int, error) {
 		<-done
+		stopOnce.Do(func() { close(stop) })
 		return n, err
 	}
 	return in, wait
@@ -208,13 +343,21 @@ func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, 
 // Stats is a point-in-time snapshot of an engine's counters.
 type Stats struct {
 	Name string
-	// Classified is the total number of messages scored in batches.
+	// Generation is the serving snapshot's generation (1 is the
+	// classifier the engine was constructed over).
+	Generation uint64
+	// Retrains is the number of snapshot publishes (Retrain,
+	// RetrainIncremental, Swap) since construction — always
+	// Generation - 1, reported for readability.
+	Retrains uint64
+	// Classified is the total number of messages scored (batches and
+	// single-message Classify).
 	Classified uint64
 	// Learned is the total number of messages trained via LearnStream.
 	Learned uint64
 	// Batches is the number of completed batch calls.
 	Batches uint64
-	// ByLabel counts ClassifyBatch verdicts, indexed by Label.
+	// ByLabel counts classification verdicts, indexed by Label.
 	ByLabel [3]uint64
 	// BatchLatency is the cumulative wall-clock time spent in
 	// completed batch calls.
@@ -225,8 +368,11 @@ type Stats struct {
 // published only when the batch completes, so a snapshot is always
 // internally consistent to within the in-flight batch.
 func (e *Engine) Stats() Stats {
+	gen := e.cur.Load().gen
 	return Stats{
 		Name:       e.name,
+		Generation: gen,
+		Retrains:   gen - 1,
 		Classified: e.classified.Load(),
 		Learned:    e.learned.Load(),
 		Batches:    e.batches.Load(),

@@ -15,9 +15,9 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/engine"
@@ -245,34 +245,10 @@ func TrainFilter(train *corpus.Corpus, opts sbayes.Options, tok *tokenize.Tokeni
 // <= 0) and waits for completion. Each index is processed exactly
 // once; fn must be safe to run concurrently for distinct indices.
 // Results are deterministic as long as fn(i) writes only to
-// index-i-owned state.
+// index-i-owned state. Scheduling is engine.ParallelFor's
+// atomic-cursor handout — one shared implementation instead of a
+// per-index channel send, whose context switch per item dominates
+// small per-item work.
 func Parallel(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 || workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	engine.ParallelFor(context.Background(), n, workers, fn)
 }

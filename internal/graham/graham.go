@@ -45,6 +45,7 @@ var (
 	_ engine.TokenClassifier = (*Filter)(nil)
 	_ engine.Persistable     = (*Filter)(nil)
 	_ engine.Tokenizing      = (*Filter)(nil)
+	_ engine.Cloner          = (*Filter)(nil)
 )
 
 func init() {
@@ -174,6 +175,10 @@ func (f *Filter) Clone() *Filter {
 	}
 	return c
 }
+
+// CloneClassifier is Clone behind the engine.Cloner capability, for
+// interface-typed callers such as Engine.RetrainIncremental.
+func (f *Filter) CloneClassifier() engine.Classifier { return f.Clone() }
 
 // Learn trains on one message. Unlike SpamBayes, occurrences count
 // with multiplicity.

@@ -17,6 +17,7 @@ var (
 	_ engine.TokenLearner    = (*Filter)(nil)
 	_ engine.Persistable     = (*Filter)(nil)
 	_ engine.Tokenizing      = (*Filter)(nil)
+	_ engine.Cloner          = (*Filter)(nil)
 )
 
 func init() {
@@ -193,6 +194,10 @@ func (f *Filter) Clone() *Filter {
 	}
 	return c
 }
+
+// CloneClassifier is Clone behind the engine.Cloner capability, for
+// interface-typed callers such as Engine.RetrainIncremental.
+func (f *Filter) CloneClassifier() engine.Classifier { return f.Clone() }
 
 // SetThresholds replaces θ0 and θ1, as the dynamic threshold defense
 // does after fitting them on validation data. It returns an error on

@@ -1,15 +1,29 @@
 // Package scenario simulates the paper's §2.1 deployment model end to
 // end: an organization filters everyone's incoming email with one
-// SpamBayes filter and retrains it periodically (e.g., weekly) on the
+// filter and retrains it periodically (e.g., weekly) on the
 // accumulated mail store. Attack emails arrive in the weekly stream
 // like any other mail and are labeled spam when training (the
 // contamination assumption, §2.2) — and, optionally, a RONI scrubbing
 // step (§5.1) vets every new training candidate before it enters the
 // store.
 //
+// Two simulators share the machinery:
+//
+//   - Run measures the classic after-the-fact view: retrain at each
+//     week's end, then score a fresh test corpus against the new
+//     filter.
+//   - RunOnline measures what users actually experienced: every
+//     message (organic and attack) is scored one at a time through an
+//     engine.Engine as it arrives, the at-delivery verdicts accumulate
+//     into per-week confusions, and retraining happens in the
+//     background — the replacement snapshot is built concurrently with
+//     the next week's deliveries and published by atomic swap
+//     RetrainLag messages in, so early-week mail is still judged by
+//     the previous generation.
+//
 // The simulator ties every subsystem of this repository together:
-// corpus generation, the learner, the attacks, the defense, and the
-// evaluation metrics, week by week.
+// corpus generation, the learner, the attacks, the defense, the
+// serving engine, and the evaluation metrics, week by week.
 package scenario
 
 import (
@@ -20,6 +34,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/eval"
+	"repro/internal/mail"
 	"repro/internal/stats"
 	"repro/internal/textgen"
 
@@ -27,6 +42,33 @@ import (
 	_ "repro/internal/graham"
 	_ "repro/internal/sbayes"
 )
+
+// RetrainMode selects how RunOnline rebuilds the serving snapshot at
+// each week boundary. Run always retrains periodically.
+type RetrainMode int
+
+const (
+	// RetrainPeriodic rebuilds a fresh classifier from the entire
+	// accumulated store — the paper's §2.1 weekly retrain.
+	RetrainPeriodic RetrainMode = iota
+	// RetrainIncremental clones the serving snapshot and trains only
+	// the week's newly kept mail into the clone (both token-count
+	// backends are additive, so the result matches a full rebuild at a
+	// fraction of the cost).
+	RetrainIncremental
+)
+
+// String names the mode for traces and errors.
+func (m RetrainMode) String() string {
+	switch m {
+	case RetrainPeriodic:
+		return "periodic"
+	case RetrainIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("RetrainMode(%d)", int(m))
+	}
+}
 
 // Config parameterizes a simulated deployment.
 type Config struct {
@@ -43,7 +85,8 @@ type Config struct {
 	MessagesPerWeek int
 	// SpamPrevalence is the spam fraction of organic mail.
 	SpamPrevalence float64
-	// TestSize is the fresh per-week evaluation corpus size.
+	// TestSize is the fresh per-week evaluation corpus size (Run
+	// only; RunOnline records at-delivery verdicts instead).
 	TestSize int
 
 	// Attack, if non-nil, injects attack emails into the weekly
@@ -52,12 +95,29 @@ type Config struct {
 	Attack          core.Attacker
 	AttackStartWeek int
 	AttackFraction  float64
+	// AttackChunks, when > 1, splits the attack payload across that
+	// many distinct emails (the §4.2 stealth variant) and cycles the
+	// weekly attack volume through them. It requires an attacker with
+	// the core.ChunkedAttacker capability. 0 or 1 replicates one
+	// attack email, as the paper's attacks do.
+	AttackChunks int
 
 	// UseRONI inserts the §5.1 defense into the retraining pipeline:
 	// each week's candidates are measured against samples of the
 	// existing (trusted) mail store and rejected on negative impact.
 	UseRONI bool
 	RONI    core.RONIConfig
+
+	// Retraining selects RunOnline's rebuild strategy (periodic full
+	// rebuild by default, or incremental clone-and-extend).
+	Retraining RetrainMode
+	// RetrainLag is how many of the following week's messages are
+	// delivered before the retrained snapshot goes live (RunOnline
+	// only): the replacement is built in the background while those
+	// messages are still scored by the previous generation. 0
+	// publishes right at the boundary; values beyond the weekly volume
+	// publish at the next boundary.
+	RetrainLag int
 }
 
 // DefaultConfig returns a small office-sized deployment.
@@ -102,6 +162,17 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: AttackFraction %v", c.AttackFraction)
 	case c.Attack != nil && c.AttackStartWeek < 1:
 		return fmt.Errorf("scenario: AttackStartWeek %d", c.AttackStartWeek)
+	case c.AttackChunks < 0:
+		return fmt.Errorf("scenario: AttackChunks %d", c.AttackChunks)
+	case c.RetrainLag < 0:
+		return fmt.Errorf("scenario: RetrainLag %d", c.RetrainLag)
+	case c.Retraining != RetrainPeriodic && c.Retraining != RetrainIncremental:
+		return fmt.Errorf("scenario: Retraining %v", c.Retraining)
+	}
+	if c.Attack != nil && c.AttackChunks > 1 {
+		if _, err := chunkedAttacker(c.Attack); err != nil {
+			return err
+		}
 	}
 	if c.UseRONI {
 		return c.RONI.Validate()
@@ -109,7 +180,7 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// WeekReport is one retraining period's outcome.
+// WeekReport is one retraining period's outcome under Run.
 type WeekReport struct {
 	Week            int
 	MailStoreSize   int
@@ -119,16 +190,105 @@ type WeekReport struct {
 	Confusion       eval.Confusion
 }
 
-// Result is the full simulation trace.
+// Result is the full simulation trace of Run.
 type Result struct {
 	Cfg   Config
 	Weeks []WeekReport
 }
 
-// Run simulates the deployment. All randomness comes from r. The
-// learner is whichever backend cfg names — the attack stream, the
-// RONI defense, and the weekly evaluation all operate through the
-// backend-generic interface.
+// injectAttack adds the week's attack traffic to the weekly stream
+// and shuffles it in. It returns the injected messages as an identity
+// set — the same *mail.Message is added many times for a replicated
+// attack, and a chunked attack injects several distinct messages —
+// so that rejection attribution can match by pointer rather than by
+// body text (which would misattribute organic mail whose body
+// collides with the attack payload).
+func injectAttack(cfg Config, week int, weekly *corpus.Corpus, wr *stats.RNG) (map[*mail.Message]bool, int, error) {
+	if cfg.Attack == nil || week < cfg.AttackStartWeek {
+		return nil, 0, nil
+	}
+	n := core.AttackSize(cfg.AttackFraction, cfg.MessagesPerWeek)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	var payloads []*mail.Message
+	if cfg.AttackChunks > 1 {
+		chunked, err := chunkedAttacker(cfg.Attack)
+		if err != nil {
+			return nil, 0, err
+		}
+		payloads = chunked.BuildChunked(cfg.AttackChunks)
+	} else {
+		payloads = []*mail.Message{cfg.Attack.BuildAttack(wr)}
+	}
+	injected := make(map[*mail.Message]bool, len(payloads))
+	for _, m := range payloads {
+		injected[m] = true
+	}
+	// The attacker's contribution is labeled spam when trained (the
+	// contamination assumption).
+	for i := 0; i < n; i++ {
+		weekly.Add(payloads[i%len(payloads)], true)
+	}
+	weekly.Shuffle(wr)
+	return injected, n, nil
+}
+
+// chunkedAttacker returns the attack's chunking capability, or an
+// error naming the attack (shared by Validate and injectAttack so the
+// two checks cannot drift).
+func chunkedAttacker(a core.Attacker) (core.ChunkedAttacker, error) {
+	c, ok := a.(core.ChunkedAttacker)
+	if !ok {
+		return nil, fmt.Errorf("scenario: attack %q cannot be chunked", a.Name())
+	}
+	return c, nil
+}
+
+// rejecter is the slice of core.RONI the scrubbing step needs
+// (narrowed so tests can substitute a deterministic stub).
+type rejecter interface {
+	ShouldReject(q *mail.Message, qSpam bool) bool
+}
+
+// scrubWeek runs the RONI defense over the weekly candidates,
+// memoizing verdicts by message identity — the attacker sends the
+// same message many times, and measuring one copy is measuring all —
+// and attributing rejections against the injected attack set by the
+// same identity key, so an organic message whose body happens to
+// match an attack payload is still counted organic and every chunk of
+// a multi-message attack is counted attack.
+func scrubWeek(d rejecter, weekly *corpus.Corpus, attackSet map[*mail.Message]bool) (kept *corpus.Corpus, attackRejected, organicRejected int) {
+	kept = &corpus.Corpus{}
+	type verdictKey struct {
+		msg  *mail.Message
+		spam bool
+	}
+	cache := map[verdictKey]bool{}
+	for _, e := range weekly.Examples {
+		key := verdictKey{msg: e.Msg, spam: e.Spam}
+		reject, seen := cache[key]
+		if !seen {
+			reject = d.ShouldReject(e.Msg, e.Spam)
+			cache[key] = reject
+		}
+		switch {
+		case !reject:
+			kept.Add(e.Msg, e.Spam)
+		case attackSet[e.Msg]:
+			attackRejected++
+		default:
+			organicRejected++
+		}
+	}
+	return kept, attackRejected, organicRejected
+}
+
+// Run simulates the deployment, measuring each week after the fact:
+// retrain on the accumulated store, then score a fresh test corpus.
+// All randomness comes from r. The learner is whichever backend cfg
+// names — the attack stream, the RONI defense, and the weekly
+// evaluation all operate through the backend-generic interface.
 func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -146,23 +306,14 @@ func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 		wr := r.Split(fmt.Sprintf("week-%d", week))
 		report := WeekReport{Week: week}
 
-		// This week's organic mail.
+		// This week's organic mail, plus the attacker's contribution.
 		wSpam := int(float64(cfg.MessagesPerWeek)*cfg.SpamPrevalence + 0.5)
 		weekly := g.Corpus(wr, cfg.MessagesPerWeek-wSpam, wSpam)
-
-		// The attacker's contribution, labeled spam when trained
-		// (the contamination assumption).
-		var attackBody string
-		if cfg.Attack != nil && week >= cfg.AttackStartWeek {
-			n := core.AttackSize(cfg.AttackFraction, cfg.MessagesPerWeek)
-			attackMsg := cfg.Attack.BuildAttack(wr)
-			attackBody = attackMsg.Body
-			for i := 0; i < n; i++ {
-				weekly.Add(attackMsg, true)
-			}
-			report.AttackArrived = n
-			weekly.Shuffle(wr)
+		attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
+		if err != nil {
+			return nil, err
 		}
+		report.AttackArrived = arrived
 
 		// Optional RONI scrubbing against the trusted store.
 		if cfg.UseRONI {
@@ -170,15 +321,7 @@ func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scenario week %d: %w", week, err)
 			}
-			kept, rejected := roniFilterFast(defense, weekly)
-			for _, e := range rejected.Examples {
-				if attackBody != "" && e.Msg.Body == attackBody {
-					report.AttackRejected++
-				} else {
-					report.OrganicRejected++
-				}
-			}
-			weekly = kept
+			weekly, report.AttackRejected, report.OrganicRejected = scrubWeek(defense, weekly, attackSet)
 		}
 
 		store.Append(weekly)
@@ -195,30 +338,131 @@ func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 	return res, nil
 }
 
-// roniFilterFast is core.RONI.FilterCorpus with memoization of
-// identical candidates: the attacker sends n identical emails, and
-// measuring one is measuring all.
-func roniFilterFast(d *core.RONI, candidates *corpus.Corpus) (kept, rejected *corpus.Corpus) {
-	kept, rejected = &corpus.Corpus{}, &corpus.Corpus{}
-	type verdictKey struct {
-		body string
-		spam bool
+// OnlineWeekReport is one week's outcome under RunOnline.
+type OnlineWeekReport struct {
+	Week          int
+	MailStoreSize int
+	// Generation is the engine's serving snapshot generation at the
+	// end of the week (retrains publish mid-week when RetrainLag > 0).
+	Generation      uint64
+	AttackArrived   int
+	AttackRejected  int
+	OrganicRejected int
+	// Delivered tallies the verdict every arriving message actually
+	// received at delivery time — organic mail under its true label,
+	// attack mail as true spam. This is the user-visible confusion the
+	// after-the-fact test-set evaluation of Run cannot see.
+	Delivered eval.Confusion
+}
+
+// OnlineResult is the full simulation trace of RunOnline.
+type OnlineResult struct {
+	Cfg   Config
+	Weeks []OnlineWeekReport
+}
+
+// RunOnline simulates the deployment one message at a time through a
+// serving engine: every message is classified as it arrives and the
+// verdict the user saw is recorded; at each week's end the candidates
+// are (optionally) RONI-scrubbed into the store and a replacement
+// snapshot is built in the background — concurrently with the next
+// week's deliveries — and published by atomic swap once cfg.RetrainLag
+// messages of that week have gone out. The trace is deterministic:
+// the swap point is fixed in simulated time, so verdicts do not
+// depend on wall-clock scheduling.
+func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	cache := map[verdictKey]bool{}
-	for _, e := range candidates.Examples {
-		key := verdictKey{body: e.Msg.Body, spam: e.Spam}
-		reject, seen := cache[key]
-		if !seen {
-			reject = d.ShouldReject(e.Msg, e.Spam)
-			cache[key] = reject
-		}
-		if reject {
-			rejected.Add(e.Msg, e.Spam)
-		} else {
-			kept.Add(e.Msg, e.Spam)
-		}
+	backend, err := engine.Lookup(cfg.BackendName())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	return kept, rejected
+
+	nSpam := int(float64(cfg.InitialMailStore)*cfg.SpamPrevalence + 0.5)
+	store := g.Corpus(r.Split("bootstrap"), cfg.InitialMailStore-nSpam, nSpam)
+	eng := engine.New(eval.TrainBackend(backend.New, store), engine.Config{Name: "scenario-online"})
+	res := &OnlineResult{Cfg: cfg}
+
+	// pending carries the background rebuild across the week boundary:
+	// the builder goroutine trains the replacement while the next
+	// week's early mail is delivered against the old snapshot.
+	var pending chan engine.Classifier
+	for week := 1; week <= cfg.Weeks; week++ {
+		wr := r.Split(fmt.Sprintf("week-%d", week))
+		report := OnlineWeekReport{Week: week}
+
+		wSpam := int(float64(cfg.MessagesPerWeek)*cfg.SpamPrevalence + 0.5)
+		weekly := g.Corpus(wr, cfg.MessagesPerWeek-wSpam, wSpam)
+		attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
+		if err != nil {
+			return nil, err
+		}
+		report.AttackArrived = arrived
+
+		// Deliver one message at a time. Last week's retrain goes live
+		// RetrainLag messages in; until then users get the previous
+		// generation's verdicts.
+		for i, ex := range weekly.Examples {
+			if pending != nil && i == cfg.RetrainLag {
+				eng.Swap(<-pending)
+				pending = nil
+			}
+			verdict := eng.Classify(ex.Msg)
+			report.Delivered.Observe(ex.Spam, verdict.Label)
+		}
+		if pending != nil {
+			// The lag reached past the week's volume: publish at the
+			// boundary instead.
+			eng.Swap(<-pending)
+			pending = nil
+		}
+
+		// Week's end: scrub the candidates and grow the store.
+		kept := weekly
+		if cfg.UseRONI {
+			defense, err := core.NewRONIBackend(cfg.RONI, store, backend.New, wr)
+			if err != nil {
+				return nil, fmt.Errorf("scenario week %d: %w", week, err)
+			}
+			kept, report.AttackRejected, report.OrganicRejected = scrubWeek(defense, weekly, attackSet)
+		}
+		store.Append(kept)
+		report.MailStoreSize = store.Len()
+		report.Generation = eng.Generation()
+
+		// Kick off the background rebuild; it publishes next week, so
+		// after the final week there is nothing to build. The builder
+		// works on its own shallow copies, so the main loop's store
+		// growth never races it.
+		if week == cfg.Weeks {
+			res.Weeks = append(res.Weeks, report)
+			break
+		}
+		build := make(chan engine.Classifier, 1)
+		switch cfg.Retraining {
+		case RetrainIncremental:
+			cur := eng.Classifier()
+			cloner, ok := cur.(engine.Cloner)
+			if !ok {
+				return nil, fmt.Errorf("scenario: backend %q (%T) cannot retrain incrementally", cfg.BackendName(), cur)
+			}
+			delta := kept.Clone()
+			go func() {
+				next := cloner.CloneClassifier()
+				eval.Train(next, delta)
+				build <- next
+			}()
+		default:
+			full := store.Clone()
+			go func() {
+				build <- eval.TrainBackend(backend.New, full)
+			}()
+		}
+		pending = build
+		res.Weeks = append(res.Weeks, report)
+	}
+	return res, nil
 }
 
 // FinalHamLoss returns the last week's ham misclassification rate.
@@ -229,20 +473,41 @@ func (r *Result) FinalHamLoss() float64 {
 	return r.Weeks[len(r.Weeks)-1].Confusion.HamMisclassifiedRate()
 }
 
+// FinalHamLoss returns the last week's at-delivery ham
+// misclassification rate.
+func (r *OnlineResult) FinalHamLoss() float64 {
+	if len(r.Weeks) == 0 {
+		return 0
+	}
+	return r.Weeks[len(r.Weeks)-1].Delivered.HamMisclassifiedRate()
+}
+
+// describeAttack renders the attack clause of a trace header.
+func describeAttack(cfg Config) string {
+	if cfg.Attack == nil {
+		return "no attack"
+	}
+	label := fmt.Sprintf("%s attack from week %d at %.1f%%/week",
+		cfg.Attack.Name(), cfg.AttackStartWeek, 100*cfg.AttackFraction)
+	if cfg.AttackChunks > 1 {
+		label += fmt.Sprintf(" in %d chunks", cfg.AttackChunks)
+	}
+	return label
+}
+
+// describeDefense renders the defense clause of a trace header.
+func describeDefense(cfg Config) string {
+	if cfg.UseRONI {
+		return "RONI scrubbing"
+	}
+	return "no defense"
+}
+
 // Render prints the weekly trace.
 func (r *Result) Render() string {
 	var b strings.Builder
-	label := "no attack"
-	if r.Cfg.Attack != nil {
-		label = fmt.Sprintf("%s attack from week %d at %.1f%%/week",
-			r.Cfg.Attack.Name(), r.Cfg.AttackStartWeek, 100*r.Cfg.AttackFraction)
-	}
-	defense := "no defense"
-	if r.Cfg.UseRONI {
-		defense = "RONI scrubbing"
-	}
 	fmt.Fprintf(&b, "Deployment simulation (§2.1): %s backend, weekly retraining, %s, %s.\n",
-		r.Cfg.BackendName(), label, defense)
+		r.Cfg.BackendName(), describeAttack(r.Cfg), describeDefense(r.Cfg))
 	t := newTable("week", "store", "atk in", "atk rej", "org rej", "ham lost", "spam caught")
 	for _, w := range r.Weeks {
 		t.addRow(
@@ -253,6 +518,28 @@ func (r *Result) Render() string {
 			fmt.Sprintf("%d", w.OrganicRejected),
 			fmt.Sprintf("%.1f%%", 100*w.Confusion.HamMisclassifiedRate()),
 			fmt.Sprintf("%.1f%%", 100*(1-w.Confusion.SpamMisclassifiedRate())))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Render prints the weekly at-delivery trace.
+func (r *OnlineResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Online deployment (§2.1, at-delivery verdicts): %s backend, %s retraining (lag %d), %s, %s.\n",
+		r.Cfg.BackendName(), r.Cfg.Retraining, r.Cfg.RetrainLag,
+		describeAttack(r.Cfg), describeDefense(r.Cfg))
+	t := newTable("week", "store", "gen", "atk in", "atk rej", "org rej", "ham lost", "spam caught")
+	for _, w := range r.Weeks {
+		t.addRow(
+			fmt.Sprintf("%d", w.Week),
+			fmt.Sprintf("%d", w.MailStoreSize),
+			fmt.Sprintf("%d", w.Generation),
+			fmt.Sprintf("%d", w.AttackArrived),
+			fmt.Sprintf("%d", w.AttackRejected),
+			fmt.Sprintf("%d", w.OrganicRejected),
+			fmt.Sprintf("%.1f%%", 100*w.Delivered.HamMisclassifiedRate()),
+			fmt.Sprintf("%.1f%%", 100*(1-w.Delivered.SpamMisclassifiedRate())))
 	}
 	b.WriteString(t.String())
 	return b.String()

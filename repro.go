@@ -5,18 +5,32 @@
 // The API is interface-first: every learner implements Classifier
 // (Learn/Unlearn/Classify/Score), backends are constructed by name
 // through the engine registry (NewClassifier, Backends), and the
-// Engine service scores batches concurrently over any of them. The
-// attacks, the defenses, the evaluation harness, and the deployment
-// simulator all operate on the interface, mirroring the paper's
-// claim that Causative Availability attacks exploit the statistical
-// learning approach rather than one filter implementation.
+// Engine service scores over any of them. The attacks, the defenses,
+// the evaluation harness, and the deployment simulators all operate
+// on the interface, mirroring the paper's claim that Causative
+// Availability attacks exploit the statistical learning approach
+// rather than one filter implementation.
+//
+// The Engine is a zero-downtime serving layer: the classifier lives
+// behind an atomically swappable immutable snapshot, batches and
+// single-message verdicts always read one consistent generation, and
+// Retrain builds the replacement off the serving path and publishes
+// it with a single atomic store — scoring continues at full speed
+// throughout, and no verdict is ever computed against a half-trained
+// filter. Backends with the Cloner capability additionally support
+// incremental retraining (clone the snapshot, train only the new
+// examples). The deployment simulator exposes both views of that
+// timeline: RunDeployment measures weekly test-set confusions after
+// each retrain, and RunOnlineDeployment feeds every message through
+// the engine one at a time, recording the verdict each user actually
+// received while retrains swap in mid-week.
 //
 // The layers, top to bottom:
 //
-//   - Classifier, Persistable, Backend and Engine: the
+//   - Classifier, Persistable, Cloner, Backend and Engine: the
 //     backend-generic contract, the named-backend registry
-//     ("sbayes", "graham"), and the concurrent batch-scoring
-//     service;
+//     ("sbayes", "graham"), and the snapshot-swapping concurrent
+//     scoring service;
 //   - Filter, the SpamBayes learner (Robinson token scores + Fisher
 //     chi-square combining, ham/unsure/spam verdicts), and
 //     GrahamFilter, the "A Plan for Spam" baseline — both satisfy
@@ -29,7 +43,10 @@
 //     optimal) and the two defenses (RONI — against any backend —
 //     and dynamic thresholds);
 //   - labeled corpora with sampling and cross-validation, serial and
-//     parallel evaluation; and
+//     parallel evaluation;
+//   - the §2.1 deployment simulators (after-the-fact and online
+//     at-delivery, periodic and incremental retraining, replicated
+//     and chunked attack streams); and
 //   - the experiment drivers that regenerate every table and figure,
 //     including cross-backend attack transfer.
 //
@@ -66,6 +83,11 @@ type Classifier = engine.Classifier
 // trained database; both stock backends have it.
 type Persistable = engine.Persistable
 
+// Cloner is the optional capability of deep-copying the trained state
+// into an independent classifier; both stock backends have it, and
+// Engine.RetrainIncremental requires it.
+type Cloner = engine.Cloner
+
 // Backend is one registered learner implementation.
 type Backend = engine.Backend
 
@@ -84,9 +106,12 @@ func NewClassifier(backend string) (Classifier, error) {
 	return b.New(), nil
 }
 
-// Engine is the concurrent scoring service over one classifier:
-// worker-pool ClassifyBatch/ScoreBatch, a buffered LearnStream, and
-// verdict/latency counters.
+// Engine is the zero-downtime scoring service over one classifier:
+// worker-pool ClassifyBatch/ScoreBatch and single-message Classify
+// against an atomically swappable snapshot, Retrain /
+// RetrainIncremental / Swap to publish replacements while scoring
+// continues, a buffered LearnStream for bulk loading, and
+// verdict/latency/generation counters.
 type Engine = engine.Engine
 
 // EngineConfig tunes an Engine (name, workers, learn buffer).
@@ -281,6 +306,10 @@ func UsenetLexicon(g *Generator, r *RNG, streamTokens, k int) *Lexicon {
 // Attacker is a Causative attack against the training set.
 type Attacker = core.Attacker
 
+// ChunkedAttacker is the capability of splitting the attack payload
+// across distinct emails (the §4.2 stealth variant).
+type ChunkedAttacker = core.ChunkedAttacker
+
 // DictionaryAttack is the indiscriminate attack of §3.2.
 type DictionaryAttack = core.DictionaryAttack
 
@@ -382,19 +411,46 @@ func NewExperimentEnv(cfg ExperimentConfig) (*ExperimentEnv, error) {
 // ---- Deployment simulation ----
 
 // DeploymentConfig parameterizes the §2.1 weekly-retraining
-// simulation.
+// simulation (both the after-the-fact and the online variant).
 type DeploymentConfig = scenario.Config
 
-// DeploymentResult is a simulation trace.
+// DeploymentResult is an after-the-fact simulation trace.
 type DeploymentResult = scenario.Result
+
+// OnlineDeploymentResult is an online simulation trace: per-week
+// at-delivery confusions and serving-snapshot generations.
+type OnlineDeploymentResult = scenario.OnlineResult
+
+// RetrainMode selects how the online deployment rebuilds its serving
+// snapshot each week.
+type RetrainMode = scenario.RetrainMode
+
+// Retraining strategies for the online deployment.
+const (
+	// RetrainPeriodic rebuilds from the full accumulated store.
+	RetrainPeriodic = scenario.RetrainPeriodic
+	// RetrainIncremental clones the serving snapshot and trains only
+	// the week's new mail (requires a Cloner backend).
+	RetrainIncremental = scenario.RetrainIncremental
+)
 
 // DefaultDeploymentConfig returns a small office-sized deployment.
 func DefaultDeploymentConfig() DeploymentConfig { return scenario.DefaultConfig() }
 
 // RunDeployment simulates an organization retraining its filter
-// weekly, optionally under attack and with RONI scrubbing.
+// weekly, optionally under attack and with RONI scrubbing, measuring
+// each week's filter on a fresh test corpus after the retrain.
 func RunDeployment(g *Generator, cfg DeploymentConfig, r *RNG) (*DeploymentResult, error) {
 	return scenario.Run(g, cfg, r)
+}
+
+// RunOnlineDeployment simulates the same organization one message at
+// a time through a serving Engine: every verdict recorded is the one
+// the user saw at delivery, and retrains are built in the background
+// and published by atomic snapshot swap cfg.RetrainLag messages into
+// the following week.
+func RunOnlineDeployment(g *Generator, cfg DeploymentConfig, r *RNG) (*OnlineDeploymentResult, error) {
+	return scenario.RunOnline(g, cfg, r)
 }
 
 // ---- Randomness ----
