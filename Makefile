@@ -1,17 +1,22 @@
 # Tier-1 verification and day-to-day targets.
 #
-#   make build   compile every package
-#   make test    run the full test suite
-#   make race    run the concurrency-sensitive suites under -race
-#                (engine snapshot swap, eval parallelism, scenario
-#                online serving)
-#   make vet     static checks
-#   make bench   run all benchmarks (one per exhibit + micro-benchmarks)
-#   make check   build + vet + test + race (what CI runs)
+#   make build       compile every package
+#   make test        run the full test suite
+#   make race        run the concurrency-sensitive suites under -race
+#                    (engine snapshot swap + sharded fan-out, eval
+#                    parallelism, scenario online serving)
+#   make vet         static checks
+#   make bench       run all benchmarks (one per exhibit + micro-benchmarks)
+#   make bench-json  run the benchmarks and write $(BENCH_JSON) as a
+#                    machine-readable artifact (CI uploads it, so the
+#                    perf trajectory accumulates across PRs)
+#   make check       build + vet + test + race (what CI runs)
 
 GO ?= go
+BENCH_JSON ?= BENCH_PR3.json
+BENCHTIME  ?= 1s
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -27,5 +32,13 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Two steps rather than a pipe: /bin/sh has no pipefail, and a piped
+# `go test` failure would otherwise exit 0 and archive a truncated
+# artifact as green.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -timeout=30m -run=^$$ . \
+		> $(BENCH_JSON:.json=.txt)
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < $(BENCH_JSON:.json=.txt)
 
 check: build vet test race

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	res, ok := parseLine("BenchmarkShardedClassifyBatch/shards=4/workers=1-8 \t 3\t  32649800 ns/op\t 120 B/op\t 4 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not parsed")
+	}
+	if res.Name != "ShardedClassifyBatch/shards=4/workers=1" || res.Procs != 8 || res.Iterations != 3 {
+		t.Fatalf("parsed %+v", res)
+	}
+	if res.Metrics["ns/op"] != 32649800 || res.Metrics["B/op"] != 120 || res.Metrics["allocs/op"] != 4 {
+		t.Fatalf("metrics %v", res.Metrics)
+	}
+
+	// Custom b.ReportMetric units ride along.
+	res, ok = parseLine("BenchmarkFig1DictionaryAttacks-2   1  9.5 ns/op  100.0 hamloss%@max")
+	if !ok || res.Metrics["hamloss%@max"] != 100 {
+		t.Fatalf("custom metric: %+v ok=%v", res, ok)
+	}
+
+	// Sub-benchmark names keep internal dashes; only a numeric
+	// -GOMAXPROCS suffix is split off.
+	res, ok = parseLine("BenchmarkAblationTokenizer/no-headers 10 5 ns/op")
+	if !ok || res.Name != "AblationTokenizer/no-headers" || res.Procs != 0 {
+		t.Fatalf("dash handling: %+v ok=%v", res, ok)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t1.763s",
+		"",
+		"Benchmark",
+		"BenchmarkBroken notanumber",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-result line parsed as benchmark: %q", line)
+		}
+	}
+}

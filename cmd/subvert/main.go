@@ -126,8 +126,9 @@ func main() {
 			res, err := experiments.RunBackendTransfer(e)
 			return render("backends", res, err)
 		},
-		"deploy": runDeploy,
-		"online": runOnline,
+		"deploy":  runDeploy,
+		"online":  runOnline,
+		"sharded": runSharded,
 	}
 
 	switch exhibit {
@@ -230,6 +231,61 @@ func runOnline(e *experiments.Env) error {
 	return nil
 }
 
+// runSharded serves the online deployment through a hash-by-recipient
+// sharded engine: each user's mail lands on — and trains — one shard,
+// so an attack addressed to a single victim poisons only that shard.
+// The per-shard ham-loss table separates target damage from
+// collateral, the observable the single-engine mode cannot produce.
+func runSharded(e *experiments.Env) error {
+	cfg := scenario.DefaultConfig()
+	if e.Cfg.TrainSize < 2000 { // small scale
+		cfg.Weeks = 4
+		cfg.InitialMailStore = 400
+		cfg.MessagesPerWeek = 200
+		cfg.TestSize = 100
+		cfg.AttackFraction = 0.05
+		cfg.AttackStartWeek = 2
+	}
+	cfg.Shards = 4
+	cfg.Recipients = 8
+	cfg.RetrainLag = cfg.MessagesPerWeek / 3
+	target := scenario.RecipientAddress(0)
+	attack := core.NewDictionaryAttack(e.Usenet)
+	variants := []struct {
+		name   string
+		mutate func(*scenario.Config)
+	}{
+		{"clean", func(c *scenario.Config) {}},
+		{"targeted: all poison addressed to " + target, func(c *scenario.Config) {
+			c.Attack = attack
+			c.AttackRecipient = target
+		}},
+		{"spread: poison addressed across the population", func(c *scenario.Config) {
+			c.Attack = attack
+		}},
+		{"targeted + RONI scrubbing at the gateway", func(c *scenario.Config) {
+			c.Attack = attack
+			c.AttackRecipient = target
+			c.UseRONI = true
+		}},
+	}
+	for _, v := range variants {
+		c := cfg
+		v.mutate(&c)
+		if c.AttackRecipient != "" {
+			fmt.Printf("== %s (routes to shard %d) ==\n", v.name, c.TargetShard())
+		} else {
+			fmt.Printf("== %s ==\n", v.name)
+		}
+		res, err := scenario.RunOnline(e.Gen, c, e.RNG("sharded-"+v.name))
+		if err != nil {
+			return fmt.Errorf("sharded %s: %w", v.name, err)
+		}
+		fmt.Println(res.Render())
+	}
+	return nil
+}
+
 // renderable is any experiment result.
 type renderable interface{ Render() string }
 
@@ -292,6 +348,9 @@ Extensions (features the paper sketches but does not evaluate):
   online      the same deployment one message at a time through the serving
               engine: at-delivery verdicts, background retrains swapped in
               mid-week (periodic vs. incremental, replicated vs. chunked)
+  sharded     the online deployment partitioned across recipient-hashed
+              engine shards: an attack addressed to one victim poisons only
+              that user's shard (per-shard target vs. collateral damage)
 
   all      everything above
 

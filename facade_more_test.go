@@ -26,6 +26,65 @@ func TestFacadeLexicons(t *testing.T) {
 	}
 }
 
+// TestFacadeSharded drives the sharded serving layer and the sharded
+// online deployment through the public API.
+func TestFacadeSharded(t *testing.T) {
+	cfg := SmallScaleConfig()
+	g, err := NewGeneratorWith(cfg.Universe, cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(41)
+	train := g.Corpus(rng, 120, 120)
+
+	clfs := make([]Classifier, 3)
+	for i := range clfs {
+		clf, err := NewClassifier("sbayes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		TrainClassifier(clf, train)
+		clfs[i] = clf
+	}
+	sh := NewSharded(clfs, ShardedConfig{Name: "facade", Workers: 2})
+	msgs := g.Corpus(rng, 30, 30)
+	results, err := sh.ClassifyBatch(context.Background(), msgs.Ham())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(msgs.Ham()) {
+		t.Fatalf("%d results for %d messages", len(results), len(msgs.Ham()))
+	}
+	st := sh.Stats()
+	if st.Combined.Classified != uint64(len(results)) || len(st.Shards) != 3 {
+		t.Fatalf("sharded stats: %+v", st.Combined)
+	}
+	var byLabel uint64
+	for _, n := range st.Combined.ByLabel {
+		byLabel += n
+	}
+	if byLabel != st.Combined.Classified {
+		t.Errorf("combined sum(ByLabel) = %d != Classified %d", byLabel, st.Combined.Classified)
+	}
+	if sh.ShardFor(msgs.Ham()[0]) != int(RecipientShardKey(msgs.Ham()[0])%3) {
+		t.Error("facade routing disagrees with RecipientShardKey")
+	}
+
+	dcfg := DefaultDeploymentConfig()
+	dcfg.Weeks = 2
+	dcfg.InitialMailStore = 200
+	dcfg.MessagesPerWeek = 100
+	dcfg.TestSize = 50
+	dcfg.Shards = 2
+	res, err := RunOnlineDeployment(g, dcfg, NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weeks) != 2 || len(res.Weeks[0].ByShard) != 2 {
+		t.Fatalf("sharded deployment trace: %+v", res.Weeks)
+	}
+}
+
 // TestFacadeCorpusPersistence round-trips a corpus through mbox pairs
 // via the facade.
 func TestFacadeCorpusPersistence(t *testing.T) {

@@ -294,6 +294,58 @@ func TestConformanceCloneIndependence(t *testing.T) {
 	})
 }
 
+// TestConformanceShardedClassifyBatch holds the sharded serving layer
+// to the same contract as the single Engine for every stock backend:
+// a batch fanned out across recipient-hashed shards of identically
+// trained classifiers must reproduce the serial per-message verdicts
+// in input order.
+func TestConformanceShardedClassifyBatch(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		clf := trained(t, backend)
+		cloner, ok := clf.(engine.Cloner)
+		if !ok {
+			t.Fatalf("backend %q is not a Cloner", backend)
+		}
+		msgs := make([]*mail.Message, 150)
+		for i := range msgs {
+			if i%2 == 0 {
+				msgs[i] = msg(fmt.Sprintf("meeting agenda report budget item%d\n", i))
+			} else {
+				msgs[i] = msg(fmt.Sprintf("winner lottery prize claim item%d\n", i))
+			}
+			msgs[i].Header.Set("To", fmt.Sprintf("user%d@corp.example", i%17))
+		}
+		serial := make([]engine.Result, len(msgs))
+		for i, m := range msgs {
+			label, score := clf.Classify(m)
+			serial[i] = engine.Result{Label: label, Score: score}
+		}
+		clfs := make([]engine.Classifier, 4)
+		for i := range clfs {
+			clfs[i] = cloner.CloneClassifier()
+		}
+		sh := engine.NewSharded(clfs, engine.ShardedConfig{Name: backend + "-sharded", Workers: 2})
+		parallel, err := sh.ClassifyBatch(context.Background(), msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Fatalf("result %d: sharded %+v != serial %+v", i, parallel[i], serial[i])
+			}
+		}
+		for i, m := range msgs {
+			if got := sh.Classify(m); got != serial[i] {
+				t.Fatalf("single verdict %d: sharded %+v != serial %+v", i, got, serial[i])
+			}
+		}
+		st := sh.Stats()
+		if st.Combined.Classified != uint64(2*len(msgs)) {
+			t.Errorf("combined Classified = %d, want %d", st.Combined.Classified, 2*len(msgs))
+		}
+	})
+}
+
 func TestConformanceConcurrentClassifyBatch(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, backend string) {
 		clf := trained(t, backend)

@@ -24,7 +24,12 @@
 //     atomically swappable immutable snapshot, Retrain builds the
 //     replacement off the serving path and publishes it in one
 //     atomic store (generation-counted in Stats), and a buffered
-//     LearnStream bulk-loads the initial snapshot.
+//     LearnStream bulk-loads the initial snapshot;
+//   - Sharded, the scale-out layer: one logical filter partitioned
+//     across N Engines routed by a recipient-address hash (pluggable
+//     ShardKey), batches fanned out per shard and restitched in
+//     input order, per-shard and all-shards retraining, and Stats
+//     aggregated into a combined view with per-shard breakdown.
 package engine
 
 import (

@@ -57,11 +57,12 @@ type Engine struct {
 	cur       atomic.Pointer[snapshot]
 	publishMu sync.Mutex
 
-	classified   atomic.Uint64
-	learned      atomic.Uint64
-	batches      atomic.Uint64
-	byLabel      [3]atomic.Uint64
-	latencyNanos atomic.Uint64
+	scored        atomic.Uint64
+	learned       atomic.Uint64
+	batches       atomic.Uint64
+	byLabel       [3]atomic.Uint64
+	batchNanos    atomic.Uint64
+	classifyNanos atomic.Uint64
 }
 
 // New returns an Engine serving clf as generation 1.
@@ -114,10 +115,13 @@ type Result struct {
 
 // Classify scores one message against the current snapshot — the
 // at-delivery verdict an online deployment hands the user while
-// retraining may be running in the background.
+// retraining may be running in the background. Its wall-clock cost is
+// tracked in Stats.ClassifyLatency, so the online hot path is as
+// visible as batch scoring.
 func (e *Engine) Classify(m *mail.Message) Result {
+	start := time.Now()
 	label, score := e.cur.Load().clf.Classify(m)
-	e.classified.Add(1)
+	e.classifyNanos.Add(uint64(time.Since(start)))
 	e.byLabel[labelIndex(label)].Add(1)
 	return Result{Label: label, Score: score}
 }
@@ -144,7 +148,9 @@ func (e *Engine) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Res
 }
 
 // ScoreBatch is ClassifyBatch without thresholding: out[i] is the
-// spam score of msgs[i].
+// spam score of msgs[i]. Score-only traffic produces no verdicts, so
+// it counts toward Stats.Scored, not Classified — keeping the
+// invariant sum(ByLabel) == Classified intact.
 func (e *Engine) ScoreBatch(ctx context.Context, msgs []*mail.Message) ([]float64, error) {
 	clf := e.cur.Load().clf
 	out := make([]float64, len(msgs))
@@ -154,11 +160,13 @@ func (e *Engine) ScoreBatch(ctx context.Context, msgs []*mail.Message) ([]float6
 	if err != nil {
 		return nil, err
 	}
+	e.scored.Add(uint64(len(msgs)))
 	return out, nil
 }
 
-// run executes fn(0..n-1) on the worker pool, counting work and
-// latency.
+// run executes fn(0..n-1) on the worker pool, counting batch calls
+// and latency; callers publish their own message counters (Classified
+// vs. Scored) once the batch completes.
 func (e *Engine) run(ctx context.Context, n int, fn func(i int)) error {
 	if n == 0 {
 		return ctx.Err()
@@ -171,9 +179,8 @@ func (e *Engine) run(ctx context.Context, n int, fn func(i int)) error {
 	if err := ParallelFor(ctx, n, workers, fn); err != nil {
 		return err
 	}
-	e.classified.Add(uint64(n))
 	e.batches.Add(1)
-	e.latencyNanos.Add(uint64(time.Since(start)))
+	e.batchNanos.Add(uint64(time.Since(start)))
 	return nil
 }
 
@@ -296,31 +303,7 @@ func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, 
 				// buffer can finish; the drain stops once wait
 				// observes the cancellation instead of leaking until
 				// an abandoned channel is closed.
-				go func() {
-					for {
-						select {
-						case _, ok := <-in:
-							if !ok {
-								return
-							}
-						case <-stop:
-							// Release any sender blocked right now,
-							// then quit. A closed channel is always
-							// receivable, so check ok or the flush
-							// would spin forever.
-							for {
-								select {
-								case _, ok := <-in:
-									if !ok {
-										return
-									}
-								default:
-									return
-								}
-							}
-						}
-					}
-				}()
+				go drainUntil(in, stop)
 				return
 			case ex, ok := <-in:
 				if !ok {
@@ -340,6 +323,37 @@ func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, 
 	return in, wait
 }
 
+// drainUntil keeps receiving from a cancelled stream's channel so a
+// producer blocked on a full buffer can finish, stopping once stop is
+// closed (when the stream's wait observes the cancellation) instead
+// of leaking until an abandoned channel is closed. Shared by
+// Engine.LearnStream and the Sharded router, whose drain contract
+// must not drift apart.
+func drainUntil(in <-chan Labeled, stop <-chan struct{}) {
+	for {
+		select {
+		case _, ok := <-in:
+			if !ok {
+				return
+			}
+		case <-stop:
+			// Release any sender blocked right now, then quit. A
+			// closed channel is always receivable, so check ok or the
+			// flush would spin forever.
+			for {
+				select {
+				case _, ok := <-in:
+					if !ok {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
 // Stats is a point-in-time snapshot of an engine's counters.
 type Stats struct {
 	Name string
@@ -350,18 +364,29 @@ type Stats struct {
 	// RetrainIncremental, Swap) since construction — always
 	// Generation - 1, reported for readability.
 	Retrains uint64
-	// Classified is the total number of messages scored (batches and
-	// single-message Classify).
+	// Classified is the total number of messages given verdicts
+	// (Classify and ClassifyBatch). It is derived from ByLabel inside
+	// Stats — every classified message lands in exactly one bucket —
+	// so sum(ByLabel) == Classified holds by construction, even for a
+	// reader racing an in-flight batch's counter publication.
 	Classified uint64
+	// Scored is the total number of messages scored without a verdict
+	// (ScoreBatch) — counted apart from Classified so score-only
+	// traffic cannot break the ByLabel invariant.
+	Scored uint64
 	// Learned is the total number of messages trained via LearnStream.
 	Learned uint64
-	// Batches is the number of completed batch calls.
+	// Batches is the number of completed batch calls (ClassifyBatch
+	// and ScoreBatch).
 	Batches uint64
 	// ByLabel counts classification verdicts, indexed by Label.
 	ByLabel [3]uint64
 	// BatchLatency is the cumulative wall-clock time spent in
 	// completed batch calls.
 	BatchLatency time.Duration
+	// ClassifyLatency is the cumulative wall-clock time spent in
+	// single-message Classify calls — the online at-delivery hot path.
+	ClassifyLatency time.Duration
 }
 
 // Stats returns the current counters. Counters from a batch are
@@ -369,19 +394,22 @@ type Stats struct {
 // internally consistent to within the in-flight batch.
 func (e *Engine) Stats() Stats {
 	gen := e.cur.Load().gen
+	byLabel := [3]uint64{
+		e.byLabel[0].Load(),
+		e.byLabel[1].Load(),
+		e.byLabel[2].Load(),
+	}
 	return Stats{
-		Name:       e.name,
-		Generation: gen,
-		Retrains:   gen - 1,
-		Classified: e.classified.Load(),
-		Learned:    e.learned.Load(),
-		Batches:    e.batches.Load(),
-		ByLabel: [3]uint64{
-			e.byLabel[0].Load(),
-			e.byLabel[1].Load(),
-			e.byLabel[2].Load(),
-		},
-		BatchLatency: time.Duration(e.latencyNanos.Load()),
+		Name:            e.name,
+		Generation:      gen,
+		Retrains:        gen - 1,
+		Classified:      byLabel[0] + byLabel[1] + byLabel[2],
+		Scored:          e.scored.Load(),
+		Learned:         e.learned.Load(),
+		Batches:         e.batches.Load(),
+		ByLabel:         byLabel,
+		BatchLatency:    time.Duration(e.batchNanos.Load()),
+		ClassifyLatency: time.Duration(e.classifyNanos.Load()),
 	}
 }
 

@@ -162,6 +162,74 @@ func TestEngineStats(t *testing.T) {
 	}
 }
 
+// TestStatsInvariantMixedLoad is the regression for the ScoreBatch
+// accounting bug: score-only traffic used to inflate Classified with
+// no ByLabel entries, breaking sum(ByLabel) == Classified. Under any
+// mix of Classify, ClassifyBatch, and ScoreBatch the invariant must
+// hold, with score-only traffic in its own Scored counter.
+func TestStatsInvariantMixedLoad(t *testing.T) {
+	e := New(&stubClassifier{}, Config{Workers: 3})
+	ctx := context.Background()
+	batch := []*mail.Message{scoreMsg(0.05), scoreMsg(0.5), scoreMsg(0.95)}
+
+	e.Classify(scoreMsg(0.99))
+	if _, err := e.ClassifyBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ScoreBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	e.Classify(scoreMsg(0.01))
+	if _, err := e.ScoreBatch(ctx, batch[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ClassifyBatch(ctx, batch[:1]); err != nil {
+		t.Fatal(err)
+	}
+
+	s := e.Stats()
+	var byLabel uint64
+	for _, n := range s.ByLabel {
+		byLabel += n
+	}
+	if byLabel != s.Classified {
+		t.Errorf("sum(ByLabel) = %d != Classified = %d", byLabel, s.Classified)
+	}
+	if s.Classified != 6 {
+		t.Errorf("Classified = %d, want 6 (2 singles + 3 + 1 batched)", s.Classified)
+	}
+	if s.Scored != 5 {
+		t.Errorf("Scored = %d, want 5 (3 + 2 score-only)", s.Scored)
+	}
+	if s.Batches != 4 {
+		t.Errorf("Batches = %d, want 4", s.Batches)
+	}
+}
+
+// TestClassifyLatencyRecorded is the regression for the invisible
+// online hot path: single-message Classify used to record no latency
+// at all, so an at-delivery deployment's scoring cost never surfaced
+// in Stats.
+func TestClassifyLatencyRecorded(t *testing.T) {
+	e := New(&stubClassifier{slow: time.Millisecond}, Config{})
+	for i := 0; i < 3; i++ {
+		e.Classify(scoreMsg(0.5))
+	}
+	s := e.Stats()
+	if s.ClassifyLatency < 3*time.Millisecond {
+		t.Errorf("ClassifyLatency = %v, want >= 3ms of stub work", s.ClassifyLatency)
+	}
+	if s.BatchLatency != 0 {
+		t.Errorf("single-message classifies leaked into BatchLatency (%v)", s.BatchLatency)
+	}
+	if _, err := e.ClassifyBatch(context.Background(), []*mail.Message{scoreMsg(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats(); got.BatchLatency == 0 {
+		t.Error("batch call recorded no BatchLatency")
+	}
+}
+
 func TestLearnStream(t *testing.T) {
 	clf := &stubClassifier{}
 	e := New(clf, Config{LearnBuffer: 4})

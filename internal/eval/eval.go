@@ -35,25 +35,28 @@ type Confusion struct {
 	SpamAsSpam   int
 }
 
-// Observe tallies one classification.
+// Observe tallies one classification. A label outside the defined
+// three is clamped to Unsure — matching the engine's own counter
+// clamping — rather than silently counted as spam, so a buggy backend
+// cannot inflate the spam columns.
 func (c *Confusion) Observe(actualSpam bool, predicted engine.Label) {
 	if actualSpam {
 		switch predicted {
 		case engine.Ham:
 			c.SpamAsHam++
-		case engine.Unsure:
-			c.SpamAsUnsure++
-		default:
+		case engine.Spam:
 			c.SpamAsSpam++
+		default:
+			c.SpamAsUnsure++
 		}
 	} else {
 		switch predicted {
 		case engine.Ham:
 			c.HamAsHam++
-		case engine.Unsure:
-			c.HamAsUnsure++
-		default:
+		case engine.Spam:
 			c.HamAsSpam++
+		default:
+			c.HamAsUnsure++
 		}
 	}
 }

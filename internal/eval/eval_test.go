@@ -31,6 +31,28 @@ func TestConfusionObserve(t *testing.T) {
 	}
 }
 
+// TestConfusionObserveClampsUnknownLabels is the regression for the
+// out-of-range-label bug: the old default: arms counted any label
+// outside the defined three as spam, silently inflating the spam
+// columns. Unknown labels must clamp to Unsure, matching the engine's
+// own counter clamping.
+func TestConfusionObserveClampsUnknownLabels(t *testing.T) {
+	for _, label := range []sbayes.Label{-1, 3, 7, -128, 127} {
+		var c Confusion
+		c.Observe(false, label)
+		c.Observe(true, label)
+		if c.HamAsUnsure != 1 || c.SpamAsUnsure != 1 {
+			t.Errorf("Observe(Label(%d)) counted as %+v, want unsure/unsure", label, c)
+		}
+		if c.HamAsSpam != 0 || c.SpamAsSpam != 0 {
+			t.Errorf("Observe(Label(%d)) leaked into the spam columns: %+v", label, c)
+		}
+		if c.NumHam() != 1 || c.NumSpam() != 1 {
+			t.Errorf("Observe(Label(%d)) lost observations: %+v", label, c)
+		}
+	}
+}
+
 func TestConfusionRates(t *testing.T) {
 	c := Confusion{HamAsHam: 6, HamAsUnsure: 3, HamAsSpam: 1,
 		SpamAsHam: 1, SpamAsUnsure: 1, SpamAsSpam: 8}

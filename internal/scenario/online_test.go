@@ -4,6 +4,7 @@ package scenario
 // identity-keyed rejection attribution.
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -294,7 +295,7 @@ func TestOnlineIncrementalMatchesPeriodic(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := range a.Weeks {
-				if a.Weeks[i] != b.Weeks[i] {
+				if !reflect.DeepEqual(a.Weeks[i], b.Weeks[i]) {
 					t.Fatalf("week %d differs: periodic %+v vs incremental %+v", i+1, a.Weeks[i], b.Weeks[i])
 				}
 			}
@@ -319,7 +320,7 @@ func TestOnlineDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a.Weeks {
-		if a.Weeks[i] != b.Weeks[i] {
+		if !reflect.DeepEqual(a.Weeks[i], b.Weeks[i]) {
 			t.Fatalf("week %d differs across identical runs: %+v vs %+v", i+1, a.Weeks[i], b.Weeks[i])
 		}
 	}

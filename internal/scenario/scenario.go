@@ -118,6 +118,26 @@ type Config struct {
 	// publishes right at the boundary; values beyond the weekly volume
 	// publish at the next boundary.
 	RetrainLag int
+
+	// Shards, when > 1, serves RunOnline deliveries through a
+	// hash-by-recipient engine.Sharded of that many shards: the
+	// generator's messages are stamped with recipients from a fixed
+	// user population, each shard serves — and is retrained on — only
+	// the mail routed to it, and per-shard Delivered confusions
+	// separate the attack's damage to the target's shard from
+	// collateral damage elsewhere. 0 or 1 keeps the single-engine
+	// deployment.
+	Shards int
+	// Recipients is the distinct user population in sharded mode (0
+	// selects four per shard). Organic mail is stamped uniformly
+	// across the population.
+	Recipients int
+	// AttackRecipient, when non-empty, stamps every attack email with
+	// that recipient, so the poison trains into a single user's shard
+	// — the sharded rendition of the paper's §4.3 targeted setting.
+	// Empty spreads attack mail across the population like organic
+	// mail. Sharded mode only.
+	AttackRecipient string
 }
 
 // DefaultConfig returns a small office-sized deployment.
@@ -168,6 +188,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: RetrainLag %d", c.RetrainLag)
 	case c.Retraining != RetrainPeriodic && c.Retraining != RetrainIncremental:
 		return fmt.Errorf("scenario: Retraining %v", c.Retraining)
+	case c.Shards < 0:
+		return fmt.Errorf("scenario: Shards %d", c.Shards)
+	case c.Recipients < 0:
+		return fmt.Errorf("scenario: Recipients %d", c.Recipients)
+	case c.Recipients > 0 && c.Shards < 2:
+		return fmt.Errorf("scenario: Recipients %d without Shards > 1", c.Recipients)
+	case c.AttackRecipient != "" && c.Shards < 2:
+		return fmt.Errorf("scenario: AttackRecipient %q without Shards > 1", c.AttackRecipient)
 	}
 	if c.Attack != nil && c.AttackChunks > 1 {
 		if _, err := chunkedAttacker(c.Attack); err != nil {
@@ -197,25 +225,26 @@ type Result struct {
 }
 
 // injectAttack adds the week's attack traffic to the weekly stream
-// and shuffles it in. It returns the injected messages as an identity
-// set — the same *mail.Message is added many times for a replicated
-// attack, and a chunked attack injects several distinct messages —
-// so that rejection attribution can match by pointer rather than by
-// body text (which would misattribute organic mail whose body
-// collides with the attack payload).
-func injectAttack(cfg Config, week int, weekly *corpus.Corpus, wr *stats.RNG) (map[*mail.Message]bool, int, error) {
+// and shuffles it in. It returns the distinct payloads in build order
+// (so callers can stamp them deterministically) and the injected
+// messages as an identity set — the same *mail.Message is added many
+// times for a replicated attack, and a chunked attack injects several
+// distinct messages — so that rejection attribution can match by
+// pointer rather than by body text (which would misattribute organic
+// mail whose body collides with the attack payload).
+func injectAttack(cfg Config, week int, weekly *corpus.Corpus, wr *stats.RNG) ([]*mail.Message, map[*mail.Message]bool, int, error) {
 	if cfg.Attack == nil || week < cfg.AttackStartWeek {
-		return nil, 0, nil
+		return nil, nil, 0, nil
 	}
 	n := core.AttackSize(cfg.AttackFraction, cfg.MessagesPerWeek)
 	if n == 0 {
-		return nil, 0, nil
+		return nil, nil, 0, nil
 	}
 	var payloads []*mail.Message
 	if cfg.AttackChunks > 1 {
 		chunked, err := chunkedAttacker(cfg.Attack)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		payloads = chunked.BuildChunked(cfg.AttackChunks)
 	} else {
@@ -231,7 +260,7 @@ func injectAttack(cfg Config, week int, weekly *corpus.Corpus, wr *stats.RNG) (m
 		weekly.Add(payloads[i%len(payloads)], true)
 	}
 	weekly.Shuffle(wr)
-	return injected, n, nil
+	return payloads, injected, n, nil
 }
 
 // chunkedAttacker returns the attack's chunking capability, or an
@@ -309,7 +338,7 @@ func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 		// This week's organic mail, plus the attacker's contribution.
 		wSpam := int(float64(cfg.MessagesPerWeek)*cfg.SpamPrevalence + 0.5)
 		weekly := g.Corpus(wr, cfg.MessagesPerWeek-wSpam, wSpam)
-		attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
+		_, attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
 		if err != nil {
 			return nil, err
 		}
@@ -353,6 +382,16 @@ type OnlineWeekReport struct {
 	// attack mail as true spam. This is the user-visible confusion the
 	// after-the-fact test-set evaluation of Run cannot see.
 	Delivered eval.Confusion
+	// ByShard, in sharded mode (Config.Shards > 1), splits Delivered
+	// by serving shard: ByShard[i] is the at-delivery confusion of the
+	// mailboxes routed to shard i, which is what separates the
+	// targeted shard's damage from collateral damage elsewhere. Nil in
+	// single-engine mode.
+	ByShard []eval.Confusion
+	// ShardGenerations, in sharded mode, is each shard's serving
+	// generation at week's end (Generation then reports the oldest).
+	// Nil in single-engine mode.
+	ShardGenerations []uint64
 }
 
 // OnlineResult is the full simulation trace of RunOnline.
@@ -378,6 +417,9 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	if cfg.Shards > 1 {
+		return runOnlineSharded(g, cfg, r, backend)
+	}
 
 	nSpam := int(float64(cfg.InitialMailStore)*cfg.SpamPrevalence + 0.5)
 	store := g.Corpus(r.Split("bootstrap"), cfg.InitialMailStore-nSpam, nSpam)
@@ -394,7 +436,7 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 
 		wSpam := int(float64(cfg.MessagesPerWeek)*cfg.SpamPrevalence + 0.5)
 		weekly := g.Corpus(wr, cfg.MessagesPerWeek-wSpam, wSpam)
-		attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
+		_, attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
 		if err != nil {
 			return nil, err
 		}
@@ -492,6 +534,9 @@ func describeAttack(cfg Config) string {
 	if cfg.AttackChunks > 1 {
 		label += fmt.Sprintf(" in %d chunks", cfg.AttackChunks)
 	}
+	if cfg.AttackRecipient != "" {
+		label += " aimed at " + cfg.AttackRecipient
+	}
 	return label
 }
 
@@ -523,11 +568,17 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Render prints the weekly at-delivery trace.
+// Render prints the weekly at-delivery trace; in sharded mode it
+// appends the per-shard ham-loss matrix separating target damage from
+// collateral.
 func (r *OnlineResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Online deployment (§2.1, at-delivery verdicts): %s backend, %s retraining (lag %d), %s, %s.\n",
-		r.Cfg.BackendName(), r.Cfg.Retraining, r.Cfg.RetrainLag,
+	serving := "single engine"
+	if r.Cfg.Shards > 1 {
+		serving = fmt.Sprintf("%d recipient-hashed shards over %d users", r.Cfg.Shards, r.Cfg.NumRecipients())
+	}
+	fmt.Fprintf(&b, "Online deployment (§2.1, at-delivery verdicts): %s backend, %s, %s retraining (lag %d), %s, %s.\n",
+		r.Cfg.BackendName(), serving, r.Cfg.Retraining, r.Cfg.RetrainLag,
 		describeAttack(r.Cfg), describeDefense(r.Cfg))
 	t := newTable("week", "store", "gen", "atk in", "atk rej", "org rej", "ham lost", "spam caught")
 	for _, w := range r.Weeks {
@@ -542,6 +593,10 @@ func (r *OnlineResult) Render() string {
 			fmt.Sprintf("%.1f%%", 100*(1-w.Delivered.SpamMisclassifiedRate())))
 	}
 	b.WriteString(t.String())
+	if len(r.Weeks) > 0 && r.Weeks[0].ByShard != nil {
+		b.WriteByte('\n')
+		renderShardTable(&b, r)
+	}
 	return b.String()
 }
 

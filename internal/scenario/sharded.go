@@ -1,0 +1,254 @@
+package scenario
+
+// Sharded online deployment: the §2.1 organization again, but served
+// by one logical filter partitioned across engine.Sharded shards
+// routed by recipient hash. Every user's mail lands on — and trains —
+// one shard, so an attacker who stamps their poison with a single
+// victim's address (the sharded rendition of the paper's §4.3
+// targeted setting) degrades only that shard, and the per-shard
+// at-delivery confusions make the blast radius measurable: target
+// damage in one column, collateral damage (ideally none) in the rest.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/eval"
+	"repro/internal/stats"
+	"repro/internal/textgen"
+)
+
+// NumRecipients returns the effective sharded-mode user population
+// size: Config.Recipients, defaulting to four users per shard.
+func (c Config) NumRecipients() int {
+	if c.Recipients > 0 {
+		return c.Recipients
+	}
+	return 4 * c.Shards
+}
+
+// RecipientAddress returns sharded-mode user i's stamped address. The
+// population is deterministic so traces are reproducible and configs
+// can target a specific user by address (AttackRecipient).
+func RecipientAddress(i int) string {
+	return fmt.Sprintf("user%d@corp.example", i)
+}
+
+// TargetShard returns the shard index AttackRecipient's mail routes
+// to, or -1 when the attack is untargeted or the config is unsharded.
+func (c Config) TargetShard() int {
+	if c.AttackRecipient == "" || c.Shards < 2 {
+		return -1
+	}
+	return int(engine.AddressKey(c.AttackRecipient) % uint64(c.Shards))
+}
+
+// stampRecipients overwrites each message's To header with a uniform
+// draw from the population. The generator synthesizes plausible To
+// addresses already, but sharded mode needs a closed population so
+// that each user accumulates a mail history on one shard.
+func stampRecipients(c *corpus.Corpus, pop []string, wr *stats.RNG) {
+	for _, ex := range c.Examples {
+		ex.Msg.Header.Set("To", pop[wr.Intn(len(pop))])
+	}
+}
+
+// runOnlineSharded is RunOnline's Shards > 1 path: deliveries flow
+// through an engine.Sharded, each shard retrains on only its own
+// slice of the kept mail, and reports carry per-shard confusions and
+// generations. RONI, when enabled, scrubs candidates against the
+// organization-wide trusted store before the kept mail is partitioned
+// — the defense vets mail at the gateway, upstream of the shards.
+func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend engine.Backend) (*OnlineResult, error) {
+	nsh := cfg.Shards
+	pop := make([]string, cfg.NumRecipients())
+	for i := range pop {
+		pop[i] = RecipientAddress(i)
+	}
+
+	// Bootstrap: one clean store, stamped with recipients, partitioned
+	// into per-shard training corpora.
+	br := r.Split("bootstrap")
+	nSpam := int(float64(cfg.InitialMailStore)*cfg.SpamPrevalence + 0.5)
+	store := g.Corpus(br, cfg.InitialMailStore-nSpam, nSpam)
+	stampRecipients(store, pop, br)
+	stores := engine.PartitionByKey(store, nsh, nil)
+	clfs := make([]engine.Classifier, nsh)
+	eval.Parallel(nsh, nsh, func(i int) {
+		clfs[i] = eval.TrainBackend(backend.New, stores[i])
+	})
+	sh := engine.NewSharded(clfs, engine.ShardedConfig{Name: "scenario-sharded"})
+	res := &OnlineResult{Cfg: cfg}
+
+	// pending carries the background rebuild of every shard across the
+	// week boundary, exactly like the single-engine path.
+	var pending chan []engine.Classifier
+	for week := 1; week <= cfg.Weeks; week++ {
+		wr := r.Split(fmt.Sprintf("week-%d", week))
+		report := OnlineWeekReport{Week: week, ByShard: make([]eval.Confusion, nsh)}
+
+		wSpam := int(float64(cfg.MessagesPerWeek)*cfg.SpamPrevalence + 0.5)
+		weekly := g.Corpus(wr, cfg.MessagesPerWeek-wSpam, wSpam)
+		stampRecipients(weekly, pop, wr)
+		payloads, attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
+		if err != nil {
+			return nil, err
+		}
+		report.AttackArrived = arrived
+		// Attack mail is addressed after injection. Targeted: every
+		// payload (shared across its replicated copies) carries the
+		// victim's address, so the whole dose trains into one shard.
+		// Untargeted: each injected copy is cloned and stamped with its
+		// own recipient, spreading the poison across the population
+		// like organic mail; the clones join the identity set so
+		// rejection attribution still matches by pointer.
+		if cfg.AttackRecipient != "" {
+			for _, m := range payloads {
+				m.Header.Set("To", cfg.AttackRecipient)
+			}
+		} else if len(payloads) > 0 {
+			for i, ex := range weekly.Examples {
+				if !attackSet[ex.Msg] {
+					continue
+				}
+				clone := ex.Msg.Clone()
+				clone.Header.Set("To", pop[wr.Intn(len(pop))])
+				weekly.Examples[i].Msg = clone
+				attackSet[clone] = true
+			}
+		}
+
+		// Deliver one message at a time through the sharded layer.
+		for i, ex := range weekly.Examples {
+			if pending != nil && i == cfg.RetrainLag {
+				sh.SwapAll(<-pending)
+				pending = nil
+			}
+			verdict := sh.Classify(ex.Msg)
+			report.Delivered.Observe(ex.Spam, verdict.Label)
+			report.ByShard[sh.ShardFor(ex.Msg)].Observe(ex.Spam, verdict.Label)
+		}
+		if pending != nil {
+			sh.SwapAll(<-pending)
+			pending = nil
+		}
+
+		// Week's end: scrub at the gateway, then grow the global store
+		// (RONI's trusted pool) and each shard's own slice.
+		kept := weekly
+		if cfg.UseRONI {
+			defense, err := core.NewRONIBackend(cfg.RONI, store, backend.New, wr)
+			if err != nil {
+				return nil, fmt.Errorf("scenario week %d: %w", week, err)
+			}
+			kept, report.AttackRejected, report.OrganicRejected = scrubWeek(defense, weekly, attackSet)
+		}
+		store.Append(kept)
+		parts := sh.Partition(kept)
+		for i := range stores {
+			stores[i].Append(parts[i])
+		}
+		report.MailStoreSize = store.Len()
+		report.ShardGenerations = make([]uint64, nsh)
+		for i := 0; i < nsh; i++ {
+			report.ShardGenerations[i] = sh.Shard(i).Generation()
+		}
+		report.Generation = minGeneration(report.ShardGenerations)
+
+		if week == cfg.Weeks {
+			res.Weeks = append(res.Weeks, report)
+			break
+		}
+		// Background rebuild of every shard from its own store (or its
+		// own delta), published together at next week's lag point. The
+		// builder works on clones, so the main loop's store growth never
+		// races it.
+		build := make(chan []engine.Classifier, 1)
+		switch cfg.Retraining {
+		case RetrainIncremental:
+			cloners := make([]engine.Cloner, nsh)
+			for i := 0; i < nsh; i++ {
+				cur := sh.Shard(i).Classifier()
+				cloner, ok := cur.(engine.Cloner)
+				if !ok {
+					return nil, fmt.Errorf("scenario: backend %q (%T) cannot retrain incrementally", cfg.BackendName(), cur)
+				}
+				cloners[i] = cloner
+			}
+			deltas := make([]*corpus.Corpus, nsh)
+			for i := range deltas {
+				deltas[i] = parts[i].Clone()
+			}
+			go func() {
+				next := make([]engine.Classifier, nsh)
+				eval.Parallel(nsh, nsh, func(i int) {
+					clf := cloners[i].CloneClassifier()
+					eval.Train(clf, deltas[i])
+					next[i] = clf
+				})
+				build <- next
+			}()
+		default:
+			fulls := make([]*corpus.Corpus, nsh)
+			for i := range fulls {
+				fulls[i] = stores[i].Clone()
+			}
+			go func() {
+				next := make([]engine.Classifier, nsh)
+				eval.Parallel(nsh, nsh, func(i int) {
+					next[i] = eval.TrainBackend(backend.New, fulls[i])
+				})
+				build <- next
+			}()
+		}
+		pending = build
+		res.Weeks = append(res.Weeks, report)
+	}
+	return res, nil
+}
+
+// minGeneration returns the oldest serving generation across shards.
+func minGeneration(gens []uint64) uint64 {
+	min := gens[0]
+	for _, g := range gens[1:] {
+		if g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+// renderShardTable appends the per-shard at-delivery ham-loss matrix
+// to an online trace: one row per week, one column per shard, with
+// the targeted shard (if any) marked in the header.
+func renderShardTable(b *strings.Builder, r *OnlineResult) {
+	nsh := len(r.Weeks[0].ByShard)
+	target := r.Cfg.TargetShard()
+	header := make([]string, 0, nsh+1)
+	header = append(header, "week")
+	for i := 0; i < nsh; i++ {
+		label := fmt.Sprintf("s%d", i)
+		if i == target {
+			label += "*"
+		}
+		header = append(header, label+" ham lost")
+	}
+	t := newTable(header...)
+	for _, w := range r.Weeks {
+		row := make([]string, 0, nsh+1)
+		row = append(row, fmt.Sprintf("%d", w.Week))
+		for _, conf := range w.ByShard {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*conf.HamMisclassifiedRate()))
+		}
+		t.addRow(row...)
+	}
+	fmt.Fprintf(b, "per-shard at-delivery ham loss (recipient-hash, %d shards", nsh)
+	if target >= 0 {
+		fmt.Fprintf(b, "; * = %s's shard", r.Cfg.AttackRecipient)
+	}
+	b.WriteString("):\n")
+	b.WriteString(t.String())
+}

@@ -25,6 +25,19 @@
 // the engine one at a time, recording the verdict each user actually
 // received while retrains swap in mid-week.
 //
+// Sharded scales that serving layer out: one logical filter
+// partitioned across N Engine shards routed by a recipient-address
+// hash, with the same surface (Classify, batch scoring with
+// input-order restitching, per-shard and all-shards retraining, a
+// routed LearnStream) and Stats that aggregate per-shard counters
+// into a combined view with per-shard breakdown. Because every user's
+// mail lands on — and trains — exactly one shard, batch throughput
+// scales across shards, and a poisoning attack addressed to a single
+// victim (the §4.3 targeted setting) degrades only that user's shard;
+// DeploymentConfig.Shards runs the online simulation in this mode and
+// reports per-shard at-delivery confusions separating target damage
+// from collateral.
+//
 // The layers, top to bottom:
 //
 //   - Classifier, Persistable, Cloner, Backend and Engine: the
@@ -129,6 +142,33 @@ type EngineStats = engine.Stats
 
 // NewEngine returns a scoring engine over any classifier.
 func NewEngine(c Classifier, cfg EngineConfig) *Engine { return engine.New(c, cfg) }
+
+// Sharded is one logical filter partitioned across N Engine shards
+// routed by a recipient hash: batches are grouped by shard, fanned
+// out concurrently, and restitched in input order; shards retrain
+// independently (per-shard or all at once on each shard's own slice
+// of the corpus), so poison trained into one user's shard degrades
+// only the mailboxes routed there.
+type Sharded = engine.Sharded
+
+// ShardedConfig tunes a Sharded engine (name, per-shard workers,
+// learn buffer, routing key).
+type ShardedConfig = engine.ShardedConfig
+
+// ShardedStats aggregates shard counters into a combined view plus
+// the per-shard breakdown and per-shard generations.
+type ShardedStats = engine.ShardedStats
+
+// ShardKey routes a message to a shard.
+type ShardKey = engine.ShardKey
+
+// NewSharded partitions the serving layer across one Engine per
+// classifier (a nil cfg.Key routes by recipient address hash).
+func NewSharded(clfs []Classifier, cfg ShardedConfig) *Sharded { return engine.NewSharded(clfs, cfg) }
+
+// RecipientShardKey is the default ShardKey: an FNV-1a hash of the
+// message's canonicalized To address.
+func RecipientShardKey(m *Message) uint64 { return engine.RecipientKey(m) }
 
 // ---- Filter (the SpamBayes learner) ----
 
