@@ -6,17 +6,26 @@
 #                    (engine snapshot swap + sharded fan-out, eval
 #                    parallelism, scenario online serving)
 #   make vet         static checks
+#   make fuzz        short fuzz smoke over the persistence decoders
+#                    ($(FUZZTIME) per target; CI runs it, so a format
+#                    regression that panics on garbage cannot land)
+#   make cover       run the test suite with coverage and write
+#                    cover.out + the per-function summary cover.txt
+#                    (CI uploads both)
 #   make bench       run all benchmarks (one per exhibit + micro-benchmarks)
 #   make bench-json  run the benchmarks and write $(BENCH_JSON) as a
 #                    machine-readable artifact (CI uploads it, so the
 #                    perf trajectory accumulates across PRs)
-#   make check       build + vet + test + race (what CI runs)
+#   make check       build + vet + test + race (CI runs the same
+#                    pieces, but folds the plain test pass into
+#                    `make cover` and adds `make fuzz`)
 
 GO ?= go
 BENCH_JSON ?= BENCH_PR3.json
 BENCHTIME  ?= 1s
+FUZZTIME   ?= 10s
 
-.PHONY: build test race vet bench bench-json check
+.PHONY: build test race vet fuzz cover bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -29,6 +38,17 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# `go test -fuzz` takes one target per invocation, so one line per
+# fuzz target. Each also replays its committed seed corpus first.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzSBayesSaveLoad -fuzztime=$(FUZZTIME) ./internal/sbayes/
+	$(GO) test -run='^$$' -fuzz=FuzzGrahamSaveLoad -fuzztime=$(FUZZTIME) ./internal/graham/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out > cover.txt
+	@tail -1 cover.txt
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

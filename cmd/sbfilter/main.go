@@ -7,12 +7,21 @@
 // backend (sbayes, graham), and classification fans out across a
 // worker pool (-j) through the batch-scoring engine.
 //
+// Alongside the raw -db token-database files, the save/resume pair
+// speaks the serving layer's durable snapshot format: save trains a
+// filter and publishes it as the next generation of a snapshot
+// directory (generation-stamped, checksummed, atomically written),
+// and resume restores the newest valid generation — the stored
+// envelope names its own backend, so resume needs no -backend flag.
+//
 // Usage:
 //
 //	sbfilter train    [-backend B] -db FILE -ham HAM.mbox -spam SPAM.mbox
 //	sbfilter classify [-backend B] [-j N] -db FILE MBOX...
 //	sbfilter score    [-backend B] -db FILE      (one message on stdin)
 //	sbfilter info     [-backend B] -db FILE
+//	sbfilter save     [-backend B] [-name N] [-keep K] -dir DIR -ham HAM.mbox -spam SPAM.mbox
+//	sbfilter resume   [-name N] [-j N] -dir DIR [MBOX...]
 //	sbfilter backends
 package main
 
@@ -49,6 +58,10 @@ func main() {
 		err = cmdScore(args)
 	case "info":
 		err = cmdInfo(args)
+	case "save":
+		err = cmdSave(args)
+	case "resume":
+		err = cmdResume(args)
 	case "backends":
 		err = cmdBackends()
 	default:
@@ -67,6 +80,8 @@ func usage() {
   sbfilter classify [-backend B] [-j N] -db FILE MBOX...
   sbfilter score    [-backend B] -db FILE      (reads one message from stdin)
   sbfilter info     [-backend B] -db FILE
+  sbfilter save     [-backend B] [-name N] [-keep K] -dir DIR -ham HAM.mbox -spam SPAM.mbox
+  sbfilter resume   [-name N] [-j N] -dir DIR [MBOX...]
   sbfilter backends
 
 Backends: %s (default sbayes).
@@ -139,36 +154,19 @@ func cmdTrain(args []string) error {
 	if *db == "" || *hamPath == "" || *spamPath == "" {
 		return fmt.Errorf("train needs -db, -ham and -spam")
 	}
-	clf, err := newClassifier(*backend)
+	// Fail fast, before the training pass: the backend must persist.
+	probe, err := newClassifier(*backend)
 	if err != nil {
 		return err
 	}
-	p, ok := clf.(engine.Persistable)
-	if !ok {
+	if _, ok := probe.(engine.Persistable); !ok {
 		return fmt.Errorf("backend %q does not persist databases", *backend)
 	}
-	ham, err := loadMbox(*hamPath)
+	clf, trained, err := trainFromMboxes(*backend, *hamPath, *spamPath)
 	if err != nil {
 		return err
 	}
-	spam, err := loadMbox(*spamPath)
-	if err != nil {
-		return err
-	}
-	// Bulk training goes through the engine's buffered stream.
-	eng := engine.New(clf, engine.Config{Name: *backend})
-	in, wait := eng.LearnStream(context.Background())
-	for _, m := range ham {
-		in <- engine.Labeled{Msg: m, Spam: false}
-	}
-	for _, m := range spam {
-		in <- engine.Labeled{Msg: m, Spam: true}
-	}
-	close(in)
-	trained, err := wait()
-	if err != nil {
-		return err
-	}
+	p := clf.(engine.Persistable)
 	out, err := os.Create(*db)
 	if err != nil {
 		return err
@@ -199,12 +197,20 @@ func cmdClassify(args []string) error {
 		return err
 	}
 	eng := engine.New(clf, engine.Config{Name: *backend, Workers: *workers})
+	return classifyMboxes(eng, fs.Args(),
+		fmt.Sprintf("%d workers", eng.Workers()))
+}
 
-	// One batch call per mbox: the worker pool scores each archive in
-	// parallel while only one archive is resident, and output streams
-	// between archives in input order.
+// classifyMboxes scores each mbox through the engine and prints one
+// verdict line per message plus a totals line — the shared output
+// path of classify and resume. One batch call per mbox: the worker
+// pool scores each archive in parallel while only one archive is
+// resident, and output streams between archives in input order. The
+// extra string is appended into the totals line (worker count,
+// resumed generation).
+func classifyMboxes(eng *engine.Engine, paths []string, extra string) error {
 	counts := map[engine.Label]int{}
-	for _, path := range fs.Args() {
+	for _, path := range paths {
 		msgs, err := loadMbox(path)
 		if err != nil {
 			return err
@@ -223,9 +229,9 @@ func cmdClassify(args []string) error {
 		}
 	}
 	stats := eng.Stats()
-	fmt.Printf("totals: %d ham, %d unsure, %d spam (%d msgs, %d workers, %v)\n",
+	fmt.Printf("totals: %d ham, %d unsure, %d spam (%d msgs, %s, %v)\n",
 		counts[engine.Ham], counts[engine.Unsure], counts[engine.Spam],
-		stats.Classified, eng.Workers(), stats.BatchLatency.Round(time.Microsecond))
+		stats.Classified, extra, stats.BatchLatency.Round(time.Microsecond))
 	return nil
 }
 
@@ -262,6 +268,131 @@ func cmdScore(args []string) error {
 		}
 	}
 	return nil
+}
+
+// trainFromMboxes builds a fresh backend classifier and bulk-trains
+// it through an engine LearnStream — the shared training path of
+// train and save.
+func trainFromMboxes(backend, hamPath, spamPath string) (engine.Classifier, int, error) {
+	clf, err := newClassifier(backend)
+	if err != nil {
+		return nil, 0, err
+	}
+	ham, err := loadMbox(hamPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	spam, err := loadMbox(spamPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng := engine.New(clf, engine.Config{Name: backend})
+	in, wait := eng.LearnStream(context.Background())
+	for _, m := range ham {
+		in <- engine.Labeled{Msg: m, Spam: false}
+	}
+	for _, m := range spam {
+		in <- engine.Labeled{Msg: m, Spam: true}
+	}
+	close(in)
+	trained, err := wait()
+	if err != nil {
+		return nil, 0, err
+	}
+	return clf, trained, nil
+}
+
+// cmdSave trains a filter on the given mboxes and publishes it as the
+// next generation of the snapshot directory: if the store already
+// holds a valid generation line the new snapshot continues it
+// (generation+1), otherwise the line starts at 1. -keep prunes the
+// directory down to the K newest generations afterward.
+func cmdSave(args []string) error {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	backend := backendFlag(fs)
+	dir := fs.String("dir", "", "snapshot directory")
+	name := fs.String("name", "sbfilter", "snapshot line name within the directory")
+	keep := fs.Int("keep", 0, "prune to the K newest generations after saving (0 keeps all)")
+	hamPath := fs.String("ham", "", "mbox of ham training messages")
+	spamPath := fs.String("spam", "", "mbox of spam training messages")
+	fs.Parse(args)
+	if *dir == "" || *hamPath == "" || *spamPath == "" {
+		return fmt.Errorf("save needs -dir, -ham and -spam")
+	}
+	// Check the line before the (potentially long) training pass:
+	// continue an existing generation line (reading only the newest
+	// envelope's stamp, not the whole database); an empty store starts
+	// at 1. A store that holds generations but none that validates is
+	// an error — starting over would overwrite the line's history —
+	// and so is a line written by a different backend.
+	st, err := engine.NewDirStore(*dir)
+	if err != nil {
+		return err
+	}
+	gens, err := st.Generations(*name)
+	if err != nil {
+		return err
+	}
+	next := uint64(1)
+	if len(gens) > 0 {
+		env, err := engine.LatestEnvelope(st, *name)
+		if err != nil {
+			return fmt.Errorf("refusing to restart line %q in %s: %w", *name, *dir, err)
+		}
+		if env.Backend != *backend {
+			return fmt.Errorf("line %q in %s is a %s line; refusing to append a %s snapshot (use another -name)",
+				*name, *dir, env.Backend, *backend)
+		}
+		next = env.Generation + 1
+	}
+	clf, trained, err := trainFromMboxes(*backend, *hamPath, *spamPath)
+	if err != nil {
+		return err
+	}
+	eng := engine.NewAt(clf, next, engine.Config{Name: *name})
+	gen, err := engine.SaveEngine(st, *name, *backend, eng)
+	if err != nil {
+		return err
+	}
+	if *keep > 0 {
+		if _, err := engine.Prune(st, *name, *keep); err != nil {
+			return err
+		}
+	}
+	ns, nh := clf.Counts()
+	fmt.Printf("saved %s generation %d (%d messages: %d ham + %d spam) -> %s\n",
+		*backend, gen, trained, nh, ns, *dir)
+	return nil
+}
+
+// cmdResume restores the newest valid generation of a snapshot
+// directory — the stored envelope names its backend, so no -backend
+// flag — and either reports it (no mboxes) or classifies the given
+// mboxes with it.
+func cmdResume(args []string) error {
+	fs := flag.NewFlagSet("resume", flag.ExitOnError)
+	dir := fs.String("dir", "", "snapshot directory")
+	name := fs.String("name", "sbfilter", "snapshot line name within the directory")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "batch-classification parallelism")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("resume needs -dir")
+	}
+	st, err := engine.NewDirStore(*dir)
+	if err != nil {
+		return err
+	}
+	eng, env, err := engine.ResumeEngine(st, *name, engine.Config{Name: *name, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	ns, nh := eng.Classifier().Counts()
+	fmt.Printf("resumed %s generation %d (%d ham, %d spam trained)\n", env.Backend, env.Generation, nh, ns)
+	if fs.NArg() == 0 {
+		return nil
+	}
+	return classifyMboxes(eng, fs.Args(),
+		fmt.Sprintf("generation %d", env.Generation))
 }
 
 func cmdInfo(args []string) error {

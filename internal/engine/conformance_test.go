@@ -346,6 +346,77 @@ func TestConformanceShardedClassifyBatch(t *testing.T) {
 	})
 }
 
+// TestConformancePersistenceRoundTrip holds every backend to the
+// serving-layer durability contract: while concurrent ClassifyBatch
+// traffic is in flight (run under -race via `make race`), the
+// engine's snapshot is saved through the persistence envelope and
+// resumed into a fresh engine, which must reproduce the original's
+// verdicts and scores exactly on a held-out corpus.
+func TestConformancePersistenceRoundTrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		clf := trained(t, backend)
+		eng := engine.New(clf, engine.Config{Name: backend, Workers: 4})
+
+		held := make([]*mail.Message, 60)
+		for i := range held {
+			if i%2 == 0 {
+				held[i] = msg(fmt.Sprintf("meeting agenda report budget held%d\n", i))
+			} else {
+				held[i] = msg(fmt.Sprintf("winner lottery prize claim held%d\n", i))
+			}
+		}
+
+		// Keep batch traffic flowing against the serving snapshot for
+		// the whole save — persistence must never require quiescence.
+		stop := make(chan struct{})
+		trafficDone := make(chan error, 1)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					trafficDone <- nil
+					return
+				default:
+					if _, err := eng.ClassifyBatch(context.Background(), held); err != nil {
+						trafficDone <- err
+						return
+					}
+				}
+			}
+		}()
+
+		st := engine.NewMemStore()
+		if _, err := engine.SaveEngine(st, "conformance", backend, eng); err != nil {
+			t.Fatal(err)
+		}
+		resumed, env, err := engine.ResumeEngine(st, "conformance", engine.Config{Name: backend + "-resumed"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		if err := <-trafficDone; err != nil {
+			t.Fatal(err)
+		}
+		if env.Backend != backend || resumed.Generation() != eng.Generation() {
+			t.Fatalf("resumed backend %q generation %d (want %q at %d)",
+				env.Backend, resumed.Generation(), backend, eng.Generation())
+		}
+		want, err := eng.ClassifyBatch(context.Background(), held)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := resumed.ClassifyBatch(context.Background(), held)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("held-out %d: resumed %+v != original %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
 func TestConformanceConcurrentClassifyBatch(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, backend string) {
 		clf := trained(t, backend)

@@ -1,0 +1,58 @@
+package engine_test
+
+// Golden-file pin of the snapshot envelope format: the committed
+// fixture is the exact encoding of a fixed envelope. If this test
+// fails, the envelope layout changed — that must be a conscious
+// decision: bump the version byte in snapMagic, keep old snapshots
+// decodable (or document the migration), and regenerate with
+//
+//	go test ./internal/engine -run TestGoldenEnvelope -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden format fixtures")
+
+// goldenEnvelope is the fixed logical content the fixture pins.
+func goldenEnvelope() engine.Envelope {
+	return engine.Envelope{
+		Backend:    "sbayes",
+		Generation: 42,
+		Payload:    []byte("golden snapshot payload\n"),
+	}
+}
+
+func TestGoldenEnvelopeFormat(t *testing.T) {
+	path := filepath.Join("testdata", "envelope_v1.snap")
+	got := goldenEnvelope().Encode()
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("envelope encoding no longer matches the golden fixture (%d bytes vs %d): "+
+			"a format change must bump the version byte and regenerate with -update", len(got), len(want))
+	}
+
+	// The fixture must keep decoding to the same logical content.
+	env, err := engine.DecodeEnvelope(want)
+	if err != nil {
+		t.Fatalf("decoding golden fixture: %v", err)
+	}
+	exp := goldenEnvelope()
+	if env.Backend != exp.Backend || env.Generation != exp.Generation || !bytes.Equal(env.Payload, exp.Payload) {
+		t.Fatalf("golden fixture decoded to %q gen %d payload %q", env.Backend, env.Generation, env.Payload)
+	}
+}

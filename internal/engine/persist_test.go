@@ -1,0 +1,483 @@
+package engine_test
+
+// Persistence-subsystem tests: envelope framing and corruption
+// rejection, the SnapshotStore implementations (atomic filesystem
+// writes, listing, pruning), engine save/resume across generations,
+// and the crash-recovery contract of a Sharded partition — a resumed
+// shard serves its last published generation with byte-identical
+// re-saved state, and shards whose snapshot lines lag are detected as
+// stale.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mail"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := engine.Envelope{Backend: "sbayes", Generation: 7, Payload: []byte("db bytes")}
+	got, err := engine.DecodeEnvelope(env.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backend != env.Backend || got.Generation != env.Generation || !bytes.Equal(got.Payload, env.Payload) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// Empty payload is legal (an untrained filter persists too).
+	empty := engine.Envelope{Backend: "graham", Generation: 1}
+	if _, err := engine.DecodeEnvelope(empty.Encode()); err != nil {
+		t.Fatalf("empty payload: %v", err)
+	}
+}
+
+// seal appends a correct CRC to a hand-built envelope body, so the
+// structural validation beyond the checksum is reachable.
+func seal(body []byte) []byte {
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	return append(append([]byte(nil), body...), crc[:]...)
+}
+
+func TestDecodeEnvelopeRejectsCorruption(t *testing.T) {
+	valid := engine.Envelope{Backend: "sbayes", Generation: 3, Payload: []byte("payload")}.Encode()
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	badVersion := append([]byte(nil), valid...)
+	badVersion[4] = 99
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short":            []byte("SN"),
+		"bad magic":        seal([]byte("NOPE\x01rest")),
+		"bad version":      badVersion, // also fails CRC, but version is checked first
+		"flipped bit":      flipped,
+		"truncated":        valid[:len(valid)-6],
+		"trailing byte":    append(append([]byte(nil), valid...), 0x00),
+		"zero generation":  engine.Envelope{Backend: "sbayes", Payload: []byte("p")}.Encode(),
+		"zero name length": seal(append(append([]byte(nil), "SNAP\x01"...), 0)),
+		"huge name length": seal(append(append([]byte(nil), "SNAP\x01"...), 0xff, 0xff, 0x03)),
+		"payload mismatch": seal(append(append([]byte(nil), "SNAP\x01"...), 6, 's', 'b', 'a', 'y', 'e', 's', 1, 9, 'x')),
+	}
+	for name, data := range cases {
+		if _, err := engine.DecodeEnvelope(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// storeContract runs the shared SnapshotStore behavior against an
+// implementation.
+func storeContract(t *testing.T, st engine.SnapshotStore) {
+	t.Helper()
+	for _, gen := range []uint64{3, 1, 2} {
+		if err := st.Write("eng", gen, []byte(fmt.Sprintf("snap-%d", gen))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A sibling name sharing the prefix must not leak into listings.
+	if err := st.Write("eng.shard0", 9, []byte("other line")); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := st.Generations("eng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gens, []uint64{1, 2, 3}) {
+		t.Fatalf("generations = %v", gens)
+	}
+	data, err := st.Read("eng", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "snap-2" {
+		t.Fatalf("read = %q", data)
+	}
+	if _, err := st.Read("eng", 8); err == nil {
+		t.Fatal("read of a missing generation succeeded")
+	}
+	// Overwrite is a replace.
+	if err := st.Write("eng", 2, []byte("snap-2b")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := st.Read("eng", 2); string(data) != "snap-2b" {
+		t.Fatalf("after overwrite read = %q", data)
+	}
+	// Prune keeps the newest.
+	removed, err := engine.Prune(st, "eng", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(removed, []uint64{1, 2}) {
+		t.Fatalf("pruned %v", removed)
+	}
+	if gens, _ := st.Generations("eng"); !reflect.DeepEqual(gens, []uint64{3}) {
+		t.Fatalf("after prune generations = %v", gens)
+	}
+	if _, err := engine.Prune(st, "eng", 0); err == nil {
+		t.Fatal("Prune keep 0 succeeded")
+	}
+	// Invalid names are rejected, not turned into paths.
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, "a\nb"} {
+		if err := st.Write(bad, 1, []byte("x")); err == nil {
+			t.Errorf("Write accepted name %q", bad)
+		}
+	}
+}
+
+func TestDirStoreContract(t *testing.T) {
+	st, err := engine.NewDirStore(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, st)
+	// Stray files in the directory are not listed as generations.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "eng.notagen.snap"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if gens, _ := st.Generations("eng"); !reflect.DeepEqual(gens, []uint64{3}) {
+		t.Fatalf("stray file listed: %v", gens)
+	}
+	// A name that is itself a prefix of another snapshot's full
+	// filename must list empty, not panic on the short slice.
+	if gens, err := st.Generations("eng.00000000000000000003"); err != nil || len(gens) != 0 {
+		t.Fatalf("filename-prefix name listed %v (%v)", gens, err)
+	}
+	// Stale temp files from a crashed writer are swept on open.
+	stale := filepath.Join(st.Dir(), "eng.crashed.tmp")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.NewDirStore(st.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp file not swept: %v", err)
+	}
+	// No temp files left behind by completed writes.
+	matches, _ := filepath.Glob(filepath.Join(st.Dir(), "*.tmp"))
+	if len(matches) != 0 {
+		t.Fatalf("leftover temp files: %v", matches)
+	}
+}
+
+func TestMemStoreContract(t *testing.T) {
+	storeContract(t, engine.NewMemStore())
+}
+
+// heldOut returns a fixed mixed-probe corpus for verdict-equality
+// checks.
+func heldOut() []*mail.Message {
+	msgs := make([]*mail.Message, 40)
+	for i := range msgs {
+		if i%2 == 0 {
+			msgs[i] = msg(fmt.Sprintf("meeting agenda report budget probe%d\n", i))
+		} else {
+			msgs[i] = msg(fmt.Sprintf("winner lottery prize claim probe%d\n", i))
+		}
+	}
+	return msgs
+}
+
+func TestSaveResumeEngine(t *testing.T) {
+	st, err := engine.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := trained(t, "sbayes")
+	eng := engine.New(clf, engine.Config{Name: "prod"})
+	if gen, err := engine.SaveEngine(st, "prod", "sbayes", eng); err != nil || gen != 1 {
+		t.Fatalf("save gen 1 = (%d, %v)", gen, err)
+	}
+
+	// Publish generation 2 with extra training, save it too.
+	next := clf.(engine.Cloner).CloneClassifier()
+	next.Learn(msg("quarterly forecast spreadsheet review\n"), false)
+	eng.Swap(next)
+	if gen, err := engine.SaveEngine(st, "prod", "sbayes", eng); err != nil || gen != 2 {
+		t.Fatalf("save gen 2 = (%d, %v)", gen, err)
+	}
+
+	want := make([]engine.Result, 0, 40)
+	for _, m := range heldOut() {
+		want = append(want, eng.Classify(m))
+	}
+
+	resumed, env, err := engine.ResumeEngine(st, "prod", engine.Config{Name: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Backend != "sbayes" || env.Generation != 2 || resumed.Generation() != 2 {
+		t.Fatalf("resumed backend %q gen %d (engine gen %d)", env.Backend, env.Generation, resumed.Generation())
+	}
+	for i, m := range heldOut() {
+		if got := resumed.Classify(m); got != want[i] {
+			t.Fatalf("probe %d: resumed %+v != original %+v", i, got, want[i])
+		}
+	}
+	// The resumed engine continues the generation line.
+	if gen := resumed.Swap(next); gen != 3 {
+		t.Fatalf("post-resume publish got generation %d, want 3", gen)
+	}
+
+	// Corrupt the newest snapshot on disk: resume must fall back to
+	// the previous valid generation instead of failing or loading it.
+	data, err := st.Read("prod", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := st.Write("prod", 2, data); err != nil {
+		t.Fatal(err)
+	}
+	fallback, env, err := engine.ResumeEngine(st, "prod", engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Generation != 1 || fallback.Generation() != 1 {
+		t.Fatalf("fallback resumed generation %d, want 1", env.Generation)
+	}
+}
+
+// TestPruneKeepsNewestValid pins the prune/corruption interaction:
+// when the newest files have rotted, the newest generation that
+// still decodes is the restart path and survives the prune even
+// though the kept count alone would remove it.
+func TestPruneKeepsNewestValid(t *testing.T) {
+	st := engine.NewMemStore()
+	for gen := uint64(1); gen <= 4; gen++ {
+		env := engine.Envelope{Backend: "sbayes", Generation: gen, Payload: []byte{byte(gen)}}
+		if err := st.Write("line", gen, env.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Generations 3 and 4 rot on disk; only 2 and 1 still decode.
+	for _, gen := range []uint64{3, 4} {
+		if err := st.Write("line", gen, []byte("rotten")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := engine.Prune(st, "line", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(removed, []uint64{1, 3}) {
+		t.Fatalf("pruned %v, want [1 3] (2 is the restart path)", removed)
+	}
+	if env, err := engine.LatestEnvelope(st, "line"); err != nil {
+		t.Fatalf("line unrecoverable after prune: %v", err)
+	} else if env.Generation != 2 {
+		t.Fatalf("newest decodable generation %d after prune, want 2", env.Generation)
+	}
+}
+
+func TestLatestEnvelope(t *testing.T) {
+	st := engine.NewMemStore()
+	if _, err := engine.LatestEnvelope(st, "line"); !errors.Is(err, engine.ErrNoSnapshot) {
+		t.Fatalf("empty store: %v", err)
+	}
+	for gen := uint64(1); gen <= 3; gen++ {
+		env := engine.Envelope{Backend: "sbayes", Generation: gen, Payload: []byte{byte(gen)}}
+		if err := st.Write("line", gen, env.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, err := engine.LatestEnvelope(st, "line")
+	if err != nil || env.Generation != 3 {
+		t.Fatalf("latest = (%d, %v), want 3", env.Generation, err)
+	}
+	// A corrupt newest falls back, decode-only — no backend Load runs,
+	// so even an unloadable payload of an older generation is visible.
+	if err := st.Write("line", 3, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	env, err = engine.LatestEnvelope(st, "line")
+	if err != nil || env.Generation != 2 {
+		t.Fatalf("after corruption latest = (%d, %v), want 2", env.Generation, err)
+	}
+}
+
+func TestResumeEngineErrors(t *testing.T) {
+	st := engine.NewMemStore()
+	if _, _, err := engine.ResumeEngine(st, "ghost", engine.Config{}); !errors.Is(err, engine.ErrNoSnapshot) {
+		t.Fatalf("empty store: %v", err)
+	}
+	// A store holding only garbage is as empty as one holding nothing.
+	if err := st.Write("ghost", 1, []byte("not an envelope")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := engine.ResumeEngine(st, "ghost", engine.Config{}); !errors.Is(err, engine.ErrNoSnapshot) {
+		t.Fatalf("corrupt-only store: %v", err)
+	}
+	// A snapshot naming an unregistered backend cannot resume.
+	env := engine.Envelope{Backend: "nonesuch", Generation: 1, Payload: nil}
+	if err := st.Write("alien", 1, env.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := engine.ResumeEngine(st, "alien", engine.Config{}); !errors.Is(err, engine.ErrNoSnapshot) {
+		t.Fatalf("unknown-backend store: %v", err)
+	}
+	// SaveEngine refuses an unregistered backend stamp up front.
+	eng := engine.New(trained(t, "sbayes"), engine.Config{})
+	if _, err := engine.SaveEngine(st, "prod", "nonesuch", eng); err == nil {
+		t.Fatal("SaveEngine accepted an unregistered backend name")
+	}
+}
+
+// TestShardedCrashRecovery is the kill-and-resume contract of the
+// partitioned serving layer: persist all shards, publish (and
+// persist) further generations on a subset, then "crash" — discard
+// the Sharded — and resume from the store. Resumed shards must serve
+// their last published generation with verdicts identical to the
+// pre-crash snapshot and re-save to byte-identical snapshots, while
+// the shards whose lines missed the later publishes are detected as
+// stale.
+func TestShardedCrashRecovery(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		st, err := engine.NewDirStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := trained(t, backend)
+		cloner := base.(engine.Cloner)
+		const nsh = 4
+		clfs := make([]engine.Classifier, nsh)
+		for i := range clfs {
+			clfs[i] = cloner.CloneClassifier()
+		}
+		sh := engine.NewSharded(clfs, engine.ShardedConfig{Name: "fleet", Workers: 2})
+
+		// Diverge every shard (generation 2 each), persist the fleet.
+		for i := 0; i < nsh; i++ {
+			next := cloner.CloneClassifier()
+			next.Learn(msg(fmt.Sprintf("shard%d distinctive vocabulary alpha\n", i)), true)
+			sh.Swap(i, next)
+		}
+		if gens, err := sh.SaveAll(st, backend); err != nil {
+			t.Fatal(err)
+		} else if !reflect.DeepEqual(gens, []uint64{2, 2, 2, 2}) {
+			t.Fatalf("SaveAll gens = %v", gens)
+		}
+
+		// Shards 0 and 2 publish generation 3 and persist it; shards 1
+		// and 3 crash before their next checkpoint.
+		for _, i := range []int{0, 2} {
+			next := cloner.CloneClassifier()
+			next.Learn(msg(fmt.Sprintf("shard%d distinctive vocabulary beta\n", i)), true)
+			sh.Swap(i, next)
+			name := engine.ShardSnapshotName("fleet", i)
+			if gen, err := engine.SaveEngine(st, name, backend, sh.Shard(i)); err != nil || gen != 3 {
+				t.Fatalf("shard %d save = (%d, %v)", i, gen, err)
+			}
+		}
+		preCrash := make(map[int][]engine.Result)
+		for i := 0; i < nsh; i++ {
+			for _, m := range heldOut() {
+				preCrash[i] = append(preCrash[i], sh.Shard(i).Classify(m))
+			}
+		}
+		stored := make([][]byte, nsh)
+		wantGens := []uint64{3, 2, 3, 2}
+		for i := 0; i < nsh; i++ {
+			data, err := st.Read(engine.ShardSnapshotName("fleet", i), wantGens[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			stored[i] = data
+		}
+
+		// Crash: the Sharded is gone; resume the partition from disk.
+		sh = nil
+		resumed, gens, err := engine.ResumeAll(st, nsh, engine.ShardedConfig{Name: "fleet", Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gens, wantGens) {
+			t.Fatalf("resumed gens = %v, want %v", gens, wantGens)
+		}
+		if stale := engine.StaleShards(gens); !reflect.DeepEqual(stale, []int{1, 3}) {
+			t.Fatalf("StaleShards = %v, want [1 3]", stale)
+		}
+		for i := 0; i < nsh; i++ {
+			if got := resumed.Shard(i).Generation(); got != wantGens[i] {
+				t.Errorf("shard %d resumed at generation %d, want %d", i, got, wantGens[i])
+			}
+			for j, m := range heldOut() {
+				if got := resumed.Shard(i).Classify(m); got != preCrash[i][j] {
+					t.Fatalf("shard %d probe %d: resumed %+v != pre-crash %+v", i, j, got, preCrash[i][j])
+				}
+			}
+		}
+
+		// Re-saving the resumed fleet reproduces the stored snapshots
+		// byte for byte — nothing drifted through the restart.
+		st2 := engine.NewMemStore()
+		if _, err := resumed.SaveAll(st2, backend); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < nsh; i++ {
+			data, err := st2.Read(engine.ShardSnapshotName("fleet", i), wantGens[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, stored[i]) {
+				t.Errorf("shard %d re-saved snapshot differs from the stored one", i)
+			}
+		}
+
+		// A missing shard line is an error, not a silently fresh shard.
+		if _, _, err := engine.ResumeAll(st, nsh+1, engine.ShardedConfig{Name: "fleet"}); err == nil {
+			t.Fatal("ResumeAll resumed a shard that was never saved")
+		}
+	})
+}
+
+// TestSaveEngineConsistentUnderPublish pins the atomicity of the
+// (classifier, generation) read: a save racing publishes must stamp
+// the generation that matches the payload it serialized.
+func TestSaveEngineConsistentUnderPublish(t *testing.T) {
+	st := engine.NewMemStore()
+	clf := trained(t, "sbayes")
+	eng := engine.New(clf, engine.Config{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cloner := clf.(engine.Cloner)
+		for i := 0; i < 50; i++ {
+			eng.Swap(cloner.CloneClassifier())
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := engine.SaveEngine(st, "prod", "sbayes", eng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	gens, err := st.Generations("prod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range gens {
+		data, err := st.Read("prod", gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := engine.DecodeEnvelope(data)
+		if err != nil {
+			t.Fatalf("generation %d: %v", gen, err)
+		}
+		if env.Generation != gen {
+			t.Fatalf("stored generation %d stamped %d", gen, env.Generation)
+		}
+		if _, err := engine.NewFromEnvelope(env); err != nil {
+			t.Fatalf("generation %d does not load: %v", gen, err)
+		}
+	}
+}

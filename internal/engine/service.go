@@ -67,8 +67,21 @@ type Engine struct {
 
 // New returns an Engine serving clf as generation 1.
 func New(clf Classifier, cfg Config) *Engine {
+	return NewAt(clf, 1, cfg)
+}
+
+// NewAt returns an Engine serving clf at generation gen — the resume
+// path: an engine restored from a persisted snapshot keeps the
+// snapshot's stamped generation, so the generation line is continuous
+// across restarts instead of restarting from 1. gen must be at least
+// 1 (Stats.Retrains reports Generation-1, the number of publishes
+// since the line began).
+func NewAt(clf Classifier, gen uint64, cfg Config) *Engine {
 	if clf == nil {
 		panic("engine: New with nil classifier")
+	}
+	if gen < 1 {
+		panic("engine: NewAt with generation 0")
 	}
 	name := cfg.Name
 	if name == "" {
@@ -83,7 +96,7 @@ func New(clf Classifier, cfg Config) *Engine {
 		learnBuf = 256
 	}
 	e := &Engine{name: name, workers: workers, learnBuf: learnBuf}
-	e.cur.Store(&snapshot{clf: clf, gen: 1})
+	e.cur.Store(&snapshot{clf: clf, gen: gen})
 	return e
 }
 
@@ -361,8 +374,10 @@ type Stats struct {
 	// classifier the engine was constructed over).
 	Generation uint64
 	// Retrains is the number of snapshot publishes (Retrain,
-	// RetrainIncremental, Swap) since construction — always
-	// Generation - 1, reported for readability.
+	// RetrainIncremental, Swap) since the generation line began —
+	// always Generation - 1, reported for readability. An engine
+	// resumed from a persisted snapshot (NewAt) inherits the line, so
+	// pre-restart publishes count.
 	Retrains uint64
 	// Classified is the total number of messages given verdicts
 	// (Classify and ClassifyBatch). It is derived from ByLabel inside

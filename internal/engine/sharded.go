@@ -94,6 +94,14 @@ type Sharded struct {
 // (or the same read-only classifier) and diverge them later through
 // per-shard retraining.
 func NewSharded(clfs []Classifier, cfg ShardedConfig) *Sharded {
+	return newShardedAt(clfs, nil, cfg)
+}
+
+// newShardedAt builds the Sharded with each shard serving at its own
+// starting generation (nil gens selects 1 everywhere) — the shared
+// constructor of NewSharded and the per-shard resume path, where each
+// restored shard keeps its persisted generation.
+func newShardedAt(clfs []Classifier, gens []uint64, cfg ShardedConfig) *Sharded {
 	if len(clfs) == 0 {
 		panic("engine: NewSharded with no classifiers")
 	}
@@ -114,7 +122,11 @@ func NewSharded(clfs []Classifier, cfg ShardedConfig) *Sharded {
 	}
 	s := &Sharded{name: name, key: key, shards: make([]*Engine, len(clfs))}
 	for i, clf := range clfs {
-		s.shards[i] = New(clf, Config{
+		gen := uint64(1)
+		if gens != nil {
+			gen = gens[i]
+		}
+		s.shards[i] = NewAt(clf, gen, Config{
 			Name:        fmt.Sprintf("%s/%d", name, i),
 			Workers:     workers,
 			LearnBuffer: cfg.LearnBuffer,
@@ -354,6 +366,14 @@ func (s *Sharded) LearnStream(ctx context.Context) (chan<- Labeled, func() (int,
 	stop := make(chan struct{})
 	routerDone := make(chan struct{})
 	var stopOnce sync.Once
+	// cancelled records that the router shut down because of the
+	// context, not a producer close. It is written before routerDone
+	// closes and read after wait receives it, so the handoff is
+	// ordered. Without it the cancellation error can be swallowed: the
+	// router's exit closes the shard streams, and a shard consumer
+	// that observes its closed channel before it happens to poll
+	// ctx.Done() finishes with a nil error like any clean shutdown.
+	var cancelled bool
 	go func() {
 		defer close(routerDone)
 		// The shard streams close (and their consumers finish) exactly
@@ -369,6 +389,7 @@ func (s *Sharded) LearnStream(ctx context.Context) (chan<- Labeled, func() (int,
 				// Mirror Engine.LearnStream's drain: keep the routing
 				// channel flowing so a producer blocked on a full buffer
 				// is released, stopping once wait observes cancellation.
+				cancelled = true
 				go drainUntil(in, stop)
 				return
 			case ex, ok := <-in:
@@ -398,6 +419,9 @@ func (s *Sharded) LearnStream(ctx context.Context) (chan<- Labeled, func() (int,
 			if err != nil && first == nil {
 				first = err
 			}
+		}
+		if first == nil && cancelled {
+			first = ctx.Err()
 		}
 		stopOnce.Do(func() { close(stop) })
 		return total, first

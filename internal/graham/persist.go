@@ -96,7 +96,9 @@ func Load(r io.Reader, opts Options, tok *tokenize.Tokenizer) (*Filter, error) {
 		}
 		return v, nil
 	}
-	const maxReasonable = 1 << 31
+	// One below 1<<31 so the counts stay positive even in a 32-bit
+	// int.
+	const maxReasonable = 1<<31 - 1
 	f := New(opts, tok)
 	ngood, err := readUvarint("ngood")
 	if err != nil {

@@ -1,0 +1,55 @@
+package sbayes
+
+// Golden-file pin of the on-disk SBDB format: the committed fixture
+// is the exact serialization of a fixed trained filter. If this test
+// fails, the format changed — that must be a conscious decision:
+// bump the version byte in persistMagic, keep (or add) a migration
+// path for old databases, and regenerate the fixture with
+//
+//	go test ./internal/sbayes -run TestGoldenSBDB -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden format fixtures")
+
+func TestGoldenSBDBFormat(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v1.sbdb")
+	got := canonicalDB()
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("SBDB serialization no longer matches the golden fixture (%d bytes vs %d): "+
+			"a format change must bump the version byte and regenerate with -update", len(got), len(want))
+	}
+
+	// The fixture must keep loading, and re-saving it must reproduce
+	// it byte for byte — old snapshots stay readable and canonical.
+	f, err := Load(bytes.NewReader(want), DefaultOptions(), nil)
+	if err != nil {
+		t.Fatalf("loading golden fixture: %v", err)
+	}
+	ns, nh := f.Counts()
+	if ns != 10 || nh != 10 {
+		t.Fatalf("golden fixture counts = (%d, %d), want (10, 10)", ns, nh)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("re-saving the golden fixture is not byte-identical")
+	}
+}

@@ -104,12 +104,21 @@ func Load(r io.Reader, opts Options, tok *tokenize.Tokenizer) (*Filter, error) {
 	if err != nil {
 		return nil, err
 	}
-	const maxReasonable = 1 << 31
+	// One below 1<<31: these land in int32 fields, and a count of
+	// exactly 1<<31 would wrap negative.
+	const maxReasonable = 1<<31 - 1
 	if nspam > maxReasonable || nham > maxReasonable || ntokens > maxReasonable {
 		return nil, fmt.Errorf("sbayes: implausible database header (%d, %d, %d)", nspam, nham, ntokens)
 	}
 	f.nspam, f.nham = int32(nspam), int32(nham)
-	f.records = make(map[string]record, ntokens)
+	// The size hint comes from an untrusted header: clamp it so a
+	// corrupt count cannot demand gigabytes before the body's first
+	// token fails to parse. The map grows to the real size naturally.
+	hint := ntokens
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	f.records = make(map[string]record, hint)
 	tokenBuf := make([]byte, 0, 64)
 	for i := uint64(0); i < ntokens; i++ {
 		tlen, err := readUvarint("token length")

@@ -138,6 +138,29 @@ type Config struct {
 	// Empty spreads attack mail across the population like organic
 	// mail. Sharded mode only.
 	AttackRecipient string
+
+	// Checkpoints, if non-nil, makes the online deployment durable:
+	// every CheckpointEvery-th snapshot publish is persisted into the
+	// store through the engine persistence layer (the bootstrap
+	// snapshot is saved up front, so a crash in week 1 still has a
+	// restart point). Single-engine mode persists under the name
+	// "scenario-online"; sharded mode saves every shard's own
+	// generation line under "scenario-sharded.shard<i>". RunOnline
+	// only.
+	Checkpoints engine.SnapshotStore
+	// CheckpointEvery saves every Nth publish (<= 0 selects 1, every
+	// publish). A value above 1 models a deployment that checkpoints
+	// less often than it retrains — after a crash it resumes an older
+	// generation, and the trace shows the regression.
+	CheckpointEvery int
+	// CrashAtWeek, if > 0, simulates a process crash at the end of
+	// that week: the serving engine (every shard, in sharded mode) is
+	// discarded and resumed from Checkpoints' latest valid
+	// generation, so the following weeks are served — and incremental
+	// retrains are branched — from the restored snapshot. Requires
+	// Checkpoints. The crash point is fixed in simulated time, so the
+	// trace stays deterministic.
+	CrashAtWeek int
 }
 
 // DefaultConfig returns a small office-sized deployment.
@@ -196,6 +219,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: Recipients %d without Shards > 1", c.Recipients)
 	case c.AttackRecipient != "" && c.Shards < 2:
 		return fmt.Errorf("scenario: AttackRecipient %q without Shards > 1", c.AttackRecipient)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("scenario: CheckpointEvery %d", c.CheckpointEvery)
+	case c.CheckpointEvery > 0 && c.Checkpoints == nil:
+		return fmt.Errorf("scenario: CheckpointEvery %d without a Checkpoints store", c.CheckpointEvery)
+	case c.CrashAtWeek < 0:
+		return fmt.Errorf("scenario: CrashAtWeek %d", c.CrashAtWeek)
+	case c.CrashAtWeek > 0 && c.Checkpoints == nil:
+		return fmt.Errorf("scenario: CrashAtWeek %d without a Checkpoints store", c.CrashAtWeek)
+	case c.CrashAtWeek > c.Weeks:
+		return fmt.Errorf("scenario: CrashAtWeek %d beyond Weeks %d", c.CrashAtWeek, c.Weeks)
 	}
 	if c.Attack != nil && c.AttackChunks > 1 {
 		if _, err := chunkedAttacker(c.Attack); err != nil {
@@ -392,12 +425,78 @@ type OnlineWeekReport struct {
 	// generation at week's end (Generation then reports the oldest).
 	// Nil in single-engine mode.
 	ShardGenerations []uint64
+	// Checkpointed counts the snapshot saves performed this week
+	// (Config.Checkpoints; in sharded mode one fleet-wide SaveAll is
+	// one checkpoint).
+	Checkpointed int
+	// Resumed is true when the simulated crash hit this week's end
+	// (Config.CrashAtWeek): the engine was discarded and restored
+	// from the checkpoint store, and Generation reports the resumed
+	// generation the next week starts from.
+	Resumed bool
 }
 
 // OnlineResult is the full simulation trace of RunOnline.
 type OnlineResult struct {
 	Cfg   Config
 	Weeks []OnlineWeekReport
+}
+
+// Snapshot-store keys of the online deployment's checkpoint lines
+// (Config.Checkpoints): the single engine persists under
+// OnlineCheckpointName; sharded mode persists each shard under
+// engine.ShardSnapshotName(ShardedCheckpointName, i).
+const (
+	OnlineCheckpointName  = "scenario-online"
+	ShardedCheckpointName = "scenario-sharded"
+)
+
+// checkpointer spaces snapshot saves CheckpointEvery publishes apart
+// — the durability-versus-write-amplification knob both RunOnline
+// paths share. A nil checkpointer (no store configured) counts
+// nothing and never saves.
+type checkpointer struct {
+	every int
+	since int
+	save  func() error
+}
+
+func newCheckpointer(cfg Config, save func() error) *checkpointer {
+	if cfg.Checkpoints == nil {
+		return nil
+	}
+	every := cfg.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	return &checkpointer{every: every, save: save}
+}
+
+// saveNow checkpoints immediately, outside the cadence — the
+// bootstrap save both RunOnline paths perform up front so a crash
+// before the first publish still has a restart point.
+func (c *checkpointer) saveNow() error {
+	if c == nil {
+		return nil
+	}
+	return c.save()
+}
+
+// published records one snapshot publish, saving when the cadence is
+// due; it reports whether a checkpoint was written.
+func (c *checkpointer) published() (bool, error) {
+	if c == nil {
+		return false, nil
+	}
+	c.since++
+	if c.since < c.every {
+		return false, nil
+	}
+	c.since = 0
+	if err := c.save(); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // RunOnline simulates the deployment one message at a time through a
@@ -409,6 +508,14 @@ type OnlineResult struct {
 // messages of that week have gone out. The trace is deterministic:
 // the swap point is fixed in simulated time, so verdicts do not
 // depend on wall-clock scheduling.
+//
+// With cfg.Checkpoints set the deployment is durable: publishes are
+// persisted through the engine persistence layer on the
+// CheckpointEvery cadence, and cfg.CrashAtWeek simulates the restart
+// — the engine is discarded at that week's end and resumed from the
+// store's latest valid generation, so the remaining weeks measure
+// what users experience after a recovery (including any generations
+// the checkpoint cadence lost).
 func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -423,8 +530,20 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 
 	nSpam := int(float64(cfg.InitialMailStore)*cfg.SpamPrevalence + 0.5)
 	store := g.Corpus(r.Split("bootstrap"), cfg.InitialMailStore-nSpam, nSpam)
-	eng := engine.New(eval.TrainBackend(backend.New, store), engine.Config{Name: "scenario-online"})
+	eng := engine.New(eval.TrainBackend(backend.New, store), engine.Config{Name: OnlineCheckpointName})
 	res := &OnlineResult{Cfg: cfg}
+
+	// Durable mode: persist the bootstrap snapshot up front, then
+	// checkpoint publishes on the configured cadence. The save
+	// closure reads eng through the variable, so post-crash
+	// checkpoints persist the resumed line.
+	ckpt := newCheckpointer(cfg, func() error {
+		_, err := engine.SaveEngine(cfg.Checkpoints, OnlineCheckpointName, cfg.BackendName(), eng)
+		return err
+	})
+	if err := ckpt.saveNow(); err != nil {
+		return nil, fmt.Errorf("scenario: bootstrap checkpoint: %w", err)
+	}
 
 	// pending carries the background rebuild across the week boundary:
 	// the builder goroutine trains the replacement while the next
@@ -442,13 +561,29 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 		}
 		report.AttackArrived = arrived
 
+		// publish swaps the background-built replacement in and
+		// checkpoints it when the cadence is due.
+		publish := func() error {
+			eng.Swap(<-pending)
+			pending = nil
+			saved, err := ckpt.published()
+			if err != nil {
+				return fmt.Errorf("scenario week %d: checkpoint: %w", week, err)
+			}
+			if saved {
+				report.Checkpointed++
+			}
+			return nil
+		}
+
 		// Deliver one message at a time. Last week's retrain goes live
 		// RetrainLag messages in; until then users get the previous
 		// generation's verdicts.
 		for i, ex := range weekly.Examples {
 			if pending != nil && i == cfg.RetrainLag {
-				eng.Swap(<-pending)
-				pending = nil
+				if err := publish(); err != nil {
+					return nil, err
+				}
 			}
 			verdict := eng.Classify(ex.Msg)
 			report.Delivered.Observe(ex.Spam, verdict.Label)
@@ -456,8 +591,9 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 		if pending != nil {
 			// The lag reached past the week's volume: publish at the
 			// boundary instead.
-			eng.Swap(<-pending)
-			pending = nil
+			if err := publish(); err != nil {
+				return nil, err
+			}
 		}
 
 		// Week's end: scrub the candidates and grow the store.
@@ -472,6 +608,23 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 		store.Append(kept)
 		report.MailStoreSize = store.Len()
 		report.Generation = eng.Generation()
+
+		// Simulated crash: the process dies at this week's end, taking
+		// the in-memory engine with it (the mail store is the org's
+		// disk and survives). The restart resumes the checkpoint
+		// store's latest valid generation — if the cadence skipped
+		// recent publishes, the resumed filter is older than the one
+		// that just served, and the trace shows it.
+		if week == cfg.CrashAtWeek {
+			resumed, _, err := engine.ResumeEngine(cfg.Checkpoints, OnlineCheckpointName,
+				engine.Config{Name: OnlineCheckpointName})
+			if err != nil {
+				return nil, fmt.Errorf("scenario week %d: resume after simulated crash: %w", week, err)
+			}
+			eng = resumed
+			report.Resumed = true
+			report.Generation = eng.Generation()
+		}
 
 		// Kick off the background rebuild; it publishes next week, so
 		// after the final week there is nothing to build. The builder
@@ -581,11 +734,17 @@ func (r *OnlineResult) Render() string {
 		r.Cfg.BackendName(), serving, r.Cfg.Retraining, r.Cfg.RetrainLag,
 		describeAttack(r.Cfg), describeDefense(r.Cfg))
 	t := newTable("week", "store", "gen", "atk in", "atk rej", "org rej", "ham lost", "spam caught")
+	crashed := false
 	for _, w := range r.Weeks {
+		gen := fmt.Sprintf("%d", w.Generation)
+		if w.Resumed {
+			gen += "*"
+			crashed = true
+		}
 		t.addRow(
 			fmt.Sprintf("%d", w.Week),
 			fmt.Sprintf("%d", w.MailStoreSize),
-			fmt.Sprintf("%d", w.Generation),
+			gen,
 			fmt.Sprintf("%d", w.AttackArrived),
 			fmt.Sprintf("%d", w.AttackRejected),
 			fmt.Sprintf("%d", w.OrganicRejected),
@@ -593,6 +752,9 @@ func (r *OnlineResult) Render() string {
 			fmt.Sprintf("%.1f%%", 100*(1-w.Delivered.SpamMisclassifiedRate())))
 	}
 	b.WriteString(t.String())
+	if crashed {
+		b.WriteString("(* = generation resumed from the checkpoint store after the simulated crash)\n")
+	}
 	if len(r.Weeks) > 0 && r.Weeks[0].ByShard != nil {
 		b.WriteByte('\n')
 		renderShardTable(&b, r)

@@ -80,8 +80,21 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 	eval.Parallel(nsh, nsh, func(i int) {
 		clfs[i] = eval.TrainBackend(backend.New, stores[i])
 	})
-	sh := engine.NewSharded(clfs, engine.ShardedConfig{Name: "scenario-sharded"})
+	sh := engine.NewSharded(clfs, engine.ShardedConfig{Name: ShardedCheckpointName})
 	res := &OnlineResult{Cfg: cfg}
+
+	// Durable mode, fleet edition: every checkpoint persists all
+	// shards (each under its own snapshot line, at its own
+	// generation), and the bootstrap fleet is saved up front. The
+	// save closure reads sh through the variable, so post-crash
+	// checkpoints persist the resumed fleet.
+	ckpt := newCheckpointer(cfg, func() error {
+		_, err := sh.SaveAll(cfg.Checkpoints, cfg.BackendName())
+		return err
+	})
+	if err := ckpt.saveNow(); err != nil {
+		return nil, fmt.Errorf("scenario: bootstrap checkpoint: %w", err)
+	}
 
 	// pending carries the background rebuild of every shard across the
 	// week boundary, exactly like the single-engine path.
@@ -121,19 +134,37 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 			}
 		}
 
+		// publish swaps the background-built fleet in and checkpoints
+		// it when the cadence is due (the fleet-wide SwapAll counts as
+		// one publish).
+		publish := func() error {
+			sh.SwapAll(<-pending)
+			pending = nil
+			saved, err := ckpt.published()
+			if err != nil {
+				return fmt.Errorf("scenario week %d: checkpoint: %w", week, err)
+			}
+			if saved {
+				report.Checkpointed++
+			}
+			return nil
+		}
+
 		// Deliver one message at a time through the sharded layer.
 		for i, ex := range weekly.Examples {
 			if pending != nil && i == cfg.RetrainLag {
-				sh.SwapAll(<-pending)
-				pending = nil
+				if err := publish(); err != nil {
+					return nil, err
+				}
 			}
 			verdict := sh.Classify(ex.Msg)
 			report.Delivered.Observe(ex.Spam, verdict.Label)
 			report.ByShard[sh.ShardFor(ex.Msg)].Observe(ex.Spam, verdict.Label)
 		}
 		if pending != nil {
-			sh.SwapAll(<-pending)
-			pending = nil
+			if err := publish(); err != nil {
+				return nil, err
+			}
 		}
 
 		// Week's end: scrub at the gateway, then grow the global store
@@ -157,6 +188,23 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 			report.ShardGenerations[i] = sh.Shard(i).Generation()
 		}
 		report.Generation = minGeneration(report.ShardGenerations)
+
+		// Simulated crash: the whole fleet process dies at this week's
+		// end (the mail stores are disk and survive); the restart
+		// resumes every shard from its own snapshot line's latest
+		// valid generation, and the per-shard generations show which
+		// shards' lines lagged the checkpoint cadence.
+		if week == cfg.CrashAtWeek {
+			resumed, gens, err := engine.ResumeAll(cfg.Checkpoints, nsh,
+				engine.ShardedConfig{Name: ShardedCheckpointName})
+			if err != nil {
+				return nil, fmt.Errorf("scenario week %d: resume after simulated crash: %w", week, err)
+			}
+			sh = resumed
+			report.Resumed = true
+			copy(report.ShardGenerations, gens)
+			report.Generation = minGeneration(gens)
+		}
 
 		if week == cfg.Weeks {
 			res.Weeks = append(res.Weeks, report)

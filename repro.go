@@ -38,6 +38,39 @@
 // reports per-shard at-delivery confusions separating target damage
 // from collateral.
 //
+// # Snapshot persistence
+//
+// The serving layer is durable: SaveEngine persists an engine's
+// current snapshot — the classifier and its generation, read in one
+// consistent atomic load — into a SnapshotStore, and ResumeEngine
+// restores an engine from the newest generation that validates, so a
+// restarted deployment resumes the generation line instead of
+// restarting it (Sharded.SaveAll / ResumeSharded do the same per
+// shard, each shard keeping its own independent line). Every
+// persisted snapshot is a self-describing envelope:
+//
+//	magic    "SNAP" 0x01 (format version)
+//	uvarint  len(backend), backend registry name
+//	uvarint  generation
+//	uvarint  len(payload), payload (the backend's Save output)
+//	uint32   big-endian CRC-32 (IEEE) of every preceding byte
+//
+// The stamped backend name means resume needs no out-of-band
+// configuration — the registry reconstructs the right classifier —
+// and the trailing checksum rejects truncated or corrupted files
+// before partial state can load. Resume scans generations newest to
+// oldest and falls back past invalid ones, so one bad file costs one
+// generation of history, never the deployment; a store with no valid
+// generation fails with ErrNoSnapshot. The filesystem store writes
+// via temp-file + rename (atomic against crashes mid-save) and keeps
+// old generations until PruneSnapshots removes them. Golden-file
+// tests pin the envelope and both backend database formats, and
+// native fuzz targets hold the decoders to "error, never panic,
+// never partial state"; a format change must consciously bump the
+// version byte. DeploymentConfig.Checkpoints runs the online
+// simulator in durable mode (checkpoint every N retrains, simulated
+// crash and resume at a configured week).
+//
 // The layers, top to bottom:
 //
 //   - Classifier, Persistable, Cloner, Backend and Engine: the
@@ -169,6 +202,79 @@ func NewSharded(clfs []Classifier, cfg ShardedConfig) *Sharded { return engine.N
 // RecipientShardKey is the default ShardKey: an FNV-1a hash of the
 // message's canonicalized To address.
 func RecipientShardKey(m *Message) uint64 { return engine.RecipientKey(m) }
+
+// ---- Snapshot persistence (the durable serving layer) ----
+
+// SnapshotStore holds persisted snapshot envelopes keyed by logical
+// name and generation; writes are atomic against crashes mid-save.
+type SnapshotStore = engine.SnapshotStore
+
+// SnapshotEnvelope is one decoded persisted snapshot: the backend
+// registry name, the stamped generation, and the backend's payload.
+type SnapshotEnvelope = engine.Envelope
+
+// DirSnapshotStore is the filesystem SnapshotStore: one file per
+// generation, written via temp-file + rename.
+type DirSnapshotStore = engine.DirStore
+
+// MemSnapshotStore is the in-memory SnapshotStore for tests and
+// simulations.
+type MemSnapshotStore = engine.MemStore
+
+// ErrNoSnapshot reports a resume against a store with no generation
+// that validates.
+var ErrNoSnapshot = engine.ErrNoSnapshot
+
+// NewDirSnapshotStore returns a filesystem store rooted at dir,
+// creating the directory if needed.
+func NewDirSnapshotStore(dir string) (*DirSnapshotStore, error) { return engine.NewDirStore(dir) }
+
+// NewMemSnapshotStore returns an empty in-memory store.
+func NewMemSnapshotStore() *MemSnapshotStore { return engine.NewMemStore() }
+
+// SaveEngine persists e's current serving snapshot (classifier +
+// generation, one consistent read) under name, stamped with the
+// backend registry name resume reconstructs it through. Concurrent
+// scoring is never blocked.
+func SaveEngine(st SnapshotStore, name, backend string, e *Engine) (uint64, error) {
+	return engine.SaveEngine(st, name, backend, e)
+}
+
+// ResumeEngine restores an Engine from name's newest valid
+// generation, serving at that generation so the line continues
+// across the restart. Invalid (corrupt, truncated, unknown-backend)
+// generations are skipped; ErrNoSnapshot if none validates.
+func ResumeEngine(st SnapshotStore, name string, cfg EngineConfig) (*Engine, SnapshotEnvelope, error) {
+	return engine.ResumeEngine(st, name, cfg)
+}
+
+// ResumeSharded restores a Sharded of shards engines, each shard from
+// its own snapshot line's newest valid generation (see
+// Sharded.SaveAll). Every shard must resume; the returned slice is
+// each shard's resumed generation (compare with StaleShards).
+func ResumeSharded(st SnapshotStore, shards int, cfg ShardedConfig) (*Sharded, []uint64, error) {
+	return engine.ResumeAll(st, shards, cfg)
+}
+
+// StaleShards returns the shards whose resumed generation lags the
+// newest across the partition — the lines that missed recent
+// checkpoints.
+func StaleShards(gens []uint64) []int { return engine.StaleShards(gens) }
+
+// ShardSnapshotName is the store key of one shard's snapshot line
+// within a Sharded named name.
+func ShardSnapshotName(name string, shard int) string { return engine.ShardSnapshotName(name, shard) }
+
+// PruneSnapshots removes all but the newest keep generations of name.
+func PruneSnapshots(st SnapshotStore, name string, keep int) ([]uint64, error) {
+	return engine.Prune(st, name, keep)
+}
+
+// DecodeSnapshotEnvelope parses and validates an encoded snapshot
+// envelope (magic, version, checksum, exact framing).
+func DecodeSnapshotEnvelope(data []byte) (SnapshotEnvelope, error) {
+	return engine.DecodeEnvelope(data)
+}
 
 // ---- Filter (the SpamBayes learner) ----
 
