@@ -3,7 +3,8 @@
 #   make build       compile every package
 #   make test        run the full test suite
 #   make race        run the concurrency-sensitive suites under -race
-#                    (engine snapshot swap + sharded fan-out, eval
+#                    (admission vetting + quarantine, engine snapshot
+#                    swap + sharded fan-out + guarded training, eval
 #                    parallelism, scenario online serving)
 #   make vet         static checks
 #   make fuzz        short fuzz smoke over the persistence decoders
@@ -21,7 +22,7 @@
 #                    `make cover` and adds `make fuzz`)
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR5.json
 BENCHTIME  ?= 1s
 FUZZTIME   ?= 10s
 
@@ -34,7 +35,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/eval/ ./internal/scenario/
+	$(GO) test -race ./internal/admission/ ./internal/engine/ ./internal/eval/ ./internal/scenario/
 
 vet:
 	$(GO) vet ./...

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/eval"
@@ -534,6 +535,106 @@ func BenchmarkShardedClassifyBatch(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkGuardedLearnStream measures admission overhead on the
+// learn path: bulk training through a Guarded engine whose chain is
+// the scenario's stock pipeline (flood gate → budgeted incremental
+// RONI), against the unguarded LearnStream baseline. The guard's cost
+// per admitted example — gate tokenization plus the amortized probe
+// drip — is the quantity the perf trajectory tracks.
+func BenchmarkGuardedLearnStream(b *testing.B) {
+	e := env(b)
+	r := e.RNG("guarded-learn")
+	pool := e.Gen.Corpus(r, 200, 200)
+	stream := make([]engine.Labeled, 512)
+	for i := range stream {
+		stream[i] = engine.Labeled{Msg: e.Gen.Message(r, i%2 == 0), Spam: i%2 == 0}
+	}
+	ctx := context.Background()
+	feed := func(b *testing.B, learn func() (chan<- engine.Labeled, func() (int, error))) {
+		for i := 0; i < b.N; i++ {
+			in, wait := learn()
+			for _, ex := range stream {
+				in <- ex
+			}
+			close(in)
+			if _, err := wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("unguarded", func(b *testing.B) {
+		eng := engine.New(sbayes.NewDefault(), engine.Config{Name: "bench"})
+		feed(b, func() (chan<- engine.Labeled, func() (int, error)) { return eng.LearnStream(ctx) })
+	})
+	b.Run("guarded", func(b *testing.B) {
+		roni, err := admission.NewIncrementalRONI(admission.IncrementalRONIConfig{
+			RONI: core.RONIConfig{TrainSize: 10, ValSize: 20, Trials: 2, SpamPrevalence: 0.5, Threshold: 5.5},
+		}, pool, func() engine.Classifier { return sbayes.NewDefault() }, e.RNG("guarded-learn-pool"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		chain := admission.NewChain(admission.NewTokenFloodGate(admission.FloodGateConfig{}), roni)
+		g := engine.NewGuarded(engine.New(sbayes.NewDefault(), engine.Config{Name: "bench"}), chain,
+			engine.GuardedConfig{Quarantine: admission.NewQuarantine(admission.QuarantineConfig{})})
+		feed(b, func() (chan<- engine.Labeled, func() (int, error)) { return g.LearnStream(ctx) })
+		s := g.Stats().Admission
+		b.ReportMetric(float64(s.Admitted)/float64(s.Vetted)*100, "admitted%")
+	})
+}
+
+// BenchmarkIncrementalRONIAdmit measures the admitter alone: the
+// memoized replicated-payload fast path (one probe serves every
+// copy), the deferred path (bucket empty, quarantine verdict), and a
+// full probe per call (the cost the budget amortizes).
+func BenchmarkIncrementalRONIAdmit(b *testing.B) {
+	e := env(b)
+	pool := e.Gen.Corpus(e.RNG("roni-admit-pool"), 200, 200)
+	cfg := admission.IncrementalRONIConfig{
+		RONI: core.RONIConfig{TrainSize: 10, ValSize: 20, Trials: 2, SpamPrevalence: 0.5, Threshold: 5.5},
+	}
+	newAdmitter := func(b *testing.B, budget, burst float64) *admission.IncrementalRONI {
+		c := cfg
+		c.BudgetPerMessage, c.Burst = budget, burst
+		a, err := admission.NewIncrementalRONI(c, pool, func() engine.Classifier { return sbayes.NewDefault() }, e.RNG("roni-admit"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	ctx := context.Background()
+	payload := core.NewDictionaryAttack(e.Usenet).BuildAttack(e.RNG("roni-admit-atk"))
+	organic := make([]*Message, 128)
+	r := e.RNG("roni-admit-org")
+	for i := range organic {
+		organic[i] = e.Gen.Message(r, i%2 == 0)
+	}
+	b.Run("memoized", func(b *testing.B) {
+		a := newAdmitter(b, 1, 8)
+		a.Admit(ctx, payload, true) // pay the one probe up front
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Admit(ctx, payload, true)
+		}
+	})
+	b.Run("deferred", func(b *testing.B) {
+		a := newAdmitter(b, 0.0001, 0.5) // bucket never reaches a probe
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Admit(ctx, organic[i%len(organic)], i%2 == 0)
+		}
+	})
+	b.Run("probe", func(b *testing.B) {
+		a := newAdmitter(b, 1, 1e12) // every distinct call probes
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh message each call: clone the rotation so the memo
+			// never hits.
+			m := &Message{Body: organic[i%len(organic)].Body}
+			a.Admit(ctx, m, i%2 == 0)
+		}
+	})
 }
 
 // BenchmarkServeWhileRetraining proves the snapshot-swap serving

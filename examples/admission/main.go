@@ -1,0 +1,114 @@
+// Admission-control walkthrough: the training path is the attack
+// surface, so guard it. The paper's defenses (RONI §5.1, dynamic
+// thresholds §5.2) are evaluated as week-end batch steps; this example
+// runs them the way an online deployment must — inline, message by
+// message, under a compute budget.
+//
+// The pipeline (scenario.Config.Admission) chains three layers in
+// front of the engine's training path:
+//
+//  1. TokenFloodGate — a structural pre-filter that rejects
+//     dictionary-style wide-vocabulary payloads on token count alone,
+//     free, label-blind;
+//  2. IncrementalRONI — the paper's clone-and-probe impact
+//     measurement, amortized: each arrival credits a fraction of a
+//     probe, verdicts are memoized by payload identity (a replicated
+//     attack costs one probe total), and candidates the budget cannot
+//     cover are quarantined rather than admitted unvetted;
+//  3. Quarantine — deferred candidates are re-vetted at each snapshot
+//     swap with freshly granted budget and released into training or
+//     dropped.
+//
+// At every swap the guard also refits the §5.2 dynamic thresholds on
+// the replacement snapshot before it serves, so the cutoffs track the
+// live score distribution, and the RONI calibration pool rolls forward
+// with the trusted store.
+//
+//	go run ./examples/admission
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func main() {
+	gen, err := repro.NewGenerator()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := scenario.DefaultConfig()
+	base.Weeks = 6
+	base.InitialMailStore = 1500
+	base.MessagesPerWeek = 600
+	base.AttackStartWeek = 3
+	base.AttackFraction = 0.02
+	base.RetrainLag = base.MessagesPerWeek / 3
+
+	attack := core.NewDictionaryAttack(repro.AspellLexicon(gen.Universe()))
+
+	run := func(name string, mutate func(*scenario.Config)) *scenario.OnlineResult {
+		cfg := base
+		mutate(&cfg)
+		res, err := scenario.RunOnline(gen, cfg, repro.NewRNG(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n%s\n", name, res.Render())
+		return res
+	}
+
+	unguarded := run("unguarded under the dictionary attack", func(c *scenario.Config) {
+		c.Attack = attack
+	})
+	guarded := run("guarded: the same attack against inline admission", func(c *scenario.Config) {
+		c.Attack = attack
+		c.Admission = &scenario.AdmissionConfig{}
+	})
+
+	probes, batch := 0, 0
+	for _, w := range guarded.Weeks {
+		probes += w.Admission.Probes
+		if w.Admission.BatchProbeEquivalent > batch {
+			batch = w.Admission.BatchProbeEquivalent
+		}
+	}
+	fmt.Printf("equal dose, different outcomes: %.1f%% final ham loss unguarded, %.1f%% guarded.\n",
+		100*unguarded.FinalHamLoss(), 100*guarded.FinalHamLoss())
+	fmt.Printf("the whole run spent %d impact probes — one week-end batch RONI pass costs %d.\n\n",
+		probes, batch)
+
+	// A worthy adversary: the attacker observes how much of its poison
+	// the pipeline accepted and scales the next week's dose. Against
+	// the guard it goes quiet; without one it escalates.
+	adaptive, err := core.NewAdaptiveAttacker(attack, core.DefaultAdaptiveConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("adaptive attacker vs the guard (watch the atk-in column collapse)", func(c *scenario.Config) {
+		c.Attack = adaptive
+		c.AttackAdaptive = true
+		c.Admission = &scenario.AdmissionConfig{}
+	})
+
+	// Pseudospam: the same payload delivered under ham training labels
+	// slips past any defense keyed to "spam-labeled mail looks
+	// harmful" — the impact-only batch RONI scores its ham-as-ham
+	// delta as harmless. The flood gate reads structure, not labels.
+	run("pseudospam: ham-labeled poison vs the guard", func(c *scenario.Config) {
+		c.Attack = attack
+		c.AttackLabelHam = true
+		c.Admission = &scenario.AdmissionConfig{}
+	})
+
+	fmt.Println("The admission table reads left to right as the pipeline's story:")
+	fmt.Println("adm/quar/rej split organic vs attack mail, probes against the")
+	fmt.Println("batch-equivalent show the amortization, rel/drop are the swap-time")
+	fmt.Println("quarantine reviews, and θ0/θ1 are the dynamic thresholds refit onto")
+	fmt.Println("each snapshot before it went live.")
+}

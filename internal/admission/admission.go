@@ -1,0 +1,147 @@
+// Package admission is the training-data vetting pipeline: it sits
+// between the message stream and the engine's training path and
+// decides, message by message as mail arrives, whether a candidate
+// training example may influence the next serving snapshot.
+//
+// The paper's defenses (RONI §5.1, dynamic thresholds §5.2) are
+// evaluated as offline batch steps — a week-end pass over the
+// accumulated candidates. An online deployment cannot afford that
+// shape: the batch pass concentrates a week of probe compute into one
+// stall, and poison delivered on Monday sits in the store all week.
+// This package spreads the same defenses across arrivals:
+//
+//   - TokenFloodGate is a cheap structural pre-filter that rejects
+//     dictionary-style wide-vocabulary payloads outright, so the
+//     expensive impact probes are spent on mail that actually needs
+//     them;
+//   - IncrementalRONI runs the paper's clone-and-probe impact
+//     measurement under a per-message amortized compute budget,
+//     memoizing verdicts by payload identity (a replicated attack
+//     costs one probe, not one per copy) and quarantining what the
+//     budget cannot cover;
+//   - Quarantine holds deferred candidates until the next snapshot
+//     swap, where they are re-vetted and released or dropped;
+//   - Chain and Sampled compose admitters into a policy.
+//
+// The contract types (Verdict, Decision, Admitter) are aliases of the
+// engine package's declarations, exactly as sbayes.Label aliases
+// engine.Label: engine.Guarded threads the pipeline through
+// LearnStream/Retrain/RetrainIncremental, so the interface lives where
+// the wrapper is, and this package supplies the policies.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/mail"
+	"repro/internal/stats"
+)
+
+// Verdict is an admission decision's three-way outcome.
+type Verdict = engine.AdmitVerdict
+
+// The verdicts. (Held rather than Quarantine, because Quarantine names
+// the buffer type below.)
+const (
+	Accepted = engine.AdmitAccept
+	Held     = engine.AdmitQuarantine
+	Rejected = engine.AdmitReject
+)
+
+// Decision is one vetted candidate's outcome.
+type Decision = engine.AdmitDecision
+
+// Admitter vets candidate training examples; see engine.Admitter.
+type Admitter = engine.Admitter
+
+// Chain composes admitters in order: the first non-Accept decision
+// wins, and a candidate every link accepts is accepted. The canonical
+// pipeline is Chain(TokenFloodGate, IncrementalRONI) — the free
+// structural check runs first so the budgeted probe never pays for a
+// message the gate would have rejected anyway.
+type Chain struct {
+	links []Admitter
+}
+
+// NewChain composes the links in vetting order.
+func NewChain(links ...Admitter) *Chain {
+	if len(links) == 0 {
+		panic("admission: NewChain with no admitters")
+	}
+	return &Chain{links: links}
+}
+
+// Name lists the links in order.
+func (c *Chain) Name() string {
+	names := make([]string, len(c.links))
+	for i, a := range c.links {
+		names[i] = a.Name()
+	}
+	return "chain(" + strings.Join(names, ",") + ")"
+}
+
+// Admit runs the links in order; the first non-Accept decision wins.
+func (c *Chain) Admit(ctx context.Context, m *mail.Message, spam bool) Decision {
+	for _, a := range c.links {
+		if d := a.Admit(ctx, m, spam); d.Verdict != Accepted {
+			return d
+		}
+	}
+	return Decision{Verdict: Accepted, Reason: "all links clear"}
+}
+
+// Sampled consults its inner admitter for a deterministic pseudorandom
+// fraction of candidates and waves the rest through — the coarsest
+// budget knob, for deployments whose vetting cost must scale below
+// even an amortized per-message probe. (IncrementalRONI's token bucket
+// is usually the better throttle because it concentrates probes where
+// the flood gate points; Sampled exists for policies without a
+// budgeted link.)
+type Sampled struct {
+	inner Admitter
+	p     float64
+
+	mu      sync.Mutex
+	rng     *stats.RNG
+	skipped atomic.Uint64
+}
+
+// NewSampled wraps inner, consulting it with probability p per
+// candidate. Randomness comes from r, so a seeded policy is
+// reproducible.
+func NewSampled(inner Admitter, p float64, r *stats.RNG) (*Sampled, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("admission: Sampled needs an inner admitter")
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("admission: sample probability %v outside (0,1]", p)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("admission: Sampled needs an RNG")
+	}
+	return &Sampled{inner: inner, p: p, rng: r}, nil
+}
+
+// Name identifies the wrapper and its rate.
+func (s *Sampled) Name() string { return fmt.Sprintf("sampled-%.2f(%s)", s.p, s.inner.Name()) }
+
+// Skipped returns the monotone count of candidates waved through
+// without consulting the inner admitter.
+func (s *Sampled) Skipped() uint64 { return s.skipped.Load() }
+
+// Admit consults the inner admitter for a p-fraction of candidates.
+func (s *Sampled) Admit(ctx context.Context, m *mail.Message, spam bool) Decision {
+	s.mu.Lock()
+	consult := s.rng.Bernoulli(s.p)
+	s.mu.Unlock()
+	if !consult {
+		s.skipped.Add(1)
+		return Decision{Verdict: Accepted, Reason: "sampled out"}
+	}
+	return s.inner.Admit(ctx, m, spam)
+}

@@ -1,0 +1,456 @@
+package admission_test
+
+// Conformance suite for the training-data vetting pipeline: the
+// combinators compose, the flood gate is structural and label-blind,
+// the budgeted incremental RONI accounts monotonically and memoizes by
+// identity, the quarantine reviews deterministically, and — the
+// headline regression — a week-end batch RONI pass and the budgeted
+// incremental admitter reject the same dictionary-attack messages on a
+// fixed seed, for both backends.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/graham"
+	"repro/internal/lexicon"
+	"repro/internal/mail"
+	"repro/internal/stats"
+	"repro/internal/textgen"
+
+	// The sbayes backend registers itself on import (graham above is
+	// imported for its options too).
+	_ "repro/internal/sbayes"
+)
+
+var ctx = context.Background()
+
+// testGen returns a small deterministic generator (the scenario
+// package's test universe).
+func testGen(t testing.TB) *textgen.Generator {
+	t.Helper()
+	u := textgen.MustUniverse(textgen.UniverseConfig{
+		CommonWords:     50,
+		StandardWords:   700,
+		FormalWords:     250,
+		ColloquialWords: 290,
+		SpamWords:       120,
+		PersonalWords:   400,
+	})
+	return textgen.MustNew(u, textgen.DefaultConfig())
+}
+
+// pool returns a labeled calibration corpus.
+func pool(t testing.TB, g *textgen.Generator, n int) *corpus.Corpus {
+	t.Helper()
+	return g.Corpus(stats.NewRNG(1001), n/2, n/2)
+}
+
+// stockBackends mirrors the engine conformance suite's pinned list.
+var stockBackends = []string{"sbayes", "graham"}
+
+func backendFactory(t *testing.T, name string) engine.Factory {
+	t.Helper()
+	b, err := engine.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.New
+}
+
+// fixed is a stub admitter with a constant decision.
+type fixed struct {
+	name string
+	d    admission.Decision
+}
+
+func (f fixed) Name() string { return f.name }
+func (f fixed) Admit(context.Context, *mail.Message, bool) admission.Decision {
+	return f.d
+}
+
+func TestChainFirstNonAcceptWins(t *testing.T) {
+	accept := fixed{"a", admission.Decision{Verdict: admission.Accepted, Reason: "ok"}}
+	hold := fixed{"h", admission.Decision{Verdict: admission.Held, Reason: "held"}}
+	reject := fixed{"r", admission.Decision{Verdict: admission.Rejected, Reason: "no"}}
+	m := &mail.Message{Body: "x\n"}
+
+	cases := []struct {
+		chain *admission.Chain
+		want  admission.Verdict
+	}{
+		{admission.NewChain(accept, accept), admission.Accepted},
+		{admission.NewChain(accept, hold, reject), admission.Held},
+		{admission.NewChain(reject, accept), admission.Rejected},
+		{admission.NewChain(accept, reject), admission.Rejected},
+	}
+	for i, c := range cases {
+		if got := c.chain.Admit(ctx, m, true).Verdict; got != c.want {
+			t.Errorf("case %d: verdict %v, want %v", i, got, c.want)
+		}
+	}
+	name := admission.NewChain(accept, reject).Name()
+	if name != "chain(a,r)" {
+		t.Errorf("chain name %q", name)
+	}
+}
+
+func TestSampledSkipsDeterministically(t *testing.T) {
+	reject := fixed{"r", admission.Decision{Verdict: admission.Rejected, Reason: "no"}}
+	run := func(seed uint64) []admission.Verdict {
+		s, err := admission.NewSampled(reject, 0.5, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []admission.Verdict
+		for i := 0; i < 64; i++ {
+			out = append(out, s.Admit(ctx, &mail.Message{Body: "x\n"}, true).Verdict)
+		}
+		return out
+	}
+	a, b := run(5), run(5)
+	rejected := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d differs across identical seeds", i)
+		}
+		if a[i] == admission.Rejected {
+			rejected++
+		}
+	}
+	if rejected == 0 || rejected == 64 {
+		t.Errorf("sampling at 0.5 consulted the inner admitter %d/64 times", rejected)
+	}
+	if _, err := admission.NewSampled(reject, 1.5, stats.NewRNG(1)); err == nil {
+		t.Error("sample probability above 1 accepted")
+	}
+}
+
+func TestFloodGateIsStructuralAndLabelBlind(t *testing.T) {
+	g := testGen(t)
+	gate := admission.NewTokenFloodGate(admission.FloodGateConfig{MaxDistinct: 300})
+	attack := core.NewDictionaryAttack(lexicon.Optimal(g.Universe())).BuildAttack(stats.NewRNG(2))
+	organic := g.HamMessage(stats.NewRNG(3))
+
+	// The dictionary payload is rejected under either training label —
+	// the gate reads structure, which is what catches pseudospam
+	// delivered under ham labels.
+	for _, spam := range []bool{true, false} {
+		if d := gate.Admit(ctx, attack, spam); d.Verdict != admission.Rejected {
+			t.Errorf("dictionary payload (spam=%v) got %v (%s)", spam, d.Verdict, d.Reason)
+		}
+	}
+	if d := gate.Admit(ctx, organic, false); d.Verdict != admission.Accepted {
+		t.Errorf("organic ham got %v (%s)", d.Verdict, d.Reason)
+	}
+	if gate.Vetted() != 3 || gate.Flagged() != 2 {
+		t.Errorf("counters vetted=%d flagged=%d, want 3/2", gate.Vetted(), gate.Flagged())
+	}
+	// Repeat copies of a flagged payload are served from the identity
+	// memo — the same decision, without re-tokenizing the huge body —
+	// while a body-identical distinct message is measured afresh.
+	first := gate.Admit(ctx, attack, true)
+	for i := 0; i < 10; i++ {
+		if d := gate.Admit(ctx, attack, true); d != first {
+			t.Fatalf("memoized copy got %+v, want %+v", d, first)
+		}
+	}
+	clone := &mail.Message{Body: attack.Body}
+	if d := gate.Admit(ctx, clone, true); d.Verdict != admission.Rejected {
+		t.Errorf("distinct flood payload got %v", d.Verdict)
+	}
+}
+
+func TestIncrementalRONIBudgetAccountingIsMonotone(t *testing.T) {
+	g := testGen(t)
+	cfg := admission.IncrementalRONIConfig{
+		RONI:             core.RONIConfig{TrainSize: 10, ValSize: 20, Trials: 2, SpamPrevalence: 0.5, Threshold: 5.5},
+		BudgetPerMessage: 0.25,
+		Burst:            2,
+	}
+	a, err := admission.NewIncrementalRONI(cfg, pool(t, g, 200), backendFactory(t, "sbayes"), stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := a.Stats()
+	if prev.Bucket != cfg.Burst {
+		t.Fatalf("initial bucket %v, want burst %v", prev.Bucket, cfg.Burst)
+	}
+	r := stats.NewRNG(8)
+	deferred := false
+	for i := 0; i < 100; i++ {
+		a.Admit(ctx, g.Message(r, i%2 == 0), i%2 == 0)
+		s := a.Stats()
+		if s.Arrivals < prev.Arrivals || s.Probes < prev.Probes || s.MemoHits < prev.MemoHits ||
+			s.Deferred < prev.Deferred || s.CreditsGranted < prev.CreditsGranted {
+			t.Fatalf("counter decreased at arrival %d: %+v -> %+v", i, prev, s)
+		}
+		// A probe can only spend budget that was credited.
+		if float64(s.Probes) > cfg.Burst+s.CreditsGranted {
+			t.Fatalf("probes %d exceed burst %v + credits %v", s.Probes, cfg.Burst, s.CreditsGranted)
+		}
+		if s.Bucket < 0 {
+			t.Fatalf("bucket went negative: %v", s.Bucket)
+		}
+		if s.Deferred > 0 {
+			deferred = true
+		}
+		prev = s
+	}
+	if !deferred {
+		t.Error("budget of 0.25/message never deferred a candidate in 100 arrivals")
+	}
+	// Grant credits flow into both the monotone total and the bucket.
+	before := a.Stats()
+	a.Grant(10)
+	after := a.Stats()
+	if after.CreditsGranted != before.CreditsGranted+10 || after.Bucket != before.Bucket+10 {
+		t.Errorf("Grant(10): %+v -> %+v", before, after)
+	}
+	// A granted bucket above Burst survives further Admit calls: the
+	// per-arrival drip stops accruing, but never clamps granted budget
+	// away — the swap-time review grant must outlive the review's own
+	// vetting (regression: the old clamp discarded it on first Admit).
+	granted := after.Bucket
+	a.Admit(ctx, g.Message(r, true), true) // memo miss: costs one probe, no clamp
+	if got := a.Stats().Bucket; got < granted-1 {
+		t.Errorf("bucket %v after one probe from a granted %v — grant was clamped away", got, granted)
+	}
+}
+
+func TestIncrementalRONIMemoizesByIdentity(t *testing.T) {
+	g := testGen(t)
+	cfg := admission.IncrementalRONIConfig{
+		RONI:             core.RONIConfig{TrainSize: 10, ValSize: 20, Trials: 2, SpamPrevalence: 0.5, Threshold: 5.5},
+		BudgetPerMessage: 1,
+		Burst:            1000,
+	}
+	a, err := admission.NewIncrementalRONI(cfg, pool(t, g, 200), backendFactory(t, "sbayes"), stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := core.NewDictionaryAttack(lexicon.Optimal(g.Universe())).BuildAttack(stats.NewRNG(2))
+	first := a.Admit(ctx, payload, true)
+	for i := 0; i < 49; i++ {
+		if d := a.Admit(ctx, payload, true); d != first {
+			t.Fatalf("copy %d got %+v, first copy got %+v", i, d, first)
+		}
+	}
+	s := a.Stats()
+	if s.Probes != 1 {
+		t.Errorf("50 copies of one payload cost %d probes, want 1", s.Probes)
+	}
+	if s.MemoHits != 49 {
+		t.Errorf("memo hits %d, want 49", s.MemoHits)
+	}
+	// A body-identical but distinct message is judged separately (the
+	// identity key, not the body, is the cache key) — and so is the
+	// same payload under the other training label.
+	clone := &mail.Message{Body: payload.Body}
+	a.Admit(ctx, clone, true)
+	a.Admit(ctx, payload, false)
+	if s := a.Stats(); s.Probes != 3 {
+		t.Errorf("distinct identity and distinct label cost %d probes total, want 3", s.Probes)
+	}
+	// Refresh clears the memo: the old verdicts were measured against
+	// the old calibration pool.
+	if err := a.Refresh(pool(t, g, 200), stats.NewRNG(9)); err != nil {
+		t.Fatal(err)
+	}
+	a.Admit(ctx, payload, true)
+	if s := a.Stats(); s.Probes != 4 || s.Refreshes != 1 {
+		t.Errorf("after refresh: probes %d refreshes %d, want 4 and 1", s.Probes, s.Refreshes)
+	}
+}
+
+// TestIncrementalRONIMatchesBatchRONI is the regression the ISSUE pins
+// down: on a fixed seed, one week-end batch RONI pass and the budgeted
+// incremental admitter (given enough budget to probe everything)
+// reject exactly the same dictionary-attack messages — the incremental
+// defense is the batch defense re-scheduled, not a different policy.
+func TestIncrementalRONIMatchesBatchRONI(t *testing.T) {
+	g := testGen(t)
+	roniCfg := core.RONIConfig{TrainSize: 15, ValSize: 30, Trials: 3, SpamPrevalence: 0.5, Threshold: 5.5}
+	attack := core.NewDictionaryAttack(lexicon.Optimal(g.Universe()))
+
+	for _, backend := range stockBackends {
+		t.Run(backend, func(t *testing.T) {
+			factory := backendFactory(t, backend)
+			if backend == "graham" {
+				// Stock Graham's five-occurrence evidence floor makes a
+				// single probe copy invisible, so with defaults both
+				// defenses (correctly) reject nothing — agreement, but a
+				// vacuous regression. Drop the floor so the fixture has
+				// rejections to compare; batch and incremental share the
+				// factory, which is what the regression is about.
+				opts := graham.DefaultOptions()
+				opts.MinOccurrences = 1
+				factory = func() engine.Classifier { return graham.New(opts, nil) }
+			}
+			calib := pool(t, g, 300)
+
+			// The weekly candidates: organic mail plus replicated and
+			// chunked attack payloads.
+			candidates := g.Corpus(stats.NewRNG(2002), 30, 30)
+			whole := attack.BuildAttack(stats.NewRNG(3))
+			for i := 0; i < 5; i++ {
+				candidates.Add(whole, true)
+			}
+			for _, chunk := range attack.BuildChunked(3) {
+				candidates.Add(chunk, true)
+			}
+
+			batch, err := core.NewRONIBackend(roniCfg, calib, factory, stats.NewRNG(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, err := admission.NewIncrementalRONI(admission.IncrementalRONIConfig{
+				RONI:             roniCfg,
+				BudgetPerMessage: 1,
+				Burst:            float64(candidates.Len()),
+			}, calib, factory, stats.NewRNG(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rejectedBatch := map[*mail.Message]bool{}
+			_, rejected := batch.FilterCorpus(candidates)
+			for _, e := range rejected.Examples {
+				rejectedBatch[e.Msg] = true
+			}
+			rejectedInc := map[*mail.Message]bool{}
+			for _, e := range candidates.Examples {
+				d := inc.Admit(ctx, e.Msg, e.Spam)
+				if d.Verdict == admission.Held {
+					t.Fatalf("budget covered every candidate yet %q was deferred", d.Reason)
+				}
+				if d.Verdict == admission.Rejected {
+					rejectedInc[e.Msg] = true
+				}
+			}
+
+			if len(rejectedBatch) == 0 {
+				t.Fatal("batch RONI rejected nothing — the fixture attack is too weak to regress against")
+			}
+			for m := range rejectedBatch {
+				if !rejectedInc[m] {
+					t.Errorf("batch rejected a message the incremental admitter accepted (%.40q)", m.Body)
+				}
+			}
+			for m := range rejectedInc {
+				if !rejectedBatch[m] {
+					t.Errorf("incremental rejected a message the batch pass kept (%.40q)", m.Body)
+				}
+			}
+			if !rejectedBatch[whole] {
+				t.Error("neither defense rejected the replicated dictionary payload")
+			}
+		})
+	}
+}
+
+func TestQuarantineReviewIsDeterministic(t *testing.T) {
+	// Two identically filled buffers reviewed with the same
+	// deterministic judge release the same messages in the same order
+	// and drop the same count.
+	build := func() *admission.Quarantine {
+		q := admission.NewQuarantine(admission.QuarantineConfig{MaxReviews: 2})
+		for i := 0; i < 20; i++ {
+			q.Hold(&mail.Message{Body: fmt.Sprintf("held %d\n", i)}, i%2 == 0, "deferred")
+		}
+		return q
+	}
+	judge := func(m *mail.Message, spam bool) admission.Decision {
+		switch {
+		case len(m.Body)%3 == 0:
+			return admission.Decision{Verdict: admission.Accepted}
+		case spam:
+			return admission.Decision{Verdict: admission.Rejected}
+		default:
+			return admission.Decision{Verdict: admission.Held}
+		}
+	}
+	qa, qb := build(), build()
+	relA, dropA := qa.Review(judge)
+	relB, dropB := qb.Review(judge)
+	if len(relA) != len(relB) || dropA != dropB {
+		t.Fatalf("review outcomes differ: %d/%d vs %d/%d", len(relA), dropA, len(relB), dropB)
+	}
+	for i := range relA {
+		if relA[i].Msg.Body != relB[i].Msg.Body {
+			t.Fatalf("release order differs at %d: %q vs %q", i, relA[i].Msg.Body, relB[i].Msg.Body)
+		}
+	}
+}
+
+func TestQuarantineExpiryAndOverflow(t *testing.T) {
+	q := admission.NewQuarantine(admission.QuarantineConfig{Capacity: 2, MaxReviews: 2})
+	for i := 0; i < 5; i++ {
+		q.Hold(&mail.Message{Body: fmt.Sprintf("m%d\n", i)}, true, "deferred")
+	}
+	if s := q.Stats(); s.Pending != 2 || s.Overflow != 3 {
+		t.Fatalf("capacity 2: pending %d overflow %d", s.Pending, s.Overflow)
+	}
+	undecided := func(*mail.Message, bool) admission.Decision {
+		return admission.Decision{Verdict: admission.Held}
+	}
+	// First review: both survive undecided. Second review: both expire.
+	if rel, drop := q.Review(undecided); len(rel) != 0 || drop != 0 {
+		t.Fatalf("first review released %d dropped %d", len(rel), drop)
+	}
+	if rel, drop := q.Review(undecided); len(rel) != 0 || drop != 2 {
+		t.Fatalf("second review released %d dropped %d, want expiry of both", len(rel), drop)
+	}
+	s := q.Stats()
+	if s.Pending != 0 || s.Expired != 2 || s.Dropped != 2 {
+		t.Fatalf("after expiry: %+v", s)
+	}
+}
+
+func TestQuarantineCapacityHoldsDuringReview(t *testing.T) {
+	// Entries detached by an in-progress review still count against
+	// the capacity bound, so holds racing the review cannot balloon
+	// the buffer past it.
+	q := admission.NewQuarantine(admission.QuarantineConfig{Capacity: 2, MaxReviews: 5})
+	q.Hold(&mail.Message{Body: "a\n"}, true, "deferred")
+	q.Hold(&mail.Message{Body: "b\n"}, true, "deferred")
+	q.Review(func(*mail.Message, bool) admission.Decision {
+		q.Hold(&mail.Message{Body: "mid\n"}, true, "deferred")
+		return admission.Decision{Verdict: admission.Held}
+	})
+	s := q.Stats()
+	if s.Pending != 2 {
+		t.Errorf("pending %d after review, want the capacity bound 2", s.Pending)
+	}
+	if s.Overflow != 2 {
+		t.Errorf("overflow %d, want the 2 mid-review holds bounced", s.Overflow)
+	}
+}
+
+func TestQuarantineHoldDuringReviewLandsInNextBatch(t *testing.T) {
+	q := admission.NewQuarantine(admission.QuarantineConfig{MaxReviews: 5})
+	first := &mail.Message{Body: "first\n"}
+	q.Hold(first, true, "deferred")
+	late := &mail.Message{Body: "late\n"}
+	judge := func(m *mail.Message, spam bool) admission.Decision {
+		// A candidate quarantined while the review runs must not be
+		// judged by this review.
+		q.Hold(late, false, "deferred")
+		if m == late {
+			t.Fatal("review judged a message held mid-review")
+		}
+		return admission.Decision{Verdict: admission.Accepted}
+	}
+	released, _ := q.Review(judge)
+	if len(released) != 1 || released[0].Msg != first {
+		t.Fatalf("released %d, want just the pre-review hold", len(released))
+	}
+	if q.Len() != 1 {
+		t.Fatalf("mid-review hold not pending: len %d", q.Len())
+	}
+}

@@ -1,0 +1,109 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mail"
+	"repro/internal/tokenize"
+)
+
+// FloodGateConfig tunes the structural pre-filter.
+type FloodGateConfig struct {
+	// MaxDistinct rejects any message whose distinct-token count
+	// reaches this bound (<= 0 selects 1024). The paper's §4.2 volume
+	// analysis is the calibration: a dictionary attack email carries an
+	// entire word source — tens of thousands of distinct tokens against
+	// the few hundred of the longest legitimate mail — so a generous
+	// cutoff separates the classes with no model at all.
+	MaxDistinct int
+	// Tokenizer tokenizes candidates (nil selects the default). Use the
+	// serving backend's tokenizer so the gate counts exactly the tokens
+	// the filter would learn.
+	Tokenizer *tokenize.Tokenizer
+}
+
+// TokenFloodGate is the cheap structural admitter: it rejects
+// dictionary-style wide-vocabulary payloads on token count alone, no
+// clone-and-probe required. It cannot see focused attacks (their
+// vocabulary is deliberately narrow) — it exists so the expensive
+// IncrementalRONI probe behind it in a Chain is spent on mail the
+// gate cannot judge.
+type TokenFloodGate struct {
+	max int
+	tok *tokenize.Tokenizer
+
+	// flaggedMemo caches reject decisions by payload identity: the
+	// paper's attacks replicate one enormous payload many times, and
+	// re-tokenizing ~90k tokens per copy is the one place the gate is
+	// not cheap. Only flagged messages are memoized (organic mail is
+	// cheap to re-tokenize and unbounded in population), and the memo
+	// is capped as a backstop against an adversary minting unlimited
+	// distinct flood payloads.
+	mu          sync.Mutex
+	flaggedMemo map[*mail.Message]Decision
+
+	vetted  atomic.Uint64
+	flagged atomic.Uint64
+}
+
+// flaggedMemoCap bounds the reject memo; past it, repeat copies of new
+// flood payloads just pay the tokenization again.
+const flaggedMemoCap = 4096
+
+// NewTokenFloodGate builds the gate.
+func NewTokenFloodGate(cfg FloodGateConfig) *TokenFloodGate {
+	max := cfg.MaxDistinct
+	if max <= 0 {
+		max = 1024
+	}
+	tok := cfg.Tokenizer
+	if tok == nil {
+		tok = tokenize.Default()
+	}
+	return &TokenFloodGate{max: max, tok: tok, flaggedMemo: make(map[*mail.Message]Decision)}
+}
+
+// Name identifies the gate and its bound.
+func (g *TokenFloodGate) Name() string { return fmt.Sprintf("floodgate-%d", g.max) }
+
+// MaxDistinct returns the reject bound.
+func (g *TokenFloodGate) MaxDistinct() int { return g.max }
+
+// Vetted and Flagged are monotone counters of candidates seen and
+// rejected.
+func (g *TokenFloodGate) Vetted() uint64  { return g.vetted.Load() }
+func (g *TokenFloodGate) Flagged() uint64 { return g.flagged.Load() }
+
+// Admit rejects wide-vocabulary candidates and accepts the rest. The
+// label is irrelevant: the gate is structural, which is exactly why it
+// still fires on pseudospam delivered under ham labels. Reject
+// verdicts are memoized by payload identity, so the n-1 repeat copies
+// of a replicated flood payload skip the (large) tokenization pass.
+func (g *TokenFloodGate) Admit(_ context.Context, m *mail.Message, _ bool) Decision {
+	g.vetted.Add(1)
+	g.mu.Lock()
+	d, hit := g.flaggedMemo[m]
+	g.mu.Unlock()
+	if hit {
+		g.flagged.Add(1)
+		return d
+	}
+	n := len(g.tok.TokenSet(m))
+	if n >= g.max {
+		g.flagged.Add(1)
+		d := Decision{
+			Verdict: Rejected,
+			Reason:  fmt.Sprintf("token flood: %d distinct tokens >= %d", n, g.max),
+		}
+		g.mu.Lock()
+		if len(g.flaggedMemo) < flaggedMemoCap {
+			g.flaggedMemo[m] = d
+		}
+		g.mu.Unlock()
+		return d
+	}
+	return Decision{Verdict: Accepted, Reason: fmt.Sprintf("%d distinct tokens", n)}
+}

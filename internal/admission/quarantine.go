@@ -1,0 +1,177 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mail"
+)
+
+// QuarantineConfig tunes the deferred-candidate buffer.
+type QuarantineConfig struct {
+	// Capacity bounds the buffer (<= 0 is unbounded). When full, new
+	// holds are dropped and counted as overflow — backpressure never
+	// propagates to the delivery path.
+	Capacity int
+	// MaxReviews drops a candidate that is still undecidable after
+	// this many swap-time reviews (<= 0 selects 2). Expiry is
+	// conservative: an example nothing would vouch for within two
+	// generations does not train.
+	MaxReviews int
+}
+
+// HeldMessage is one quarantined training candidate.
+type HeldMessage struct {
+	Msg  *mail.Message
+	Spam bool
+	// Reason is the admission decision that parked it here.
+	Reason string
+	// Reviews counts swap-time reviews it has survived undecided.
+	Reviews int
+}
+
+// QuarantineStats is a snapshot of the buffer's accounting; every
+// field except Pending is monotone.
+type QuarantineStats struct {
+	// Pending is the current buffer depth.
+	Pending int
+	// Held is the total number of candidates ever quarantined.
+	Held uint64
+	// Released is the total re-admitted into training at reviews.
+	Released uint64
+	// Dropped is the total rejected at reviews.
+	Dropped uint64
+	// Expired is the total dropped for exceeding MaxReviews undecided.
+	Expired uint64
+	// Overflow is the total dropped on arrival because the buffer was
+	// at capacity.
+	Overflow uint64
+}
+
+// Quarantine buffers candidates an admitter deferred, in arrival
+// order, until a snapshot swap reviews them. It implements
+// engine.QuarantineSink, so a Guarded engine routes quarantine
+// verdicts here automatically, and it is safe for concurrent holds
+// against a review in progress.
+type Quarantine struct {
+	mu   sync.Mutex
+	cfg  QuarantineConfig
+	held []HeldMessage
+	// reviewing counts entries a Review in progress has detached from
+	// held; capacity checks include them so concurrent holds cannot
+	// balloon the buffer past its bound while a review runs.
+	reviewing int
+
+	totalHeld uint64
+	released  uint64
+	dropped   uint64
+	expired   uint64
+	overflow  uint64
+}
+
+// NewQuarantine builds an empty buffer.
+func NewQuarantine(cfg QuarantineConfig) *Quarantine {
+	if cfg.MaxReviews <= 0 {
+		cfg.MaxReviews = 2
+	}
+	return &Quarantine{cfg: cfg}
+}
+
+// Hold buffers one candidate (engine.QuarantineSink).
+func (q *Quarantine) Hold(m *mail.Message, spam bool, reason string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.cfg.Capacity > 0 && len(q.held)+q.reviewing >= q.cfg.Capacity {
+		q.overflow++
+		return
+	}
+	q.totalHeld++
+	q.held = append(q.held, HeldMessage{Msg: m, Spam: spam, Reason: reason})
+}
+
+// Len returns the current buffer depth.
+func (q *Quarantine) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.held)
+}
+
+// Pending returns a copy of the buffer in arrival order.
+func (q *Quarantine) Pending() []HeldMessage {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]HeldMessage, len(q.held))
+	copy(out, q.held)
+	return out
+}
+
+// Stats snapshots the accounting.
+func (q *Quarantine) Stats() QuarantineStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QuarantineStats{
+		Pending:  len(q.held),
+		Held:     q.totalHeld,
+		Released: q.released,
+		Dropped:  q.dropped,
+		Expired:  q.expired,
+		Overflow: q.overflow,
+	}
+}
+
+// Review re-vets every held candidate in arrival order with judge —
+// typically the refreshed admission chain, right after a snapshot
+// swap granted it fresh probe budget. Accepted candidates are removed
+// and returned for training; rejected ones are removed and counted
+// dropped; still-undecidable ones stay held unless they have exhausted
+// MaxReviews, in which case they expire (counted in both dropped and
+// expired). Order is deterministic: given the same buffer and a
+// deterministic judge, two reviews release the same messages in the
+// same order.
+func (q *Quarantine) Review(judge func(m *mail.Message, spam bool) Decision) (released []HeldMessage, droppedNow int) {
+	q.mu.Lock()
+	pending := q.held
+	q.held = nil
+	q.reviewing = len(pending)
+	q.mu.Unlock()
+
+	// Judge outside the lock: probes are slow and Hold must not block
+	// behind them. New holds during the review land in the fresh
+	// buffer and wait for the next swap.
+	var keep []HeldMessage
+	var dropped, expired uint64
+	for _, h := range pending {
+		switch d := judge(h.Msg, h.Spam); d.Verdict {
+		case Accepted:
+			released = append(released, h)
+		case Rejected:
+			dropped++
+		default:
+			h.Reviews++
+			if h.Reviews >= q.cfg.MaxReviews {
+				expired++
+				dropped++
+			} else {
+				keep = append(keep, h)
+			}
+		}
+	}
+
+	q.mu.Lock()
+	// Still-held candidates precede anything quarantined mid-review,
+	// preserving arrival order.
+	q.held = append(keep, q.held...)
+	q.reviewing = 0
+	q.released += uint64(len(released))
+	q.dropped += dropped
+	q.expired += expired
+	q.mu.Unlock()
+	return released, int(dropped)
+}
+
+// String summarizes the buffer for traces.
+func (q *Quarantine) String() string {
+	s := q.Stats()
+	return fmt.Sprintf("quarantine[pending=%d held=%d released=%d dropped=%d expired=%d overflow=%d]",
+		s.Pending, s.Held, s.Released, s.Dropped, s.Expired, s.Overflow)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mail"
+	"repro/internal/stats"
+)
+
+// FeedbackAttacker is the capability of adapting attack volume to
+// observed feedback — the ROADMAP's "attacker that adapts its dose to
+// observed bounce/verdict feedback". A real attacker sees bounces,
+// delivery receipts, or probe accounts; the simulator reports how the
+// previous chunk of poison fared and the attacker scales the next
+// chunk's dose accordingly.
+type FeedbackAttacker interface {
+	Attacker
+	// ObserveFeedback reports the previous chunk's fate: sent poison
+	// messages and how many of them the training pipeline accepted
+	// (sent minus rejected and quarantined). Zero sent means no
+	// feedback (pre-attack weeks) and must leave the dose unchanged.
+	ObserveFeedback(sent, accepted int)
+	// Dose returns the attack fraction for the next chunk given the
+	// campaign's base fraction.
+	Dose(base float64) float64
+}
+
+// AdaptiveConfig tunes the dose controller.
+type AdaptiveConfig struct {
+	// HighWater is the accept rate at or above which the attacker grows
+	// its dose — the pipeline is swallowing the poison, so press harder
+	// (default 0.75).
+	HighWater float64
+	// LowWater is the accept rate at or below which the attacker backs
+	// off — the pipeline is bouncing the poison, so go quiet and stop
+	// wasting messages that only feed the defender's statistics
+	// (default 0.25).
+	LowWater float64
+	// Grow multiplies the dose after a high-acceptance chunk (default 2).
+	Grow float64
+	// Shrink multiplies the dose after a high-rejection chunk (default 0.5).
+	Shrink float64
+	// MaxBoost and MinBoost clamp the cumulative multiplier (defaults 4
+	// and 1/8).
+	MaxBoost float64
+	MinBoost float64
+}
+
+// DefaultAdaptiveConfig returns the standard controller: double on
+// success, halve on rejection, within [1/8, 4] of the base dose.
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		HighWater: 0.75,
+		LowWater:  0.25,
+		Grow:      2,
+		Shrink:    0.5,
+		MaxBoost:  4,
+		MinBoost:  0.125,
+	}
+}
+
+// Validate checks the controller parameters.
+func (c AdaptiveConfig) Validate() error {
+	switch {
+	case c.HighWater <= 0 || c.HighWater > 1:
+		return fmt.Errorf("core: adaptive HighWater %v", c.HighWater)
+	case c.LowWater < 0 || c.LowWater >= c.HighWater:
+		return fmt.Errorf("core: adaptive LowWater %v against HighWater %v", c.LowWater, c.HighWater)
+	case c.Grow < 1:
+		return fmt.Errorf("core: adaptive Grow %v", c.Grow)
+	case c.Shrink <= 0 || c.Shrink > 1:
+		return fmt.Errorf("core: adaptive Shrink %v", c.Shrink)
+	case c.MinBoost <= 0 || c.MaxBoost < 1 || c.MinBoost > 1:
+		return fmt.Errorf("core: adaptive boost bounds (%v, %v)", c.MinBoost, c.MaxBoost)
+	}
+	return nil
+}
+
+// AdaptiveAttacker wraps any Attacker with the dose controller: the
+// payload construction is the inner attack's, but the volume of each
+// chunk is the base fraction scaled by a multiplier that doubles while
+// the pipeline accepts the poison and halves while it bounces it. It
+// is deliberately simple — multiplicative increase/decrease off one
+// observable — because that is what an attacker with only bounce
+// feedback can actually run.
+type AdaptiveAttacker struct {
+	inner Attacker
+	cfg   AdaptiveConfig
+	boost float64
+}
+
+// NewAdaptiveAttacker wraps inner with a dose controller.
+func NewAdaptiveAttacker(inner Attacker, cfg AdaptiveConfig) (*AdaptiveAttacker, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("core: adaptive attacker needs an inner attack")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &AdaptiveAttacker{inner: inner, cfg: cfg, boost: 1}, nil
+}
+
+// Name identifies the wrapped attack and the controller.
+func (a *AdaptiveAttacker) Name() string { return "adaptive(" + a.inner.Name() + ")" }
+
+// Inner returns the wrapped attack.
+func (a *AdaptiveAttacker) Inner() Attacker { return a.inner }
+
+// Taxonomy is the wrapped attack's (adapting the dose changes volume,
+// not the attack's place in the §3.1 space).
+func (a *AdaptiveAttacker) Taxonomy() Taxonomy { return a.inner.Taxonomy() }
+
+// BuildAttack constructs the wrapped attack's payload.
+func (a *AdaptiveAttacker) BuildAttack(r *stats.RNG) *mail.Message { return a.inner.BuildAttack(r) }
+
+// Boost returns the current cumulative dose multiplier.
+func (a *AdaptiveAttacker) Boost() float64 { return a.boost }
+
+// ObserveFeedback updates the multiplier from the previous chunk's
+// accept rate: multiplicative increase at/above HighWater, decrease
+// at/below LowWater, hold in between. sent == 0 is no feedback.
+func (a *AdaptiveAttacker) ObserveFeedback(sent, accepted int) {
+	if sent <= 0 {
+		return
+	}
+	rate := float64(accepted) / float64(sent)
+	switch {
+	case rate >= a.cfg.HighWater:
+		a.boost *= a.cfg.Grow
+		if a.boost > a.cfg.MaxBoost {
+			a.boost = a.cfg.MaxBoost
+		}
+	case rate <= a.cfg.LowWater:
+		a.boost *= a.cfg.Shrink
+		if a.boost < a.cfg.MinBoost {
+			a.boost = a.cfg.MinBoost
+		}
+	}
+}
+
+// Dose returns the next chunk's attack fraction: the base scaled by
+// the learned multiplier, clamped below 1 (AttackSize's domain).
+func (a *AdaptiveAttacker) Dose(base float64) float64 {
+	dose := base * a.boost
+	if dose >= 1 {
+		dose = 0.99
+	}
+	return dose
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/sbayes"
 	"repro/internal/stats"
 	"repro/internal/tokenize"
@@ -181,6 +182,39 @@ func (d DynamicThreshold) Train(train *corpus.Corpus, opts sbayes.Options, tok *
 		return nil, 0, 0, err
 	}
 	return final, t0, t1, nil
+}
+
+// Refit fits (θ0, θ1) to the score distribution a replacement
+// classifier produces on a calibration corpus and installs them
+// through the engine.ThresholdSetter capability — the swap-time
+// rendition of the defense: where Train runs the half-split procedure
+// as an offline batch step, Refit is called by a publish hook on every
+// new snapshot just before it goes live, so the serving cutoffs track
+// the live (possibly attack-shifted) score distribution generation by
+// generation. The calibration corpus is typically the most recent
+// admitted mail.
+func (d DynamicThreshold) Refit(clf engine.Classifier, calib *corpus.Corpus) (theta0, theta1 float64, err error) {
+	ts, ok := clf.(engine.ThresholdSetter)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: %T cannot set thresholds", clf)
+	}
+	var hamScores, spamScores []float64
+	for _, e := range calib.Examples {
+		s := clf.Score(e.Msg)
+		if e.Spam {
+			spamScores = append(spamScores, s)
+		} else {
+			hamScores = append(hamScores, s)
+		}
+	}
+	theta0, theta1, err = d.FitThresholds(hamScores, spamScores)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := ts.SetThresholds(theta0, theta1); err != nil {
+		return 0, 0, err
+	}
+	return theta0, theta1, nil
 }
 
 func absDiff(a, b float64) float64 {

@@ -1,0 +1,507 @@
+package engine
+
+// Admission control for the training path. The paper's causative
+// threat model is that poison reaches the filter through training, so
+// the serving layer grows a guard: every candidate training example is
+// vetted by an Admitter before it can influence a snapshot, and the
+// publish path gains hooks so swap-time defenses (dynamic-threshold
+// refit, quarantine review) run exactly when a new generation goes
+// live.
+//
+// The admission contract (AdmitVerdict, AdmitDecision, Admitter,
+// QuarantineSink) is declared here — the concrete admitters live in
+// internal/admission, which aliases these types the way sbayes aliases
+// engine.Label — because Guarded and GuardedSharded must reference it
+// and internal/admission already imports this package.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/mail"
+)
+
+// AdmitVerdict is an admission decision's three-way outcome.
+type AdmitVerdict int8
+
+const (
+	// AdmitAccept admits the example into training.
+	AdmitAccept AdmitVerdict = iota
+	// AdmitQuarantine holds the example for later review (typically at
+	// the next snapshot swap) instead of deciding now — the verdict of
+	// an admitter whose probe budget is exhausted.
+	AdmitQuarantine
+	// AdmitReject drops the example from training.
+	AdmitReject
+)
+
+// String names the verdict for reasons and traces.
+func (v AdmitVerdict) String() string {
+	switch v {
+	case AdmitAccept:
+		return "accept"
+	case AdmitQuarantine:
+		return "quarantine"
+	case AdmitReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("AdmitVerdict(%d)", int(v))
+	}
+}
+
+// AdmitDecision is one vetted training candidate's outcome.
+type AdmitDecision struct {
+	Verdict AdmitVerdict
+	// Reason is a short human-readable explanation ("token flood: 1810
+	// distinct tokens", "roni: impact -7.2", "probe budget exhausted").
+	Reason string
+}
+
+// Admitter vets candidate training examples before they can influence
+// a serving snapshot. Implementations must tolerate concurrent Admit
+// calls — the guarded LearnStream is single-consumer, but batch
+// vetting and tests exercise admitters from multiple goroutines.
+type Admitter interface {
+	// Name identifies the admitter in traces.
+	Name() string
+	// Admit decides one candidate's fate. spam is the label the example
+	// would be trained under (the contamination assumption labels
+	// attack mail spam; the pseudospam variant labels it ham).
+	Admit(ctx context.Context, m *mail.Message, spam bool) AdmitDecision
+}
+
+// QuarantineSink receives examples an Admitter quarantined. The
+// concrete buffer (admission.Quarantine) holds them for re-scoring at
+// the next snapshot swap.
+type QuarantineSink interface {
+	Hold(m *mail.Message, spam bool, reason string)
+}
+
+// ThresholdSetter is the capability of replacing a classifier's
+// decision thresholds after training, as the §5.2 dynamic-threshold
+// defense does when it refits cutoffs to the live score distribution.
+// SpamBayes sets (θ0, θ1); Graham's binary rule uses the spam cutoff
+// and ignores θ0.
+type ThresholdSetter interface {
+	SetThresholds(hamCutoff, spamCutoff float64) error
+}
+
+// AdmissionStats counts one engine's vetted training candidates.
+type AdmissionStats struct {
+	// Vetted is the total number of admission decisions recorded. It is
+	// derived from the three verdict counters inside Stats — every
+	// decision lands in exactly one bucket — so Vetted ==
+	// Admitted+Quarantined+Rejected holds by construction even against
+	// a reader racing in-flight decisions (the same derivation the
+	// Classified/ByLabel invariant uses).
+	Vetted uint64
+	// Admitted counts candidates accepted into training.
+	Admitted uint64
+	// Quarantined counts candidates held for swap-time review.
+	Quarantined uint64
+	// Rejected counts candidates dropped from training.
+	Rejected uint64
+}
+
+// add accumulates o into s field by field, recomputing nothing —
+// Vetted sums too because it is itself a sum of the other three.
+func (s *AdmissionStats) add(o AdmissionStats) {
+	s.Vetted += o.Vetted
+	s.Admitted += o.Admitted
+	s.Quarantined += o.Quarantined
+	s.Rejected += o.Rejected
+}
+
+// recordAdmission tallies one decision against the engine's admission
+// counters. Guarded (and GuardedSharded, per destination shard) call
+// it for every vetted candidate.
+func (e *Engine) recordAdmission(v AdmitVerdict) {
+	switch v {
+	case AdmitAccept:
+		e.admitted.Add(1)
+	case AdmitReject:
+		e.admitRejected.Add(1)
+	default:
+		e.quarantined.Add(1)
+	}
+}
+
+// admissionStats snapshots the counters, deriving Vetted from the
+// per-verdict loads so the total always equals their sum.
+func (e *Engine) admissionStats() AdmissionStats {
+	a := AdmissionStats{
+		Admitted:    e.admitted.Load(),
+		Quarantined: e.quarantined.Load(),
+		Rejected:    e.admitRejected.Load(),
+	}
+	a.Vetted = a.Admitted + a.Quarantined + a.Rejected
+	return a
+}
+
+// GuardedConfig wires the swap-time defenses into a guarded engine's
+// publish path.
+type GuardedConfig struct {
+	// Quarantine, if non-nil, receives every candidate the admitter
+	// quarantines.
+	Quarantine QuarantineSink
+	// PrePublish hooks run on every replacement classifier after it is
+	// built and before it is published — the one moment a swap-time
+	// defense may still mutate it (e.g. a dynamic-threshold refit via
+	// ThresholdSetter). A hook error aborts the publish, leaving the
+	// serving snapshot unchanged.
+	PrePublish []func(next Classifier) error
+	// PostPublish hooks run once after each publish (a fleet-wide
+	// publish on a guarded Sharded counts once) — where quarantine
+	// review and admitter-pool refresh belong.
+	PostPublish []func()
+}
+
+// Guarded threads admission control through an Engine's training path:
+// LearnStream, Retrain, and RetrainIncremental vet every example
+// through the Admitter before it is learned, quarantined examples are
+// routed to the configured sink, and every publish runs the
+// PrePublish/PostPublish hooks. Scoring (Classify, ClassifyBatch,
+// ScoreBatch) passes straight through to the engine and is never
+// blocked by admission work — vetting happens on the training path
+// only.
+type Guarded struct {
+	eng   *Engine
+	admit Admitter
+	cfg   GuardedConfig
+}
+
+// NewGuarded wraps e with admission control.
+func NewGuarded(e *Engine, admit Admitter, cfg GuardedConfig) *Guarded {
+	if e == nil {
+		panic("engine: NewGuarded with nil engine")
+	}
+	if admit == nil {
+		panic("engine: NewGuarded with nil admitter")
+	}
+	return &Guarded{eng: e, admit: admit, cfg: cfg}
+}
+
+// Engine returns the wrapped engine.
+func (g *Guarded) Engine() *Engine { return g.eng }
+
+// Admitter returns the vetting policy.
+func (g *Guarded) Admitter() Admitter { return g.admit }
+
+// Name returns the wrapped engine's stats label.
+func (g *Guarded) Name() string { return g.eng.Name() }
+
+// Classify scores one message against the current snapshot,
+// unguarded — admission vets training, never scoring.
+func (g *Guarded) Classify(m *mail.Message) Result { return g.eng.Classify(m) }
+
+// ClassifyBatch passes straight through to the engine; admission work
+// never blocks it.
+func (g *Guarded) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Result, error) {
+	return g.eng.ClassifyBatch(ctx, msgs)
+}
+
+// ScoreBatch passes straight through to the engine.
+func (g *Guarded) ScoreBatch(ctx context.Context, msgs []*mail.Message) ([]float64, error) {
+	return g.eng.ScoreBatch(ctx, msgs)
+}
+
+// Generation returns the serving snapshot's generation.
+func (g *Guarded) Generation() uint64 { return g.eng.Generation() }
+
+// Stats returns the wrapped engine's counters, including the
+// admission tallies this guard recorded.
+func (g *Guarded) Stats() Stats { return g.eng.Stats() }
+
+// Vet runs one candidate through the admitter, records the decision in
+// the engine's admission counters, and routes a quarantine verdict to
+// the configured sink. It is the single chokepoint every guarded
+// training path shares, and is exported so a deployment that trains
+// through its own machinery (the scenario simulator's background
+// rebuilds) can still vet inline.
+func (g *Guarded) Vet(ctx context.Context, m *mail.Message, spam bool) AdmitDecision {
+	return vet(ctx, g.admit, g.cfg.Quarantine, g.eng, m, spam)
+}
+
+// vet is the shared Vet implementation of Guarded and GuardedSharded;
+// counters lands on the engine that would train the example.
+func vet(ctx context.Context, admit Admitter, sink QuarantineSink, counters *Engine, m *mail.Message, spam bool) AdmitDecision {
+	d := admit.Admit(ctx, m, spam)
+	counters.recordAdmission(d.Verdict)
+	if d.Verdict == AdmitQuarantine && sink != nil {
+		sink.Hold(m, spam, d.Reason)
+	}
+	return d
+}
+
+// VetCorpus vets every example of c in corpus order, returning the
+// admitted subset. Quarantined examples go to the sink; rejected ones
+// are dropped. It checks ctx between examples.
+func (g *Guarded) VetCorpus(ctx context.Context, c *corpus.Corpus) (*corpus.Corpus, error) {
+	return vetCorpus(ctx, c, g.Vet)
+}
+
+// vetCorpus is the shared VetCorpus loop of Guarded and
+// GuardedSharded, parameterized on the vet chokepoint (the same shape
+// guardStream uses).
+func vetCorpus(ctx context.Context, c *corpus.Corpus, vet func(context.Context, *mail.Message, bool) AdmitDecision) (*corpus.Corpus, error) {
+	kept := &corpus.Corpus{}
+	for _, ex := range c.Examples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if vet(ctx, ex.Msg, ex.Spam).Verdict == AdmitAccept {
+			kept.Add(ex.Msg, ex.Spam)
+		}
+	}
+	return kept, nil
+}
+
+// publish runs the PrePublish hooks on the replacement, installs it,
+// then runs the PostPublish hooks. A PrePublish error aborts the
+// publish with the serving snapshot unchanged.
+func (g *Guarded) publish(clf Classifier) (uint64, error) {
+	for _, hook := range g.cfg.PrePublish {
+		if err := hook(clf); err != nil {
+			return g.eng.Generation(), fmt.Errorf("engine: pre-publish hook: %w", err)
+		}
+	}
+	gen := g.eng.Swap(clf)
+	for _, hook := range g.cfg.PostPublish {
+		hook()
+	}
+	return gen, nil
+}
+
+// Swap vets nothing — the caller built the replacement — but still
+// runs the publish hooks, so swap-time defenses fire on externally
+// built snapshots too (the scenario simulator's background rebuilds
+// publish through here). Unlike Engine.Swap it can fail: a PrePublish
+// hook error aborts the publish.
+func (g *Guarded) Swap(clf Classifier) (uint64, error) {
+	if clf == nil {
+		panic("engine: Swap with nil classifier")
+	}
+	return g.publish(clf)
+}
+
+// Retrain vets train, builds a fresh classifier from the admitted
+// subset, and publishes it through the hooks. See Engine.Retrain for
+// the snapshot semantics; on error the serving snapshot is unchanged.
+func (g *Guarded) Retrain(ctx context.Context, factory Factory, train *corpus.Corpus) (uint64, error) {
+	if factory == nil {
+		panic("engine: Retrain with nil factory")
+	}
+	kept, err := g.VetCorpus(ctx, train)
+	if err != nil {
+		return g.eng.Generation(), err
+	}
+	replacement := factory()
+	if err := trainAll(ctx, replacement, kept); err != nil {
+		return g.eng.Generation(), err
+	}
+	return g.publish(replacement)
+}
+
+// RetrainIncremental vets delta, clones the serving snapshot, trains
+// the admitted subset into the clone, and publishes it through the
+// hooks. It requires the serving classifier to be a Cloner.
+func (g *Guarded) RetrainIncremental(ctx context.Context, delta *corpus.Corpus) (uint64, error) {
+	cur := g.eng.Classifier()
+	cloner, ok := cur.(Cloner)
+	if !ok {
+		return g.eng.Generation(), fmt.Errorf("engine: %T is not a Cloner; use Retrain", cur)
+	}
+	kept, err := g.VetCorpus(ctx, delta)
+	if err != nil {
+		return g.eng.Generation(), err
+	}
+	replacement := cloner.CloneClassifier()
+	if err := trainAll(ctx, replacement, kept); err != nil {
+		return g.eng.Generation(), err
+	}
+	return g.publish(replacement)
+}
+
+// LearnStream starts a guarded bulk-training stream: every example is
+// vetted, admitted examples flow into the engine's own LearnStream,
+// and the wait count is the number actually learned. The contract
+// matches Engine.LearnStream — cancellation discards the remainder but
+// keeps draining until wait observes it, and producers must stop
+// sending before calling wait.
+func (g *Guarded) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, error)) {
+	inner, innerWait := g.eng.LearnStream(ctx)
+	return guardStream(ctx, inner, innerWait, g.eng.learnBuf, g.Vet)
+}
+
+// guardStream interposes a vetting goroutine in front of a training
+// stream — the shared scaffold of Guarded.LearnStream and
+// GuardedSharded.LearnStream. Its drain contract mirrors the Sharded
+// router: on cancellation the vetting goroutine stops forwarding and
+// keeps the outer channel flowing until wait observes the error, so a
+// producer blocked on a full buffer is always released.
+func guardStream(ctx context.Context, inner chan<- Labeled, innerWait func() (int, error), buf int, vet func(context.Context, *mail.Message, bool) AdmitDecision) (chan<- Labeled, func() (int, error)) {
+	in := make(chan Labeled, buf)
+	stop := make(chan struct{})
+	vetDone := make(chan struct{})
+	var stopOnce sync.Once
+	// cancelled is written before vetDone closes and read after wait
+	// receives it, so the handoff is ordered (see the Sharded router
+	// for why the inner wait alone can swallow the cancellation).
+	var cancelled bool
+	go func() {
+		defer close(vetDone)
+		// The inner stream closes (and its consumer finishes) exactly
+		// when vetting is done forwarding.
+		defer close(inner)
+		for {
+			select {
+			case <-ctx.Done():
+				cancelled = true
+				go drainUntil(in, stop)
+				return
+			case ex, ok := <-in:
+				if !ok {
+					return
+				}
+				if vet(ctx, ex.Msg, ex.Spam).Verdict == AdmitAccept {
+					// On cancellation the inner consumer drains its own
+					// stream until its wait observes it, and wait below
+					// does not call innerWait until vetting has exited,
+					// so this forward is always released.
+					inner <- ex
+				}
+			}
+		}
+	}()
+	wait := func() (int, error) {
+		<-vetDone
+		n, err := innerWait()
+		if err == nil && cancelled {
+			err = ctx.Err()
+		}
+		stopOnce.Do(func() { close(stop) })
+		return n, err
+	}
+	return in, wait
+}
+
+// GuardedSharded threads one admission policy through a Sharded
+// engine's training path — the gateway deployment, where mail is
+// vetted once upstream of the partition and each decision is counted
+// against the shard the example would have trained. sum(per-shard
+// admission counters) == the combined view therefore holds by the same
+// aggregation that keeps every other Sharded counter honest.
+type GuardedSharded struct {
+	sh    *Sharded
+	admit Admitter
+	cfg   GuardedConfig
+}
+
+// NewGuardedSharded wraps s with admission control.
+func NewGuardedSharded(s *Sharded, admit Admitter, cfg GuardedConfig) *GuardedSharded {
+	if s == nil {
+		panic("engine: NewGuardedSharded with nil sharded engine")
+	}
+	if admit == nil {
+		panic("engine: NewGuardedSharded with nil admitter")
+	}
+	return &GuardedSharded{sh: s, admit: admit, cfg: cfg}
+}
+
+// Sharded returns the wrapped sharded engine.
+func (g *GuardedSharded) Sharded() *Sharded { return g.sh }
+
+// Admitter returns the vetting policy.
+func (g *GuardedSharded) Admitter() Admitter { return g.admit }
+
+// Classify routes and scores unguarded.
+func (g *GuardedSharded) Classify(m *mail.Message) Result { return g.sh.Classify(m) }
+
+// ClassifyBatch passes straight through to the sharded engine.
+func (g *GuardedSharded) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Result, error) {
+	return g.sh.ClassifyBatch(ctx, msgs)
+}
+
+// Stats returns the sharded engine's aggregated counters, including
+// per-shard admission tallies.
+func (g *GuardedSharded) Stats() ShardedStats { return g.sh.Stats() }
+
+// Vet runs one candidate through the admitter, counting the decision
+// against the shard the example routes to.
+func (g *GuardedSharded) Vet(ctx context.Context, m *mail.Message, spam bool) AdmitDecision {
+	return vet(ctx, g.admit, g.cfg.Quarantine, g.sh.shards[g.sh.ShardFor(m)], m, spam)
+}
+
+// VetCorpus vets every example in corpus order, returning the admitted
+// subset (still unpartitioned — the caller routes it).
+func (g *GuardedSharded) VetCorpus(ctx context.Context, c *corpus.Corpus) (*corpus.Corpus, error) {
+	return vetCorpus(ctx, c, g.Vet)
+}
+
+// RetrainAll vets train at the gateway, partitions the admitted subset
+// by the routing key, rebuilds every shard from its own slice
+// concurrently, and publishes each through the PrePublish hooks; the
+// PostPublish hooks run once for the fleet-wide publish.
+func (g *GuardedSharded) RetrainAll(ctx context.Context, factory Factory, train *corpus.Corpus) ([]uint64, error) {
+	if factory == nil {
+		panic("engine: RetrainAll with nil factory")
+	}
+	kept, err := g.VetCorpus(ctx, train)
+	if err != nil {
+		return nil, err
+	}
+	parts := g.sh.Partition(kept)
+	gens := make([]uint64, g.sh.NumShards())
+	err = g.sh.forEachShard(func(sh int) error {
+		replacement := factory()
+		if err := trainAll(ctx, replacement, parts[sh]); err != nil {
+			return err
+		}
+		for _, hook := range g.cfg.PrePublish {
+			if err := hook(replacement); err != nil {
+				return fmt.Errorf("engine: pre-publish hook (shard %d): %w", sh, err)
+			}
+		}
+		gens[sh] = g.sh.shards[sh].Swap(replacement)
+		return nil
+	})
+	if err != nil {
+		return gens, err
+	}
+	for _, hook := range g.cfg.PostPublish {
+		hook()
+	}
+	return gens, nil
+}
+
+// SwapAll publishes clfs[i] as shard i's new snapshot, running the
+// PrePublish hooks on every replacement first (so a hook error aborts
+// the whole fleet publish atomically — no shard has swapped yet) and
+// the PostPublish hooks once after.
+func (g *GuardedSharded) SwapAll(clfs []Classifier) ([]uint64, error) {
+	if len(clfs) != g.sh.NumShards() {
+		panic(fmt.Sprintf("engine: SwapAll with %d classifiers for %d shards", len(clfs), g.sh.NumShards()))
+	}
+	for i, clf := range clfs {
+		for _, hook := range g.cfg.PrePublish {
+			if err := hook(clf); err != nil {
+				return nil, fmt.Errorf("engine: pre-publish hook (shard %d): %w", i, err)
+			}
+		}
+	}
+	gens := g.sh.SwapAll(clfs)
+	for _, hook := range g.cfg.PostPublish {
+		hook()
+	}
+	return gens, nil
+}
+
+// LearnStream starts a guarded routed bulk-training stream: every
+// example is vetted (counters on its destination shard), and admitted
+// examples flow into the sharded engine's own routing LearnStream.
+func (g *GuardedSharded) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, error)) {
+	inner, innerWait := g.sh.LearnStream(ctx)
+	return guardStream(ctx, inner, innerWait, g.sh.shards[0].learnBuf, g.Vet)
+}

@@ -1,0 +1,348 @@
+package engine_test
+
+// Guarded / GuardedSharded conformance: admission vets only the
+// training path (ClassifyBatch is never blocked, even by a wedged
+// admitter), decisions land in the engine's admission counters with
+// the Vetted == Admitted+Quarantined+Rejected invariant, the sharded
+// aggregation keeps sum(per-shard) == combined under concurrent
+// vetting, and the publish hooks run in order with errors aborting the
+// publish. Run under -race via `make race`.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/mail"
+)
+
+// markerAdmitter rejects bodies containing "poison", quarantines
+// bodies containing "odd", accepts the rest.
+type markerAdmitter struct{}
+
+func (markerAdmitter) Name() string { return "marker" }
+func (markerAdmitter) Admit(_ context.Context, m *mail.Message, _ bool) engine.AdmitDecision {
+	switch {
+	case strings.Contains(m.Body, "poison"):
+		return engine.AdmitDecision{Verdict: engine.AdmitReject, Reason: "marker: poison"}
+	case strings.Contains(m.Body, "odd"):
+		return engine.AdmitDecision{Verdict: engine.AdmitQuarantine, Reason: "marker: odd"}
+	default:
+		return engine.AdmitDecision{Verdict: engine.AdmitAccept, Reason: "marker: clean"}
+	}
+}
+
+// blockingAdmitter blocks every Admit call until released.
+type blockingAdmitter struct {
+	release chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingAdmitter) Name() string { return "blocking" }
+func (b *blockingAdmitter) Admit(context.Context, *mail.Message, bool) engine.AdmitDecision {
+	b.once.Do(func() { close(b.entered) })
+	<-b.release
+	return engine.AdmitDecision{Verdict: engine.AdmitAccept}
+}
+
+// heldSink records quarantined messages.
+type heldSink struct {
+	mu   sync.Mutex
+	held []*mail.Message
+}
+
+func (s *heldSink) Hold(m *mail.Message, _ bool, _ string) {
+	s.mu.Lock()
+	s.held = append(s.held, m)
+	s.mu.Unlock()
+}
+
+func TestGuardedLearnStreamVetsAndCounts(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		sink := &heldSink{}
+		g := engine.NewGuarded(engine.New(trained(t, backend), engine.Config{}), markerAdmitter{},
+			engine.GuardedConfig{Quarantine: sink})
+		in, wait := g.LearnStream(context.Background())
+		for i := 0; i < 30; i++ {
+			body := fmt.Sprintf("clean message %d\n", i)
+			switch i % 3 {
+			case 1:
+				body = fmt.Sprintf("poison message %d\n", i)
+			case 2:
+				body = fmt.Sprintf("odd message %d\n", i)
+			}
+			in <- engine.Labeled{Msg: msg(body), Spam: true}
+		}
+		close(in)
+		n, err := wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 10 {
+			t.Errorf("learned %d, want the 10 accepted", n)
+		}
+		a := g.Stats().Admission
+		if a.Admitted != 10 || a.Rejected != 10 || a.Quarantined != 10 {
+			t.Errorf("admission counters %+v, want 10/10/10", a)
+		}
+		if a.Vetted != a.Admitted+a.Quarantined+a.Rejected {
+			t.Errorf("Vetted %d != sum of verdict counters (%+v)", a.Vetted, a)
+		}
+		if len(sink.held) != 10 {
+			t.Errorf("sink holds %d, want 10", len(sink.held))
+		}
+	})
+}
+
+func TestGuardedNeverBlocksClassifyBatch(t *testing.T) {
+	// A wedged admitter (stuck mid-probe, say) must not stall scoring:
+	// the admission pipeline sits on the training path only.
+	block := &blockingAdmitter{release: make(chan struct{}), entered: make(chan struct{})}
+	g := engine.NewGuarded(engine.New(trained(t, "sbayes"), engine.Config{}), block, engine.GuardedConfig{})
+
+	in, wait := g.LearnStream(context.Background())
+	in <- engine.Labeled{Msg: msg("stuck example\n"), Spam: true}
+	<-block.entered // the vetting goroutine is now wedged inside Admit
+
+	batch := []*mail.Message{msg("winner lottery prize claim urgent millions\n"), msg("meeting agenda report\n")}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := g.ClassifyBatch(context.Background(), batch); err != nil {
+			t.Error(err)
+		}
+		if g.Classify(batch[0]).Label != engine.Spam {
+			t.Error("classify through the guard misfired")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ClassifyBatch blocked behind a wedged admitter")
+	}
+	close(block.release)
+	close(in)
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardedLearnStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := engine.NewGuarded(engine.New(trained(t, "sbayes"), engine.Config{LearnBuffer: 1}), markerAdmitter{}, engine.GuardedConfig{})
+	in, wait := g.LearnStream(ctx)
+	in <- engine.Labeled{Msg: msg("clean a\n"), Spam: true}
+	cancel()
+	if _, err := wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("wait returned %v, want context.Canceled", err)
+	}
+}
+
+func TestGuardedRetrainVetsAndRunsHooks(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		b, err := engine.Lookup(backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []string
+		cfg := engine.GuardedConfig{
+			PrePublish:  []func(engine.Classifier) error{func(engine.Classifier) error { order = append(order, "pre"); return nil }},
+			PostPublish: []func(){func() { order = append(order, "post") }},
+		}
+		g := engine.NewGuarded(engine.New(b.New(), engine.Config{}), markerAdmitter{}, cfg)
+
+		train := &corpus.Corpus{}
+		for i := 0; i < 8; i++ {
+			train.Add(msg(fmt.Sprintf("clean spam words %d\n", i)), true)
+		}
+		train.Add(msg("poison payload\n"), true)
+		gen, err := g.Retrain(context.Background(), b.New, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != 2 {
+			t.Fatalf("generation %d after first retrain", gen)
+		}
+		ns, _ := g.Engine().Classifier().Counts()
+		if ns != 8 {
+			t.Errorf("replacement trained on %d spam, want the 8 admitted", ns)
+		}
+		if strings.Join(order, ",") != "pre,post" {
+			t.Errorf("hook order %v", order)
+		}
+		// RetrainIncremental vets too and the clone extends the admitted
+		// state only.
+		delta := &corpus.Corpus{}
+		delta.Add(msg("clean followup\n"), true)
+		delta.Add(msg("poison again\n"), true)
+		if _, err := g.RetrainIncremental(context.Background(), delta); err != nil {
+			t.Fatal(err)
+		}
+		ns, _ = g.Engine().Classifier().Counts()
+		if ns != 9 {
+			t.Errorf("incremental clone trained on %d spam, want 9", ns)
+		}
+	})
+}
+
+func TestGuardedPrePublishErrorAbortsPublish(t *testing.T) {
+	b, err := engine.Lookup("sbayes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("refit failed")
+	posts := 0
+	g := engine.NewGuarded(engine.New(b.New(), engine.Config{}), markerAdmitter{}, engine.GuardedConfig{
+		PrePublish:  []func(engine.Classifier) error{func(engine.Classifier) error { return boom }},
+		PostPublish: []func(){func() { posts++ }},
+	})
+	before := g.Generation()
+	if _, err := g.Swap(b.New()); !errors.Is(err, boom) {
+		t.Fatalf("Swap error %v, want the hook error", err)
+	}
+	if g.Generation() != before {
+		t.Error("failed publish still advanced the generation")
+	}
+	if posts != 0 {
+		t.Error("post-publish hook ran after an aborted publish")
+	}
+	// Sharded: the whole fleet publish aborts before any shard swaps.
+	sh := engine.NewSharded([]engine.Classifier{b.New(), b.New()}, engine.ShardedConfig{})
+	gs := engine.NewGuardedSharded(sh, markerAdmitter{}, engine.GuardedConfig{
+		PrePublish: []func(engine.Classifier) error{func(engine.Classifier) error { return boom }},
+	})
+	if _, err := gs.SwapAll([]engine.Classifier{b.New(), b.New()}); !errors.Is(err, boom) {
+		t.Fatalf("SwapAll error %v, want the hook error", err)
+	}
+	for i := 0; i < sh.NumShards(); i++ {
+		if got := sh.Shard(i).Generation(); got != 1 {
+			t.Errorf("shard %d generation %d after aborted fleet publish", i, got)
+		}
+	}
+}
+
+// TestGuardedShardedAdmissionCountersSumAcrossShards is the regression
+// for the Sharded stats audit: under concurrent vetting from many
+// goroutines, every Stats() snapshot must satisfy sum(per-shard
+// admission counters) == combined, and each shard's Vetted must equal
+// the sum of its verdict counters — the same invariant class the
+// Scored/Classified fix established. Run under -race.
+func TestGuardedShardedAdmissionCountersSumAcrossShards(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		b, err := engine.Lookup(backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const nsh = 4
+		clfs := make([]engine.Classifier, nsh)
+		for i := range clfs {
+			clfs[i] = b.New()
+		}
+		sh := engine.NewSharded(clfs, engine.ShardedConfig{})
+		g := engine.NewGuardedSharded(sh, markerAdmitter{}, engine.GuardedConfig{Quarantine: &heldSink{}})
+
+		const workers, perWorker = 8, 300
+		var wg sync.WaitGroup
+		stopReader := make(chan struct{})
+		readerDone := make(chan struct{})
+		go func() {
+			defer close(readerDone)
+			for {
+				st := g.Stats()
+				var sum engine.AdmissionStats
+				for i, s := range st.Shards {
+					if s.Admission.Vetted != s.Admission.Admitted+s.Admission.Quarantined+s.Admission.Rejected {
+						t.Errorf("shard %d Vetted %d != verdict sum (%+v)", i, s.Admission.Vetted, s.Admission)
+					}
+					sum.Vetted += s.Admission.Vetted
+					sum.Admitted += s.Admission.Admitted
+					sum.Quarantined += s.Admission.Quarantined
+					sum.Rejected += s.Admission.Rejected
+				}
+				if sum != st.Combined.Admission {
+					t.Errorf("sum(per-shard) %+v != combined %+v", sum, st.Combined.Admission)
+				}
+				select {
+				case <-stopReader:
+					return
+				default:
+				}
+			}
+		}()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					body := "clean\n"
+					switch i % 3 {
+					case 1:
+						body = "poison\n"
+					case 2:
+						body = "odd\n"
+					}
+					m := &mail.Message{
+						Header: mail.Header{{Name: "To", Value: fmt.Sprintf("user%d@corp.example", (w*perWorker+i)%16)}},
+						Body:   body,
+					}
+					g.Vet(context.Background(), m, true)
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(stopReader)
+		<-readerDone
+
+		st := g.Stats()
+		if st.Combined.Admission.Vetted != workers*perWorker {
+			t.Errorf("combined vetted %d, want %d", st.Combined.Admission.Vetted, workers*perWorker)
+		}
+		// Every shard saw traffic (16 users over 4 shards).
+		for i, s := range st.Shards {
+			if s.Admission.Vetted == 0 {
+				t.Errorf("shard %d vetted nothing — routing broken", i)
+			}
+		}
+	})
+}
+
+func TestGuardedShardedRetrainAllVetsAtGateway(t *testing.T) {
+	b, err := engine.Lookup("sbayes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := engine.NewSharded([]engine.Classifier{b.New(), b.New()}, engine.ShardedConfig{})
+	g := engine.NewGuardedSharded(sh, markerAdmitter{}, engine.GuardedConfig{})
+	train := &corpus.Corpus{}
+	for i := 0; i < 10; i++ {
+		m := msg(fmt.Sprintf("clean words %d\n", i))
+		m.Header.Set("To", fmt.Sprintf("user%d@corp.example", i%4))
+		train.Add(m, true)
+	}
+	poison := msg("poison payload\n")
+	poison.Header.Set("To", "user0@corp.example")
+	train.Add(poison, true)
+
+	gens, err := g.RetrainAll(context.Background(), b.New, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range gens {
+		if gens[i] != 2 {
+			t.Errorf("shard %d generation %d", i, gens[i])
+		}
+		ns, _ := sh.Shard(i).Classifier().Counts()
+		total += ns
+	}
+	if total != 10 {
+		t.Errorf("shards trained on %d spam total, want the 10 admitted", total)
+	}
+}

@@ -63,6 +63,12 @@ type Engine struct {
 	byLabel       [3]atomic.Uint64
 	batchNanos    atomic.Uint64
 	classifyNanos atomic.Uint64
+
+	// Admission-control tallies, recorded by a Guarded wrapper (or a
+	// GuardedSharded routing decisions to this shard); see guarded.go.
+	admitted      atomic.Uint64
+	quarantined   atomic.Uint64
+	admitRejected atomic.Uint64
 }
 
 // New returns an Engine serving clf as generation 1.
@@ -402,6 +408,11 @@ type Stats struct {
 	// ClassifyLatency is the cumulative wall-clock time spent in
 	// single-message Classify calls — the online at-delivery hot path.
 	ClassifyLatency time.Duration
+	// Admission counts training candidates vetted through a Guarded
+	// wrapper (zero on an unguarded engine). Its Vetted total is
+	// derived from the per-verdict loads, so Vetted ==
+	// Admitted+Quarantined+Rejected holds by construction.
+	Admission AdmissionStats
 }
 
 // Stats returns the current counters. Counters from a batch are
@@ -425,6 +436,7 @@ func (e *Engine) Stats() Stats {
 		ByLabel:         byLabel,
 		BatchLatency:    time.Duration(e.batchNanos.Load()),
 		ClassifyLatency: time.Duration(e.classifyNanos.Load()),
+		Admission:       e.admissionStats(),
 	}
 }
 

@@ -472,6 +472,11 @@ func (s *Sharded) Stats() ShardedStats {
 		}
 		st.Combined.BatchLatency += sh.BatchLatency
 		st.Combined.ClassifyLatency += sh.ClassifyLatency
+		// Admission counters sum from the same per-shard snapshot the
+		// breakdown reports, so sum(Shards[i].Admission) ==
+		// Combined.Admission holds even against concurrent vetting —
+		// the invariant class the Scored/Classified fix established.
+		st.Combined.Admission.add(sh.Admission)
 	}
 	return st
 }

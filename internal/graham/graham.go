@@ -180,6 +180,25 @@ func (f *Filter) Clone() *Filter {
 // interface-typed callers such as Engine.RetrainIncremental.
 func (f *Filter) CloneClassifier() engine.Classifier { return f.Clone() }
 
+// SetThresholds replaces the binary decision cutoff, satisfying the
+// engine.ThresholdSetter capability the dynamic-threshold defense
+// refits through. Graham's rule has no unsure band, so only the spam
+// cutoff (θ1) is installed; hamCutoff is accepted for interface
+// uniformity and validated (it must not exceed spamCutoff) but
+// otherwise unused. The fit domain is the closed [0, 1]: a degenerate
+// calibration can legitimately fit θ1 = 1 ("never spam") or 0, and a
+// refit must be able to install it rather than abort the publish.
+func (f *Filter) SetThresholds(hamCutoff, spamCutoff float64) error {
+	if spamCutoff < 0 || spamCutoff > 1 {
+		return fmt.Errorf("graham: SetThresholds spam cutoff %v outside [0,1]", spamCutoff)
+	}
+	if hamCutoff > spamCutoff {
+		return fmt.Errorf("graham: SetThresholds ham cutoff %v above spam cutoff %v", hamCutoff, spamCutoff)
+	}
+	f.opts.SpamCutoff = spamCutoff
+	return nil
+}
+
 // Learn trains on one message. Unlike SpamBayes, occurrences count
 // with multiplicity.
 func (f *Filter) Learn(m *mail.Message, isSpam bool) {

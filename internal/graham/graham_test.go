@@ -281,3 +281,24 @@ func TestScoreBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestSetThresholds(t *testing.T) {
+	f := NewDefault()
+	// The refit fit domain is the closed [0, 1]: a degenerate
+	// calibration legitimately fits 1 ("never spam") or 0, and the
+	// setter must install it rather than abort the publish.
+	for _, spam := range []float64{0, 0.5, 1} {
+		if err := f.SetThresholds(0, spam); err != nil {
+			t.Errorf("SetThresholds(0, %v): %v", spam, err)
+		}
+		if f.Options().SpamCutoff != spam {
+			t.Errorf("cutoff %v not installed", spam)
+		}
+	}
+	if err := f.SetThresholds(0, 1.5); err == nil {
+		t.Error("cutoff above 1 accepted")
+	}
+	if err := f.SetThresholds(0.9, 0.1); err == nil {
+		t.Error("ham cutoff above spam cutoff accepted")
+	}
+}

@@ -27,6 +27,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -101,12 +102,39 @@ type Config struct {
 	// the core.ChunkedAttacker capability. 0 or 1 replicates one
 	// attack email, as the paper's attacks do.
 	AttackChunks int
+	// AttackAdaptive lets the attacker adapt its weekly dose to
+	// observed feedback (RunOnline only): each week's volume is
+	// AttackFraction scaled by the attacker's learned multiplier, and
+	// at week's end the attacker observes how much of its poison the
+	// training pipeline accepted (arrivals minus rejections and
+	// quarantines). It requires an attack with the
+	// core.FeedbackAttacker capability (core.AdaptiveAttacker wraps
+	// any attack with one).
+	AttackAdaptive bool
+	// AttackLabelHam delivers attack messages with ham training labels
+	// — the §2.2 pseudospam variant, lifted from the paper's
+	// spam-labeled restriction — to stress defenses that only distrust
+	// spam-labeled mail. At-delivery confusions still count attack
+	// mail as true spam (it is the attacker's); only its training
+	// label changes.
+	AttackLabelHam bool
 
 	// UseRONI inserts the §5.1 defense into the retraining pipeline:
 	// each week's candidates are measured against samples of the
 	// existing (trusted) mail store and rejected on negative impact.
 	UseRONI bool
 	RONI    core.RONIConfig
+
+	// Admission, if non-nil, replaces the week-end batch defense with
+	// the inline vetting pipeline (RunOnline only, mutually exclusive
+	// with UseRONI): every candidate is vetted as it arrives through
+	// an engine.Guarded chain (TokenFloodGate → budgeted
+	// IncrementalRONI → Quarantine), and each snapshot swap refits the
+	// dynamic thresholds, refreshes the calibration pool, and reviews
+	// the quarantine. Weekly reports carry the per-decision split
+	// (organic vs. attack) and the probe accounting against what one
+	// week-end batch pass would have cost.
+	Admission *AdmissionConfig
 
 	// Retraining selects RunOnline's rebuild strategy (periodic full
 	// rebuild by default, or incremental clone-and-extend).
@@ -207,6 +235,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: AttackStartWeek %d", c.AttackStartWeek)
 	case c.AttackChunks < 0:
 		return fmt.Errorf("scenario: AttackChunks %d", c.AttackChunks)
+	case c.AttackAdaptive && c.Attack == nil:
+		return fmt.Errorf("scenario: AttackAdaptive without an Attack")
+	case c.AttackLabelHam && c.Attack == nil:
+		return fmt.Errorf("scenario: AttackLabelHam without an Attack")
+	case c.Admission != nil && c.UseRONI:
+		return fmt.Errorf("scenario: Admission and UseRONI are mutually exclusive")
 	case c.RetrainLag < 0:
 		return fmt.Errorf("scenario: RetrainLag %d", c.RetrainLag)
 	case c.Retraining != RetrainPeriodic && c.Retraining != RetrainIncremental:
@@ -235,6 +269,16 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.AttackAdaptive {
+		if _, err := feedbackAttacker(c.Attack); err != nil {
+			return err
+		}
+	}
+	if c.Admission != nil {
+		if err := c.Admission.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.UseRONI {
 		return c.RONI.Validate()
 	}
@@ -258,18 +302,20 @@ type Result struct {
 }
 
 // injectAttack adds the week's attack traffic to the weekly stream
-// and shuffles it in. It returns the distinct payloads in build order
-// (so callers can stamp them deterministically) and the injected
-// messages as an identity set — the same *mail.Message is added many
-// times for a replicated attack, and a chunked attack injects several
-// distinct messages — so that rejection attribution can match by
-// pointer rather than by body text (which would misattribute organic
-// mail whose body collides with the attack payload).
-func injectAttack(cfg Config, week int, weekly *corpus.Corpus, wr *stats.RNG) ([]*mail.Message, map[*mail.Message]bool, int, error) {
+// and shuffles it in. fraction is the week's dose (the configured
+// AttackFraction, or the adaptive attacker's scaled dose). It returns
+// the distinct payloads in build order (so callers can stamp them
+// deterministically) and the injected messages as an identity set —
+// the same *mail.Message is added many times for a replicated attack,
+// and a chunked attack injects several distinct messages — so that
+// rejection attribution can match by pointer rather than by body text
+// (which would misattribute organic mail whose body collides with the
+// attack payload).
+func injectAttack(cfg Config, week int, fraction float64, weekly *corpus.Corpus, wr *stats.RNG) ([]*mail.Message, map[*mail.Message]bool, int, error) {
 	if cfg.Attack == nil || week < cfg.AttackStartWeek {
 		return nil, nil, 0, nil
 	}
-	n := core.AttackSize(cfg.AttackFraction, cfg.MessagesPerWeek)
+	n := core.AttackSize(fraction, cfg.MessagesPerWeek)
 	if n == 0 {
 		return nil, nil, 0, nil
 	}
@@ -288,9 +334,10 @@ func injectAttack(cfg Config, week int, weekly *corpus.Corpus, wr *stats.RNG) ([
 		injected[m] = true
 	}
 	// The attacker's contribution is labeled spam when trained (the
-	// contamination assumption).
+	// contamination assumption) — unless the pseudospam variant lifts
+	// the restriction and trains it as ham.
 	for i := 0; i < n; i++ {
-		weekly.Add(payloads[i%len(payloads)], true)
+		weekly.Add(payloads[i%len(payloads)], !cfg.AttackLabelHam)
 	}
 	weekly.Shuffle(wr)
 	return payloads, injected, n, nil
@@ -355,6 +402,15 @@ func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// The per-arrival defenses only exist in the online simulator;
+	// silently running an "admission-defended" batch simulation
+	// undefended would be worse than refusing.
+	if cfg.Admission != nil {
+		return nil, fmt.Errorf("scenario: Admission is online-only; use RunOnline")
+	}
+	if cfg.AttackAdaptive {
+		return nil, fmt.Errorf("scenario: AttackAdaptive is online-only; use RunOnline")
+	}
 	backend, err := engine.Lookup(cfg.BackendName())
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
@@ -371,7 +427,7 @@ func Run(g *textgen.Generator, cfg Config, r *stats.RNG) (*Result, error) {
 		// This week's organic mail, plus the attacker's contribution.
 		wSpam := int(float64(cfg.MessagesPerWeek)*cfg.SpamPrevalence + 0.5)
 		weekly := g.Corpus(wr, cfg.MessagesPerWeek-wSpam, wSpam)
-		_, attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
+		_, attackSet, arrived, err := injectAttack(cfg, week, cfg.AttackFraction, weekly, wr)
 		if err != nil {
 			return nil, err
 		}
@@ -410,6 +466,18 @@ type OnlineWeekReport struct {
 	AttackArrived   int
 	AttackRejected  int
 	OrganicRejected int
+	// AttackDose is the attack fraction used this week — the
+	// configured fraction, or the adaptive attacker's scaled dose
+	// (zero in weeks with no attack traffic).
+	AttackDose float64
+	// Admission, when Config.Admission is set, is the week's inline
+	// vetting outcome: per-decision counts split organic vs. attack,
+	// probe accounting against the batch-pass equivalent, quarantine
+	// review results, and the refit thresholds. Nil otherwise (the
+	// batch fields above then carry any RONI scrubbing results; in
+	// admission mode AttackRejected/OrganicRejected mirror the
+	// admission rejections so the main trace stays comparable).
+	Admission *AdmissionWeek
 	// Delivered tallies the verdict every arriving message actually
 	// received at delivery time — organic mail under its true label,
 	// attack mail as true spam. This is the user-visible confusion the
@@ -533,6 +601,21 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 	eng := engine.New(eval.TrainBackend(backend.New, store), engine.Config{Name: OnlineCheckpointName})
 	res := &OnlineResult{Cfg: cfg}
 
+	// Inline admission control: the engine gains a guard whose chain
+	// vets every candidate at arrival and whose publish hooks run the
+	// swap-time defenses. The guard wraps whatever engine currently
+	// serves, so a post-crash resume rebuilds it below.
+	var adm *onlineAdmission
+	var guard *engine.Guarded
+	if cfg.Admission != nil {
+		adm, err = newOnlineAdmission(*cfg.Admission, backend, store, cfg.SpamPrevalence, r.Split("admission"))
+		if err != nil {
+			return nil, err
+		}
+		guard = engine.NewGuarded(eng, adm.chain, adm.guardCfg)
+	}
+	ctx := context.Background()
+
 	// Durable mode: persist the bootstrap snapshot up front, then
 	// checkpoint publishes on the configured cadence. The save
 	// closure reads eng through the variable, so post-crash
@@ -555,17 +638,32 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 
 		wSpam := int(float64(cfg.MessagesPerWeek)*cfg.SpamPrevalence + 0.5)
 		weekly := g.Corpus(wr, cfg.MessagesPerWeek-wSpam, wSpam)
-		_, attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
+		dose := attackDose(cfg)
+		_, attackSet, arrived, err := injectAttack(cfg, week, dose, weekly, wr)
 		if err != nil {
 			return nil, err
 		}
 		report.AttackArrived = arrived
+		if arrived > 0 {
+			report.AttackDose = dose
+		}
 
 		// publish swaps the background-built replacement in and
-		// checkpoints it when the cadence is due.
+		// checkpoints it when the cadence is due. With a guard the swap
+		// also runs the swap-time defenses: the pre-publish
+		// threshold refit mutates the replacement before it serves, and
+		// the post-publish hook refreshes the calibration pool and
+		// reviews the quarantine.
 		publish := func() error {
-			eng.Swap(<-pending)
+			next := <-pending
 			pending = nil
+			if guard != nil {
+				if _, err := guard.Swap(next); err != nil {
+					return fmt.Errorf("scenario week %d: %w", week, err)
+				}
+			} else {
+				eng.Swap(next)
+			}
 			saved, err := ckpt.published()
 			if err != nil {
 				return fmt.Errorf("scenario week %d: checkpoint: %w", week, err)
@@ -574,6 +672,17 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 				report.Checkpointed++
 			}
 			return nil
+		}
+
+		// Inline vetting accumulates the admitted candidates as they
+		// arrive; without admission everything trains (modulo the
+		// optional week-end batch scrub below).
+		kept := weekly
+		var admStartProbes uint64
+		if adm != nil {
+			report.Admission = &AdmissionWeek{}
+			admStartProbes = adm.roni.Stats().Probes
+			kept = &corpus.Corpus{}
 		}
 
 		// Deliver one message at a time. Last week's retrain goes live
@@ -586,7 +695,16 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 				}
 			}
 			verdict := eng.Classify(ex.Msg)
-			report.Delivered.Observe(ex.Spam, verdict.Label)
+			// Attack mail is observed as true spam even when the
+			// pseudospam variant trains it under a ham label.
+			report.Delivered.Observe(ex.Spam || attackSet[ex.Msg], verdict.Label)
+			if adm != nil {
+				d := guard.Vet(ctx, ex.Msg, ex.Spam)
+				adm.countWeek(report.Admission, d, attackSet[ex.Msg])
+				if d.Verdict == engine.AdmitAccept {
+					kept.Add(ex.Msg, ex.Spam)
+				}
+			}
 		}
 		if pending != nil {
 			// The lag reached past the week's volume: publish at the
@@ -596,14 +714,27 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 			}
 		}
 
-		// Week's end: scrub the candidates and grow the store.
-		kept := weekly
+		// Week's end: scrub the candidates (batch mode) or settle the
+		// inline accounting, then grow the store.
 		if cfg.UseRONI {
 			defense, err := core.NewRONIBackend(cfg.RONI, store, backend.New, wr)
 			if err != nil {
 				return nil, fmt.Errorf("scenario week %d: %w", week, err)
 			}
 			kept, report.AttackRejected, report.OrganicRejected = scrubWeek(defense, weekly, attackSet)
+		}
+		if adm != nil {
+			aw := report.Admission
+			aw.Probes = int(adm.roni.Stats().Probes - admStartProbes)
+			aw.BatchProbeEquivalent = distinctCandidates(weekly)
+			kept.Append(adm.drainWeek(aw))
+			// Mirror the rejections into the batch columns so the main
+			// trace reads the same in both modes.
+			report.AttackRejected = aw.AttackRejected
+			report.OrganicRejected = aw.OrganicRejected
+			observeAttackFeedback(cfg, arrived, aw.AttackRejected+aw.AttackQuarantined)
+		} else {
+			observeAttackFeedback(cfg, arrived, report.AttackRejected)
 		}
 		store.Append(kept)
 		report.MailStoreSize = store.Len()
@@ -622,6 +753,12 @@ func RunOnline(g *textgen.Generator, cfg Config, r *stats.RNG) (*OnlineResult, e
 				return nil, fmt.Errorf("scenario week %d: resume after simulated crash: %w", week, err)
 			}
 			eng = resumed
+			if guard != nil {
+				// The guard wraps the restored engine; the admission
+				// pipeline (chain, quarantine, budget) is org state and
+				// survives the process crash with the mail store.
+				guard = engine.NewGuarded(eng, adm.chain, adm.guardCfg)
+			}
 			report.Resumed = true
 			report.Generation = eng.Generation()
 		}
@@ -684,6 +821,12 @@ func describeAttack(cfg Config) string {
 	}
 	label := fmt.Sprintf("%s attack from week %d at %.1f%%/week",
 		cfg.Attack.Name(), cfg.AttackStartWeek, 100*cfg.AttackFraction)
+	if cfg.AttackAdaptive {
+		label += " (dose adapts to feedback)"
+	}
+	if cfg.AttackLabelHam {
+		label += " under ham labels"
+	}
 	if cfg.AttackChunks > 1 {
 		label += fmt.Sprintf(" in %d chunks", cfg.AttackChunks)
 	}
@@ -695,10 +838,14 @@ func describeAttack(cfg Config) string {
 
 // describeDefense renders the defense clause of a trace header.
 func describeDefense(cfg Config) string {
-	if cfg.UseRONI {
+	switch {
+	case cfg.Admission != nil:
+		return "inline admission control"
+	case cfg.UseRONI:
 		return "RONI scrubbing"
+	default:
+		return "no defense"
 	}
-	return "no defense"
 }
 
 // Render prints the weekly trace.
@@ -754,6 +901,10 @@ func (r *OnlineResult) Render() string {
 	b.WriteString(t.String())
 	if crashed {
 		b.WriteString("(* = generation resumed from the checkpoint store after the simulated crash)\n")
+	}
+	if len(r.Weeks) > 0 && r.Weeks[0].Admission != nil {
+		b.WriteByte('\n')
+		renderAdmissionTable(&b, r)
 	}
 	if len(r.Weeks) > 0 && r.Weeks[0].ByShard != nil {
 		b.WriteByte('\n')

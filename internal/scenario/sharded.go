@@ -10,6 +10,7 @@ package scenario
 // damage in one column, collateral damage (ideally none) in the rest.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -83,6 +84,21 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 	sh := engine.NewSharded(clfs, engine.ShardedConfig{Name: ShardedCheckpointName})
 	res := &OnlineResult{Cfg: cfg}
 
+	// Inline admission control, gateway edition: one pipeline vets all
+	// mail upstream of the partition, each decision counted against
+	// the shard the example routes to.
+	var adm *onlineAdmission
+	var guard *engine.GuardedSharded
+	if cfg.Admission != nil {
+		var err error
+		adm, err = newOnlineAdmission(*cfg.Admission, backend, store, cfg.SpamPrevalence, r.Split("admission"))
+		if err != nil {
+			return nil, err
+		}
+		guard = engine.NewGuardedSharded(sh, adm.chain, adm.guardCfg)
+	}
+	ctx := context.Background()
+
 	// Durable mode, fleet edition: every checkpoint persists all
 	// shards (each under its own snapshot line, at its own
 	// generation), and the bootstrap fleet is saved up front. The
@@ -106,11 +122,15 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 		wSpam := int(float64(cfg.MessagesPerWeek)*cfg.SpamPrevalence + 0.5)
 		weekly := g.Corpus(wr, cfg.MessagesPerWeek-wSpam, wSpam)
 		stampRecipients(weekly, pop, wr)
-		payloads, attackSet, arrived, err := injectAttack(cfg, week, weekly, wr)
+		dose := attackDose(cfg)
+		payloads, attackSet, arrived, err := injectAttack(cfg, week, dose, weekly, wr)
 		if err != nil {
 			return nil, err
 		}
 		report.AttackArrived = arrived
+		if arrived > 0 {
+			report.AttackDose = dose
+		}
 		// Attack mail is addressed after injection. Targeted: every
 		// payload (shared across its replicated copies) carries the
 		// victim's address, so the whole dose trains into one shard.
@@ -136,10 +156,19 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 
 		// publish swaps the background-built fleet in and checkpoints
 		// it when the cadence is due (the fleet-wide SwapAll counts as
-		// one publish).
+		// one publish). With a guard, every shard's replacement gets
+		// the pre-publish threshold refit and the post-publish hook
+		// (calibration refresh, quarantine review) runs once.
 		publish := func() error {
-			sh.SwapAll(<-pending)
+			next := <-pending
 			pending = nil
+			if guard != nil {
+				if _, err := guard.SwapAll(next); err != nil {
+					return fmt.Errorf("scenario week %d: %w", week, err)
+				}
+			} else {
+				sh.SwapAll(next)
+			}
 			saved, err := ckpt.published()
 			if err != nil {
 				return fmt.Errorf("scenario week %d: checkpoint: %w", week, err)
@@ -150,6 +179,17 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 			return nil
 		}
 
+		// Inline vetting accumulates the admitted candidates as they
+		// arrive; without admission everything trains (modulo the
+		// optional week-end batch scrub below).
+		kept := weekly
+		var admStartProbes uint64
+		if adm != nil {
+			report.Admission = &AdmissionWeek{}
+			admStartProbes = adm.roni.Stats().Probes
+			kept = &corpus.Corpus{}
+		}
+
 		// Deliver one message at a time through the sharded layer.
 		for i, ex := range weekly.Examples {
 			if pending != nil && i == cfg.RetrainLag {
@@ -158,8 +198,18 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 				}
 			}
 			verdict := sh.Classify(ex.Msg)
-			report.Delivered.Observe(ex.Spam, verdict.Label)
-			report.ByShard[sh.ShardFor(ex.Msg)].Observe(ex.Spam, verdict.Label)
+			// Attack mail is observed as true spam even when the
+			// pseudospam variant trains it under a ham label.
+			spam := ex.Spam || attackSet[ex.Msg]
+			report.Delivered.Observe(spam, verdict.Label)
+			report.ByShard[sh.ShardFor(ex.Msg)].Observe(spam, verdict.Label)
+			if adm != nil {
+				d := guard.Vet(ctx, ex.Msg, ex.Spam)
+				adm.countWeek(report.Admission, d, attackSet[ex.Msg])
+				if d.Verdict == engine.AdmitAccept {
+					kept.Add(ex.Msg, ex.Spam)
+				}
+			}
 		}
 		if pending != nil {
 			if err := publish(); err != nil {
@@ -167,15 +217,26 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 			}
 		}
 
-		// Week's end: scrub at the gateway, then grow the global store
-		// (RONI's trusted pool) and each shard's own slice.
-		kept := weekly
+		// Week's end: scrub at the gateway (batch mode) or settle the
+		// inline accounting, then grow the global store (the defenses'
+		// trusted pool) and each shard's own slice.
 		if cfg.UseRONI {
 			defense, err := core.NewRONIBackend(cfg.RONI, store, backend.New, wr)
 			if err != nil {
 				return nil, fmt.Errorf("scenario week %d: %w", week, err)
 			}
 			kept, report.AttackRejected, report.OrganicRejected = scrubWeek(defense, weekly, attackSet)
+		}
+		if adm != nil {
+			aw := report.Admission
+			aw.Probes = int(adm.roni.Stats().Probes - admStartProbes)
+			aw.BatchProbeEquivalent = distinctCandidates(weekly)
+			kept.Append(adm.drainWeek(aw))
+			report.AttackRejected = aw.AttackRejected
+			report.OrganicRejected = aw.OrganicRejected
+			observeAttackFeedback(cfg, arrived, aw.AttackRejected+aw.AttackQuarantined)
+		} else {
+			observeAttackFeedback(cfg, arrived, report.AttackRejected)
 		}
 		store.Append(kept)
 		parts := sh.Partition(kept)
@@ -201,6 +262,11 @@ func runOnlineSharded(g *textgen.Generator, cfg Config, r *stats.RNG, backend en
 				return nil, fmt.Errorf("scenario week %d: resume after simulated crash: %w", week, err)
 			}
 			sh = resumed
+			if guard != nil {
+				// Re-guard the restored fleet; the admission pipeline is
+				// org state and survives with the mail store.
+				guard = engine.NewGuardedSharded(sh, adm.chain, adm.guardCfg)
+			}
 			report.Resumed = true
 			copy(report.ShardGenerations, gens)
 			report.Generation = minGeneration(gens)

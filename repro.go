@@ -71,6 +71,43 @@
 // simulator in durable mode (checkpoint every N retrains, simulated
 // crash and resume at a configured week).
 //
+// # Admission control
+//
+// The serving layer also guards its own training path. The paper's
+// causative threat is that poison reaches the filter through training,
+// and its defenses are evaluated as week-end batch steps; the
+// admission pipeline runs them inline instead. An Admitter vets every
+// candidate training example (Accept / Quarantine / Reject, with a
+// reason) before it can influence a snapshot:
+//
+//   - TokenFloodGate rejects dictionary-style wide-vocabulary payloads
+//     on structure alone — free, and label-blind, so ham-labeled
+//     pseudospam does not slip it;
+//   - IncrementalRONI runs the §5.1 clone-and-probe impact measurement
+//     under an amortized per-message budget, memoizing verdicts by
+//     payload identity (a replicated attack costs one probe) and
+//     quarantining what the budget cannot cover;
+//   - Quarantine holds deferred candidates until the next snapshot
+//     swap, where they are re-vetted with freshly granted budget and
+//     released into training or dropped;
+//   - AdmissionChain / SampledAdmitter compose admitters into a
+//     policy.
+//
+// NewGuarded (and NewGuardedSharded, which counts each decision
+// against the shard the example routes to) threads a policy through
+// LearnStream / Retrain / RetrainIncremental, exposes the admission
+// tallies in EngineStats, and runs publish hooks at every snapshot
+// swap — where the §5.2 dynamic-threshold defense refits the
+// replacement's cutoffs (DynamicThreshold.Refit, via the
+// ThresholdSetter capability) before it goes live. Scoring is never
+// blocked: admission sits on the training path only.
+// DeploymentConfig.Admission runs the online simulator in this mode,
+// reporting per-week admitted/quarantined/rejected splits (organic
+// vs. attack) and the probe bill against what one week-end batch pass
+// would cost; DeploymentConfig.AttackAdaptive and AttackLabelHam
+// supply the adversaries that stress it (a dose-adapting attacker and
+// ham-labeled pseudospam).
+//
 // The layers, top to bottom:
 //
 //   - Classifier, Persistable, Cloner, Backend and Engine: the
@@ -103,6 +140,7 @@ package repro
 import (
 	"io"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/engine"
@@ -202,6 +240,122 @@ func NewSharded(clfs []Classifier, cfg ShardedConfig) *Sharded { return engine.N
 // RecipientShardKey is the default ShardKey: an FNV-1a hash of the
 // message's canonicalized To address.
 func RecipientShardKey(m *Message) uint64 { return engine.RecipientKey(m) }
+
+// ---- Admission control (the training-data vetting pipeline) ----
+
+// Admitter vets candidate training examples before they can influence
+// a serving snapshot.
+type Admitter = engine.Admitter
+
+// AdmitVerdict is an admission decision's three-way outcome.
+type AdmitVerdict = engine.AdmitVerdict
+
+// Admission verdicts.
+const (
+	AdmitAccept     = engine.AdmitAccept
+	AdmitQuarantine = engine.AdmitQuarantine
+	AdmitReject     = engine.AdmitReject
+)
+
+// AdmitDecision is one vetted candidate's outcome (verdict + reason).
+type AdmitDecision = engine.AdmitDecision
+
+// AdmissionStats counts an engine's vetted training candidates
+// (surfaced inside EngineStats; Vetted == Admitted+Quarantined+
+// Rejected by construction).
+type AdmissionStats = engine.AdmissionStats
+
+// ThresholdSetter is the capability of replacing a classifier's
+// decision thresholds after training — what DynamicThreshold.Refit
+// installs refit cutoffs through at each snapshot swap.
+type ThresholdSetter = engine.ThresholdSetter
+
+// Guarded threads an admission policy through an Engine's training
+// path (LearnStream, Retrain, RetrainIncremental) and runs publish
+// hooks at every snapshot swap; scoring is never blocked.
+type Guarded = engine.Guarded
+
+// GuardedConfig wires the quarantine sink and the publish hooks.
+type GuardedConfig = engine.GuardedConfig
+
+// GuardedSharded is Guarded over a Sharded engine: one policy vets at
+// the gateway, each decision counted against the destination shard.
+type GuardedSharded = engine.GuardedSharded
+
+// NewGuarded wraps an Engine with admission control.
+func NewGuarded(e *Engine, admit Admitter, cfg GuardedConfig) *Guarded {
+	return engine.NewGuarded(e, admit, cfg)
+}
+
+// NewGuardedSharded wraps a Sharded engine with admission control.
+func NewGuardedSharded(s *Sharded, admit Admitter, cfg GuardedConfig) *GuardedSharded {
+	return engine.NewGuardedSharded(s, admit, cfg)
+}
+
+// IncrementalRONI is the §5.1 defense run incrementally as messages
+// arrive: clone-and-probe impact measurement under an amortized
+// per-message budget, memoized by payload identity, deferring to
+// quarantine when the budget is exhausted.
+type IncrementalRONI = admission.IncrementalRONI
+
+// IncrementalRONIConfig tunes the budgeted admitter.
+type IncrementalRONIConfig = admission.IncrementalRONIConfig
+
+// IncrementalRONIStats is the admitter's monotone accounting.
+type IncrementalRONIStats = admission.IncrementalRONIStats
+
+// NewIncrementalRONI builds the admitter over a calibration pool; on
+// the same pool, seed and configuration its probe verdicts match a
+// batch RONI pass verdict for verdict.
+func NewIncrementalRONI(cfg IncrementalRONIConfig, pool *Corpus, factory func() Classifier, r *RNG) (*IncrementalRONI, error) {
+	return admission.NewIncrementalRONI(cfg, pool, factory, r)
+}
+
+// DefaultIncrementalRONIConfig returns the standard amortization.
+func DefaultIncrementalRONIConfig() IncrementalRONIConfig {
+	return admission.DefaultIncrementalRONIConfig()
+}
+
+// TokenFloodGate is the structural pre-filter that rejects
+// dictionary-style wide-vocabulary payloads on token count alone.
+type TokenFloodGate = admission.TokenFloodGate
+
+// FloodGateConfig tunes the gate.
+type FloodGateConfig = admission.FloodGateConfig
+
+// NewTokenFloodGate builds the gate.
+func NewTokenFloodGate(cfg FloodGateConfig) *TokenFloodGate {
+	return admission.NewTokenFloodGate(cfg)
+}
+
+// Quarantine buffers candidates an admitter deferred until a snapshot
+// swap reviews them (it is a valid GuardedConfig.Quarantine sink).
+type Quarantine = admission.Quarantine
+
+// QuarantineConfig tunes the buffer (capacity, review expiry).
+type QuarantineConfig = admission.QuarantineConfig
+
+// QuarantineStats is the buffer's accounting.
+type QuarantineStats = admission.QuarantineStats
+
+// NewQuarantine builds an empty buffer.
+func NewQuarantine(cfg QuarantineConfig) *Quarantine { return admission.NewQuarantine(cfg) }
+
+// AdmissionChain composes admitters in order; the first non-Accept
+// decision wins.
+type AdmissionChain = admission.Chain
+
+// NewAdmissionChain composes the links in vetting order.
+func NewAdmissionChain(links ...Admitter) *AdmissionChain { return admission.NewChain(links...) }
+
+// SampledAdmitter consults its inner admitter for a deterministic
+// fraction of candidates.
+type SampledAdmitter = admission.Sampled
+
+// NewSampledAdmitter wraps inner, consulting it with probability p.
+func NewSampledAdmitter(inner Admitter, p float64, r *RNG) (*SampledAdmitter, error) {
+	return admission.NewSampled(inner, p, r)
+}
 
 // ---- Snapshot persistence (the durable serving layer) ----
 
@@ -483,6 +637,27 @@ func AttackSize(fraction float64, trainSize int) int {
 	return core.AttackSize(fraction, trainSize)
 }
 
+// FeedbackAttacker is the capability of adapting attack volume to
+// observed accept/bounce feedback.
+type FeedbackAttacker = core.FeedbackAttacker
+
+// AdaptiveAttacker wraps any attack with a dose controller: the dose
+// multiplies while the training pipeline accepts the poison and backs
+// off while it bounces it.
+type AdaptiveAttacker = core.AdaptiveAttacker
+
+// AdaptiveConfig tunes the dose controller.
+type AdaptiveConfig = core.AdaptiveConfig
+
+// NewAdaptiveAttacker wraps inner with a dose controller.
+func NewAdaptiveAttacker(inner Attacker, cfg AdaptiveConfig) (*AdaptiveAttacker, error) {
+	return core.NewAdaptiveAttacker(inner, cfg)
+}
+
+// DefaultAdaptiveConfig returns the standard controller (double on
+// acceptance, halve on rejection, clamped to [1/8, 4] of the base).
+func DefaultAdaptiveConfig() AdaptiveConfig { return core.DefaultAdaptiveConfig() }
+
 // ---- Defenses ----
 
 // RONI is the Reject On Negative Impact defense of §5.1.
@@ -559,6 +734,15 @@ func NewExperimentEnv(cfg ExperimentConfig) (*ExperimentEnv, error) {
 // DeploymentConfig parameterizes the §2.1 weekly-retraining
 // simulation (both the after-the-fact and the online variant).
 type DeploymentConfig = scenario.Config
+
+// DeploymentAdmissionConfig parameterizes the online deployment's
+// inline vetting pipeline (DeploymentConfig.Admission); the zero
+// value is a complete policy.
+type DeploymentAdmissionConfig = scenario.AdmissionConfig
+
+// AdmissionWeekReport is one week's inline-vetting outcome in an
+// online deployment trace.
+type AdmissionWeekReport = scenario.AdmissionWeek
 
 // DeploymentResult is an after-the-fact simulation trace.
 type DeploymentResult = scenario.Result
