@@ -5,8 +5,13 @@
 #   make race        run the concurrency-sensitive suites under -race
 #                    (admission vetting + quarantine, engine snapshot
 #                    swap + sharded fan-out + guarded training, eval
-#                    parallelism, scenario online serving)
+#                    parallelism, scenario online serving, and the
+#                    root facade's end-to-end serving tests)
 #   make vet         static checks
+#   make lint        run the repo's own analyzer suite (cmd/sbvet:
+#                    snapshotonce, statscomplete, ctxdrain,
+#                    tokenizeonce — see internal/analysis); any
+#                    finding fails the build
 #   make fuzz        short fuzz smoke over the persistence decoders
 #                    ($(FUZZTIME) per target; CI runs it, so a format
 #                    regression that panics on garbage cannot land)
@@ -17,8 +22,8 @@
 #   make bench-json  run the benchmarks and write $(BENCH_JSON) as a
 #                    machine-readable artifact (CI uploads it, so the
 #                    perf trajectory accumulates across PRs)
-#   make check       build + vet + test + race (CI runs the same
-#                    pieces, but folds the plain test pass into
+#   make check       build + vet + lint + test + race (CI runs the
+#                    same pieces, but folds the plain test pass into
 #                    `make cover` and adds `make fuzz`)
 
 GO ?= go
@@ -26,7 +31,7 @@ BENCH_JSON ?= BENCH_PR5.json
 BENCHTIME  ?= 1s
 FUZZTIME   ?= 10s
 
-.PHONY: build test race vet fuzz cover bench bench-json check
+.PHONY: build test race vet lint fuzz cover bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -35,10 +40,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/admission/ ./internal/engine/ ./internal/eval/ ./internal/scenario/
+	$(GO) test -race . ./internal/admission/ ./internal/engine/ ./internal/eval/ ./internal/scenario/
 
 vet:
 	$(GO) vet ./...
+
+# The project-specific invariants (snapshot-once serving, complete
+# Stats accounting, ctx-aware channel drains, fenced tokenization).
+# Also runnable as a vet backend:
+#   go build -o sbvet ./cmd/sbvet && go vet -vettool=$$PWD/sbvet ./...
+lint:
+	$(GO) run ./cmd/sbvet ./...
 
 # `go test -fuzz` takes one target per invocation, so one line per
 # fuzz target. Each also replays its committed seed corpus first.
@@ -62,4 +74,4 @@ bench-json:
 		> $(BENCH_JSON:.json=.txt)
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < $(BENCH_JSON:.json=.txt)
 
-check: build vet test race
+check: build vet lint test race

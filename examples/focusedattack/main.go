@@ -58,6 +58,7 @@ func main() {
 	poisoned.LearnWeighted(attackMsg, true, 300)
 
 	included := map[string]bool{}
+	//sbvet:retokenize exhibit inspects the attack payload's token set once, off the serving path
 	for _, tok := range repro.DefaultTokenizer().TokenSet(attackMsg) {
 		included[tok] = true
 	}

@@ -91,7 +91,7 @@ func (g *TokenFloodGate) Admit(_ context.Context, m *mail.Message, _ bool) Decis
 		g.flagged.Add(1)
 		return d
 	}
-	n := len(g.tok.TokenSet(m))
+	n := g.tok.DistinctTokenCount(m)
 	if n >= g.max {
 		g.flagged.Add(1)
 		d := Decision{

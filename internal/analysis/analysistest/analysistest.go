@@ -1,0 +1,105 @@
+// Package analysistest runs an analyzer over want-annotated fixture
+// packages, mirroring golang.org/x/tools/go/analysis/analysistest so
+// the fixtures (and the tests over them) survive a future migration
+// to the real framework unchanged.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/ and are loaded with
+// the same source loader sbvet uses. Expected diagnostics are
+// end-of-line comments of the form
+//
+//	code() // want `regexp`
+//
+// (double-quoted strings also work). Each reported diagnostic must
+// match a want on its line, and each want must be matched by a
+// diagnostic — either direction failing fails the test, which is what
+// proves an analyzer actually catches the bug class its fixture
+// encodes.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src and checks a's
+// diagnostics against the // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := analysis.NewLoader(filepath.Join(testdata, "src"), "")
+	for _, path := range pkgpaths {
+		pkg, err := l.LoadImport(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %q does not type-check: %v", path, terr)
+		}
+		wants := collectWants(t, pkg)
+		for _, f := range analysis.CheckPackage(pkg, []*analysis.Analyzer{a}) {
+			if !claim(wants, f) {
+				t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched want on the finding's line whose
+// regexp matches, and reports whether one existed.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want annotations out of a fixture
+// package.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pat, err := strconv.Unquote(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("%s: malformed want %q: %v", pkg.Fset.Position(c.Slash), rest, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Slash), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}

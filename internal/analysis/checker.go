@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one positioned diagnostic, resolved for printing.
+type Finding struct {
+	Position token.Position
+	Category string
+	Message  string
+}
+
+// String formats the finding the way go vet does.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Category)
+}
+
+// Check runs every analyzer over every package matching patterns
+// under the loader's root and returns the findings sorted by
+// position. A package that fails to load or type-check yields one
+// finding per error under the "sbvet" category — the suite never
+// reports a broken build as clean.
+func Check(l *Loader, analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
+	paths, err := l.Packages(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v", patterns)
+	}
+	var findings []Finding
+	for _, path := range paths {
+		pkg, err := l.LoadImport(path)
+		if err != nil {
+			findings = append(findings, Finding{Category: "sbvet", Message: err.Error()})
+			continue
+		}
+		findings = append(findings, CheckPackage(pkg, analyzers)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// CheckPackage runs the analyzers over one loaded package.
+func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	report := func(d Diagnostic) {
+		findings = append(findings, Finding{
+			Position: pkg.Fset.Position(d.Pos),
+			Category: d.Category,
+			Message:  d.Message,
+		})
+	}
+	for _, err := range pkg.TypeErrors {
+		findings = append(findings, Finding{Category: "sbvet", Message: fmt.Sprintf("%s: type error: %v", pkg.PkgPath, err)})
+	}
+	// Unknown or malformed directives are findings themselves: a typo
+	// like //sbvet:drian must not silently waive nothing.
+	for _, f := range pkg.Files {
+		for _, d := range Directives(pkg.Fset, f) {
+			if _, ok := KnownDirectives[d.Name]; !ok {
+				report(Diagnostic{
+					Pos:      d.Pos,
+					Category: "sbvet",
+					Message:  fmt.Sprintf("unknown directive //sbvet:%s (known: drain, nostat, reload, retokenize)", d.Name),
+				})
+			}
+		}
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    report,
+		}
+		if err := a.Run(pass); err != nil {
+			findings = append(findings, Finding{Category: a.Name, Message: fmt.Sprintf("%s: analyzer error: %v", pkg.PkgPath, err)})
+		}
+	}
+	return findings
+}

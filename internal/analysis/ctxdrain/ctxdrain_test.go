@@ -1,0 +1,17 @@
+package ctxdrain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxdrain"
+)
+
+// TestFixtures proves the analyzer catches the cancellation-swallowing
+// drain bug class (including the goroutine-closure variant where the
+// PR 4 bug actually lived) and stays quiet on for/select loops,
+// ctx-free drains, non-channel ranges, and the //sbvet:drain escape
+// hatch.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxdrain.Analyzer, "a")
+}

@@ -1,0 +1,102 @@
+// Fixture for ctxdrain: channel consumption in context-aware
+// functions. The want-annotated loops are the PR 4
+// Sharded.LearnStream bug class — a range that never observes
+// ctx.Done(), so a cancelled caller blocks until the channel closes.
+package a
+
+import "context"
+
+// Bad is the bug: ctx is accepted, then ignored for the whole drain.
+func Bad(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch { // want `for-range over a channel in a context-aware function never observes ctx\.Done`
+		total += v
+	}
+	return total
+}
+
+// GoodSelect is the sanctioned pattern: every receive races
+// ctx.Done().
+func GoodSelect(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+// InnerSelect polls cancellation between receives; blocking receives
+// can still stall, but the loop is cancellation-aware, which is the
+// contract the analyzer enforces.
+func InnerSelect(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+	}
+	return total
+}
+
+// Goroutine is where the original bug actually lived: the range hides
+// inside a closure that captures the caller's ctx.
+func Goroutine(ctx context.Context, ch <-chan int) {
+	go func() {
+		for range ch { // want `for-range over a channel in a context-aware function never observes ctx\.Done`
+		}
+	}()
+}
+
+// OwnCtx declares its own context parameter, so the closure is its
+// own unit — and being cancellation-aware, it is clean.
+func OwnCtx(ctx context.Context, ch <-chan int) func(context.Context) int {
+	return func(inner context.Context) int {
+		for {
+			select {
+			case <-inner.Done():
+				return 0
+			case _, ok := <-ch:
+				if !ok {
+					return 0
+				}
+			}
+		}
+	}
+}
+
+// NoCtx makes no cancellation promise; draining to close is its
+// documented contract (the engine's drainUntil shape).
+func NoCtx(ch <-chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// NotAChannel ranges over a slice; only channel ranges block
+// indefinitely.
+func NotAChannel(ctx context.Context, xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Waived shows the escape hatch: an annotated intentional drain.
+func Waived(ctx context.Context, ch <-chan int) {
+	//sbvet:drain fixture: intentional drain-to-close, must ignore cancellation
+	for range ch {
+	}
+}

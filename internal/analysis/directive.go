@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //sbvet:NAME comment.
+type Directive struct {
+	// Name is the directive keyword ("drain", "retokenize", ...).
+	Name string
+	// Reason is the free-form justification after the keyword.
+	Reason string
+	// Line is the 1-based source line the comment sits on.
+	Line int
+	Pos  token.Pos
+}
+
+// KnownDirectives is the set of directive names the suite honors,
+// directive name -> analyzer name. The checker diagnoses any
+// //sbvet: comment whose name is not here, so a typo cannot silently
+// waive nothing.
+var KnownDirectives = map[string]string{
+	"reload":     "snapshotonce",
+	"nostat":     "statscomplete",
+	"drain":      "ctxdrain",
+	"retokenize": "tokenizeonce",
+}
+
+// directivePrefix is the comment marker. Like //go:build, there is no
+// space after the slashes, which keeps directives grep-distinct from
+// prose mentioning sbvet.
+const directivePrefix = "//sbvet:"
+
+// Directives returns every //sbvet: directive in f, in source order.
+// Malformed directives (bare "//sbvet:" with no name) are returned
+// with an empty Name so the checker can diagnose them.
+func Directives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			name, reason, _ := strings.Cut(rest, " ")
+			out = append(out, Directive{
+				Name:   strings.TrimSpace(name),
+				Reason: strings.TrimSpace(reason),
+				Line:   fset.Position(c.Slash).Line,
+				Pos:    c.Slash,
+			})
+		}
+	}
+	return out
+}

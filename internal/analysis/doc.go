@@ -1,0 +1,58 @@
+// Package analysis is the sbvet static-analysis framework: a
+// stdlib-only, API-compatible subset of golang.org/x/tools/go/analysis
+// plus a module-aware source loader, built so the repo's serving,
+// accounting, and drain invariants are enforced at lint time instead
+// of depending on a -race window opening.
+//
+// The concrete analyzers live in subpackages, one invariant class per
+// analyzer, each grounded in a bug this repo has actually had to fix:
+//
+//   - snapshotonce (internal/analysis/snapshotonce): the serving
+//     snapshot pointer is read at most once per function body and
+//     never inside a loop, so a batch or decision can never mix
+//     generations (the PR 2 torn-read invariant, previously guarded
+//     only by TestServeWhileRetrainNoTornReads winning a race).
+//   - statscomplete (internal/analysis/statscomplete): every atomic
+//     counter field on a struct with a Stats method is loaded
+//     somewhere in Stats, so a newly added counter cannot silently
+//     vanish from the sum(per-shard) == combined aggregation (the
+//     accounting class PR 3 and PR 5 each had to re-fix).
+//   - ctxdrain (internal/analysis/ctxdrain): a for-range over a
+//     channel inside a context-aware function must either select on
+//     ctx.Done() or carry an explicit drain annotation (the PR 4
+//     Sharded.LearnStream cancellation-swallowing class).
+//   - tokenizeonce (internal/analysis/tokenizeonce): direct tokenizer
+//     calls are confined to the tokenization layer's own packages, so
+//     new double-tokenize call sites cannot creep into the serving or
+//     admission paths while the tokenize-once refactor is pending.
+//
+// cmd/sbvet aggregates the suite into one binary that runs standalone
+// (go run ./cmd/sbvet ./...) or as a go vet tool
+// (go vet -vettool=$(which sbvet) ./...).
+//
+// # Directives
+//
+// Intentional violations are annotated, never silent. A directive is
+// a line comment of the form
+//
+//	//sbvet:NAME optional justification
+//
+// placed on the offending line or the line immediately above it
+// (mirroring //nolint and //go:build placement). Each analyzer
+// honors exactly one directive name, so an annotation states which
+// invariant is being waived and the justification is auditable with
+// `grep -rn "//sbvet:"`:
+//
+//	//sbvet:reload      snapshotonce — this re-read is intentional
+//	//sbvet:nostat      statscomplete — this counter is deliberately
+//	                    absent from Stats
+//	//sbvet:drain       ctxdrain — this loop is an intentional
+//	                    drain-to-close and must ignore cancellation
+//	//sbvet:retokenize  tokenizeonce — this call site may invoke the
+//	                    tokenizer directly
+//
+// Directive parsing is shared (see Directives and ExemptedAt) so all
+// analyzers agree on placement rules, and unknown directive names are
+// themselves diagnosed by the checker, so a typo like //sbvet:drian
+// cannot silently waive nothing.
+package analysis

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package — the unit a
+// Pass analyzes.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors holds any type-check errors. Analysis still runs on a
+	// partially checked package, mirroring go vet, but the checker
+	// surfaces these so a broken build is never reported as "clean".
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages from source with no help
+// from the go command: module-internal imports resolve against the
+// module root, everything else falls back to a source-level stdlib
+// importer. It exists because this environment has no module proxy —
+// the real golang.org/x/tools loaders are unreachable — and doubles
+// as the fixture loader for the analysistest harness (a testdata/src
+// tree is just a Loader with an empty module path).
+type Loader struct {
+	fset *token.FileSet
+	// root is the directory package dirs resolve under.
+	root string
+	// modPath is the module path declared by root's go.mod; "" means
+	// fixture mode, where import paths are directories under root.
+	modPath string
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at dir. modPath is the module
+// path import paths are resolved against; pass "" for a fixture tree
+// whose import paths are root-relative directories.
+func NewLoader(root, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// NewModuleLoader reads root/go.mod for the module path and returns a
+// loader for the module rooted there.
+func NewModuleLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading module root: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	return NewLoader(root, modPath), nil
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps an import path to a directory under root, or "" if the
+// path is not module-internal.
+func (l *Loader) dirFor(path string) string {
+	if l.modPath == "" {
+		dir := filepath.Join(l.root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir
+		}
+		return ""
+	}
+	if path == l.modPath {
+		return l.root
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer, so the loader can hand itself to
+// types.Config and have module-internal imports recurse.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadImport loads (or returns the cached) package for an
+// internal import path.
+func (l *Loader) LoadImport(path string) (*Package, error) {
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: %q is not under the load root", path)
+	}
+	return l.load(path, dir)
+}
+
+// load parses dir's non-test Go files (honoring build constraints via
+// go/build) and type-checks them.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg := &Package{PkgPath: path, Fset: l.fset, TypesInfo: info}
+	cfg := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns the (possibly incomplete) package even on error;
+	// the collected TypeErrors carry the failure.
+	tpkg, _ := cfg.Check(path, l.fset, files, info)
+	pkg.Types = tpkg
+	pkg.Files = files
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Packages enumerates the import paths of every package under root
+// matching the patterns. Supported patterns are the go tool's common
+// forms: "./...", "dir/...", and plain directories; an empty pattern
+// list means "./...". Directories named testdata, vendored trees, and
+// hidden or underscore-prefixed directories are skipped, as the go
+// tool skips them.
+func (l *Loader) Packages(patterns ...string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var all []string
+	err := filepath.WalkDir(l.root, func(dir string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if dir != l.root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		bp, err := build.ImportDir(dir, 0)
+		if err != nil || len(bp.GoFiles) == 0 {
+			return nil // not a buildable package; keep walking
+		}
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return err
+		}
+		all = append(all, l.pathFor(filepath.ToSlash(rel)))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var out []string
+	for _, path := range all {
+		for _, pat := range patterns {
+			if l.match(pat, path) {
+				out = append(out, path)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// pathFor converts a root-relative directory to an import path.
+func (l *Loader) pathFor(rel string) string {
+	switch {
+	case l.modPath == "":
+		return rel
+	case rel == ".":
+		return l.modPath
+	default:
+		return l.modPath + "/" + rel
+	}
+}
+
+// match reports whether a package path matches one go-style pattern.
+func (l *Loader) match(pat, path string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "..." || pat == "" {
+		return true
+	}
+	pat = l.pathFor(strings.TrimSuffix(pat, "/"))
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		return path == rest || strings.HasPrefix(path, rest+"/")
+	}
+	return path == pat
+}

@@ -1,0 +1,17 @@
+package snapshotonce_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotonce"
+)
+
+// TestFixtures proves the analyzer catches the torn-read bug classes
+// (double load, loop load, accessor-pair load) and stays quiet on the
+// sanctioned patterns (hoisted loads, per-shard loops, closures, the
+// //sbvet:reload escape hatch). analysistest fails in both
+// directions, so removing the analyzer's checks fails this test.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotonce.Analyzer, "a")
+}

@@ -1,0 +1,195 @@
+// Package statscomplete enforces the accounting invariant behind the
+// engine's sum(per-shard) == combined guarantees: every atomic
+// counter field on a struct that exposes a Stats() method must be
+// Load()ed somewhere in Stats (directly or through same-type helper
+// methods Stats calls, like the engine's admissionStats).
+//
+// The failure mode is historical: PR 3 and PR 5 each added counters
+// and each had to separately fix the aggregation that silently
+// dropped them — a counter missing from Stats never fails a test, it
+// just under-reports forever. Declaring an atomic counter on a
+// Stats-bearing struct now obligates Stats to read it; a counter that
+// is intentionally absent carries //sbvet:nostat with a reason.
+package statscomplete
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the statscomplete check.
+var Analyzer = &analysis.Analyzer{
+	Name: "statscomplete",
+	Doc:  "flag atomic counter fields that a struct's Stats() method never reads",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, typ := range namedStructs(pass) {
+		checkType(pass, typ)
+	}
+	return nil
+}
+
+// namedStructs returns every named struct type declared in the pass's
+// files.
+func namedStructs(pass *analysis.Pass) []*types.Named {
+	var out []*types.Named
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				if _, ok := named.Underlying().(*types.Struct); ok {
+					out = append(out, named)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkType verifies one struct type: if it has atomic counter fields
+// and a Stats method, every counter must be loaded somewhere in the
+// closure of Stats over same-type method calls.
+func checkType(pass *analysis.Pass, named *types.Named) {
+	st := named.Underlying().(*types.Struct)
+	counters := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if analysis.IsAtomicCounter(fld.Type()) {
+			counters[fld] = true
+		}
+	}
+	if len(counters) == 0 {
+		return
+	}
+	methods := methodDecls(pass, named)
+	statsDecl := methods["Stats"]
+	if statsDecl == nil {
+		return
+	}
+
+	// Walk Stats and, transitively, every same-type method it calls,
+	// collecting the counter fields that get Load()ed.
+	loaded := make(map[*types.Var]bool)
+	visited := make(map[string]bool)
+	queue := []string{"Stats"}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if visited[name] {
+			continue
+		}
+		visited[name] = true
+		decl := methods[name]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fn := analysis.MethodCallee(pass.TypesInfo, sel); fn != nil {
+				if recvNamed(fn) == named.Obj() {
+					queue = append(queue, fn.Name())
+				}
+			}
+			if sel.Sel.Name == "Load" {
+				if fld := loadedCounter(pass, sel); fld != nil && counters[fld] {
+					loaded[fld] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for fld := range counters {
+		if loaded[fld] {
+			continue
+		}
+		if pass.ExemptedAt(fld.Pos(), "nostat") {
+			continue
+		}
+		pass.Reportf(fld.Pos(), "atomic counter %s.%s is never read in %s.Stats(); a counter missing from Stats silently drops out of the sum(per-shard) == combined accounting — load it in Stats or annotate //sbvet:nostat", named.Obj().Name(), fld.Name(), named.Obj().Name())
+	}
+}
+
+// methodDecls collects the package's method declarations whose
+// receiver base type is named.
+func methodDecls(pass *analysis.Pass, named *types.Named) map[string]*ast.FuncDecl {
+	out := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj != nil && recvNamed(obj) == named.Obj() {
+				out[fn.Name.Name] = fn
+			}
+		}
+	}
+	return out
+}
+
+// recvNamed returns the type name of a method's receiver base type.
+func recvNamed(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// loadedCounter resolves x.field.Load() or x.field[i].Load() to the
+// struct field being loaded, if the receiver is an atomic counter.
+func loadedCounter(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || !analysis.IsAtomicCounter(s.Recv()) {
+		return nil
+	}
+	recv := sel.X
+	if idx, ok := recv.(*ast.IndexExpr); ok {
+		recv = idx.X
+	}
+	fieldSel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if fs, ok := pass.TypesInfo.Selections[fieldSel]; ok && fs.Kind() == types.FieldVal {
+		if v, ok := fs.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package statscomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statscomplete"
+)
+
+// TestFixtures proves the analyzer catches a counter missing from
+// Stats and stays quiet on complete Stats, transitive helper reads,
+// non-Stats types, atomic non-counter state, and the //sbvet:nostat
+// escape hatch.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", statscomplete.Analyzer, "a")
+}

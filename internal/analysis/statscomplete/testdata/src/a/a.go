@@ -1,0 +1,73 @@
+// Fixture for statscomplete: structs with atomic counters and Stats
+// methods. The want-annotated field is the PR 3/PR 5 accounting bug
+// class — a counter added to the struct but never surfaced in Stats.
+package a
+
+import "sync/atomic"
+
+// Stats is the reported snapshot.
+type Stats struct {
+	Scored uint64
+	Labels [3]uint64
+	Extra  uint64
+}
+
+// Good reads every counter in Stats, including the per-label array,
+// and its atomic.Pointer is state, not a tally — no obligation.
+type Good struct {
+	cur     atomic.Pointer[Stats]
+	scored  atomic.Uint64
+	byLabel [3]atomic.Uint64
+}
+
+func (g *Good) Stats() Stats {
+	return Stats{
+		Scored: g.scored.Load(),
+		Labels: [3]uint64{g.byLabel[0].Load(), g.byLabel[1].Load(), g.byLabel[2].Load()},
+	}
+}
+
+// Bad grew a counter that Stats never reads: the tally silently
+// vanishes from every aggregation built on Stats.
+type Bad struct {
+	scored  atomic.Uint64
+	dropped atomic.Uint64 // want `atomic counter Bad\.dropped is never read in Bad\.Stats`
+}
+
+func (b *Bad) Stats() Stats {
+	return Stats{Scored: b.scored.Load()}
+}
+
+// Helper reads one counter through a same-type helper method, the
+// engine's Stats -> admissionStats shape; the transitive read counts.
+type Helper struct {
+	scored atomic.Uint64
+	admits atomic.Uint64
+}
+
+func (h *Helper) Stats() Stats {
+	s := Stats{Scored: h.scored.Load()}
+	s.Extra = h.admissionTotal()
+	return s
+}
+
+func (h *Helper) admissionTotal() uint64 { return h.admits.Load() }
+
+// NoStats exposes plain accessors instead of a Stats method; the
+// obligation only attaches to Stats-bearing types.
+type NoStats struct {
+	skipped atomic.Uint64
+}
+
+func (n *NoStats) Skipped() uint64 { return n.skipped.Load() }
+
+// Waived shows the escape hatch: a deliberately unreported counter.
+type Waived struct {
+	scored atomic.Uint64
+	//sbvet:nostat fixture: debug-only counter, intentionally not in Stats
+	debug atomic.Uint64
+}
+
+func (w *Waived) Stats() Stats {
+	return Stats{Scored: w.scored.Load()}
+}

@@ -1,0 +1,25 @@
+// Fixture stand-in for the real tokenize package: same package name,
+// same Tokenizer type and entry points, so the analyzer's type-based
+// matching exercises the real shapes.
+package tokenize
+
+// Tokenizer mimics the real tokenizer.
+type Tokenizer struct{}
+
+// Default returns a tokenizer.
+func Default() *Tokenizer { return &Tokenizer{} }
+
+// Tokenize may call sibling entry points freely: the package owns
+// tokenization.
+func (t *Tokenizer) Tokenize(m string) []string { return t.TokenizeText(m) }
+
+// TokenSet dedups the stream; calling Tokenize here is in-package and
+// allowed.
+func (t *Tokenizer) TokenSet(m string) []string { return t.Tokenize(m) }
+
+// TokenizeText tokenizes a bare body.
+func (t *Tokenizer) TokenizeText(s string) []string { return []string{s} }
+
+// DistinctCount is a derived-fact helper: callers outside the layer
+// ask for facts about tokens instead of tokenizing themselves.
+func (t *Tokenizer) DistinctCount(m string) int { return len(t.TokenSet(m)) }

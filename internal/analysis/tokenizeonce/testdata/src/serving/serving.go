@@ -1,0 +1,29 @@
+// Fixture for a fenced consumer: a serving-path package that is not
+// on the allowlist. Direct tokenizer calls here are the
+// double-tokenize creep the analyzer blocks.
+package serving
+
+import "internal/tokenize"
+
+// Score re-tokenizes at score time — the BENCH_PR3 hot-path bug
+// class.
+func Score(tok *tokenize.Tokenizer, m string) int {
+	return len(tok.TokenSet(m)) // want `direct call to \(\*tokenize\.Tokenizer\)\.TokenSet outside the tokenization layer`
+}
+
+// Stream re-tokenizes the body variant.
+func Stream(tok *tokenize.Tokenizer, body string) []string {
+	return tok.TokenizeText(body) // want `direct call to \(\*tokenize\.Tokenizer\)\.TokenizeText outside the tokenization layer`
+}
+
+// DerivedFact asks the tokenize package for a fact about the message
+// instead of tokenizing — the sanctioned alternative.
+func DerivedFact(tok *tokenize.Tokenizer, m string) int {
+	return tok.DistinctCount(m)
+}
+
+// Waived shows the escape hatch: an annotated intentional call.
+func Waived(tok *tokenize.Tokenizer, m string) int {
+	//sbvet:retokenize fixture: exhibit code inspects tokens once, off the hot path
+	return len(tok.TokenSet(m))
+}

@@ -1,0 +1,123 @@
+// Package tokenizeonce fences tokenization into the layer that owns
+// it. BENCH_PR3 showed batch scoring flat from 1→8 workers because
+// every stage re-tokenizes what the previous stage already tokenized;
+// the planned fix is to tokenize once per message and flow tokens
+// through score/vet/learn. That refactor is only worth doing if new
+// double-tokenize call sites cannot creep in meanwhile, so this
+// analyzer forbids direct calls to the tokenizer's per-message entry
+// points ((*tokenize.Tokenizer).Tokenize, TokenSet, TokenizeText)
+// outside an allowlist of packages that legitimately own
+// tokenization:
+//
+//   - internal/tokenize itself;
+//   - internal/sbayes and internal/graham, the backends whose
+//     Learn/Classify/Score are the single sanctioned
+//     message->tokens boundary;
+//   - internal/eval, whose TokenizeCorpus IS the tokenize-once
+//     pattern (pre-tokenize, then score many times);
+//   - internal/core and internal/experiments, the offline exhibit
+//     layer that pre-tokenizes attack payloads and validation pools
+//     once per run, off the serving path.
+//
+// Everything else — engine, admission, scenario, the CLIs, the facade
+// and examples — must either flow pre-computed tokens or carry an
+// explicit //sbvet:retokenize directive stating why this call site
+// may pay (and re-pay) the tokenization cost. _test.go files are
+// exempt: tests tokenize to construct expected token sets.
+package tokenizeonce
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the tokenizeonce check.
+var Analyzer = &analysis.Analyzer{
+	Name: "tokenizeonce",
+	Doc:  "flag direct tokenizer calls outside the packages that own tokenization",
+	Run:  run,
+}
+
+// Allow lists the package-path suffixes permitted to call the
+// tokenizer directly. A package is allowed when its import path
+// equals an entry or ends in "/"+entry.
+var Allow = []string{
+	"internal/tokenize",
+	"internal/sbayes",
+	"internal/graham",
+	"internal/eval",
+	"internal/core",
+	"internal/experiments",
+}
+
+// entryPoints are the per-message tokenizer methods being fenced.
+var entryPoints = map[string]bool{
+	"Tokenize":     true,
+	"TokenSet":     true,
+	"TokenizeText": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if allowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !entryPoints[sel.Sel.Name] {
+				return true
+			}
+			fn := analysis.MethodCallee(pass.TypesInfo, sel)
+			if fn == nil || !isTokenizer(fn) {
+				return true
+			}
+			// Tests tokenize to construct expected token sets; the
+			// once-per-message economy is a serving-path concern.
+			if pass.IsTestFile(call.Lparen) {
+				return true
+			}
+			if pass.ExemptedAt(call.Lparen, "retokenize") {
+				return true
+			}
+			pass.Reportf(call.Lparen, "direct call to (*tokenize.Tokenizer).%s outside the tokenization layer; the hot path must tokenize each message once and flow the tokens (see the tokenize-once roadmap item) — move the work behind an allowlisted package or annotate //sbvet:retokenize with a reason", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// allowed reports whether pkgPath may tokenize directly.
+func allowed(pkgPath string) bool {
+	for _, entry := range Allow {
+		if pkgPath == entry || strings.HasSuffix(pkgPath, "/"+entry) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTokenizer reports whether fn is a method on the tokenize
+// package's Tokenizer type.
+func isTokenizer(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tokenizer" && obj.Pkg() != nil && obj.Pkg().Name() == "tokenize"
+}

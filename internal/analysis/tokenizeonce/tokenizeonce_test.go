@@ -1,0 +1,18 @@
+package tokenizeonce_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tokenizeonce"
+)
+
+// TestFixtures proves the analyzer fences the tokenizer's entry
+// points: direct calls in a non-allowlisted package are flagged,
+// while the tokenize package itself, an allowlisted pre-tokenizing
+// consumer, derived-fact helpers, and the //sbvet:retokenize escape
+// hatch stay quiet.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", tokenizeonce.Analyzer,
+		"internal/tokenize", "internal/eval", "serving")
+}

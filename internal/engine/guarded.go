@@ -260,11 +260,14 @@ func vetCorpus(ctx context.Context, c *corpus.Corpus, vet func(context.Context, 
 
 // publish runs the PrePublish hooks on the replacement, installs it,
 // then runs the PostPublish hooks. A PrePublish error aborts the
-// publish with the serving snapshot unchanged.
+// publish with the serving snapshot unchanged, reporting the serving
+// generation read once on entry (sbvet:snapshotonce — one decision,
+// one snapshot read).
 func (g *Guarded) publish(clf Classifier) (uint64, error) {
+	cur := g.eng.Generation()
 	for _, hook := range g.cfg.PrePublish {
 		if err := hook(clf); err != nil {
-			return g.eng.Generation(), fmt.Errorf("engine: pre-publish hook: %w", err)
+			return cur, fmt.Errorf("engine: pre-publish hook: %w", err)
 		}
 	}
 	gen := g.eng.Swap(clf)
@@ -293,33 +296,39 @@ func (g *Guarded) Retrain(ctx context.Context, factory Factory, train *corpus.Co
 	if factory == nil {
 		panic("engine: Retrain with nil factory")
 	}
+	cur := g.eng.Generation()
 	kept, err := g.VetCorpus(ctx, train)
 	if err != nil {
-		return g.eng.Generation(), err
+		return cur, err
 	}
 	replacement := factory()
 	if err := trainAll(ctx, replacement, kept); err != nil {
-		return g.eng.Generation(), err
+		return cur, err
 	}
 	return g.publish(replacement)
 }
 
 // RetrainIncremental vets delta, clones the serving snapshot, trains
 // the admitted subset into the clone, and publishes it through the
-// hooks. It requires the serving classifier to be a Cloner.
+// hooks. It requires the serving classifier to be a Cloner. The
+// classifier to clone and the generation reported on error come from
+// one Snapshot() read: the previous per-call accessor reads could
+// straddle a concurrent publish and pair the cloned classifier with
+// another generation's number (the torn-read class sbvet:snapshotonce
+// now rejects at lint time).
 func (g *Guarded) RetrainIncremental(ctx context.Context, delta *corpus.Corpus) (uint64, error) {
-	cur := g.eng.Classifier()
+	cur, gen := g.eng.Snapshot()
 	cloner, ok := cur.(Cloner)
 	if !ok {
-		return g.eng.Generation(), fmt.Errorf("engine: %T is not a Cloner; use Retrain", cur)
+		return gen, fmt.Errorf("engine: %T is not a Cloner; use Retrain", cur)
 	}
 	kept, err := g.VetCorpus(ctx, delta)
 	if err != nil {
-		return g.eng.Generation(), err
+		return gen, err
 	}
 	replacement := cloner.CloneClassifier()
 	if err := trainAll(ctx, replacement, kept); err != nil {
-		return g.eng.Generation(), err
+		return gen, err
 	}
 	return g.publish(replacement)
 }

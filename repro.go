@@ -108,6 +108,21 @@
 // supply the adversaries that stress it (a dose-adapting attacker and
 // ham-labeled pseudospam).
 //
+// # Static analysis
+//
+// The serving invariants described above — one snapshot load per
+// decision, every atomic counter surfacing in Stats, drain loops that
+// honor context cancellation, tokenize-once message flow — are
+// enforced at lint time by a project-specific analyzer suite,
+// internal/analysis, with four analyzers: snapshotonce,
+// statscomplete, ctxdrain and tokenizeonce. The cmd/sbvet binary runs
+// them standalone (go run ./cmd/sbvet ./..., which is make lint) or
+// as a go vet backend (go vet -vettool=$(which sbvet) ./...), and CI
+// fails on any finding. Intentional exceptions are annotated in the
+// source with //sbvet:NAME directives (reload, nostat, drain,
+// retokenize), each carrying a reason; unknown directive names are
+// themselves diagnostics, so a typo cannot silently waive a check.
+//
 // The layers, top to bottom:
 //
 //   - Classifier, Persistable, Cloner, Backend and Engine: the
