@@ -10,8 +10,12 @@
 #   make vet         static checks
 #   make lint        run the repo's own analyzer suite (cmd/sbvet:
 #                    snapshotonce, statscomplete, ctxdrain,
-#                    tokenizeonce — see internal/analysis); any
-#                    finding fails the build
+#                    tokenizeonce, plus the interprocedural admitflow,
+#                    hookorder, facadeexport, atomicfield — see
+#                    internal/analysis); any finding fails the build
+#   make lint-vettool  the same suite driven by `go vet -vettool=`,
+#                    exercising the unitchecker protocol and the
+#                    cross-package fact transport CI also runs
 #   make fuzz        short fuzz smoke over the persistence decoders
 #                    ($(FUZZTIME) per target; CI runs it, so a format
 #                    regression that panics on garbage cannot land)
@@ -31,7 +35,7 @@ BENCH_JSON ?= BENCH_PR5.json
 BENCHTIME  ?= 1s
 FUZZTIME   ?= 10s
 
-.PHONY: build test race vet lint fuzz cover bench bench-json check
+.PHONY: build test race vet lint lint-vettool fuzz cover bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -46,11 +50,19 @@ vet:
 	$(GO) vet ./...
 
 # The project-specific invariants (snapshot-once serving, complete
-# Stats accounting, ctx-aware channel drains, fenced tokenization).
-# Also runnable as a vet backend:
-#   go build -o sbvet ./cmd/sbvet && go vet -vettool=$$PWD/sbvet ./...
+# Stats accounting, ctx-aware channel drains, fenced tokenization,
+# guarded training paths, hook ordering, facade completeness, atomic
+# field discipline).
 lint:
 	$(GO) run ./cmd/sbvet ./...
+
+# The same suite as a vet backend: go vet drives sbvet per package via
+# the unitchecker protocol, with analyzer facts flowing between
+# packages through .vetx files.
+lint-vettool:
+	$(GO) build -o $(CURDIR)/sbvet.bin ./cmd/sbvet
+	$(GO) vet -vettool=$(CURDIR)/sbvet.bin ./...
+	rm -f $(CURDIR)/sbvet.bin
 
 # `go test -fuzz` takes one target per invocation, so one line per
 # fuzz target. Each also replays its committed seed corpus first.

@@ -287,7 +287,7 @@ func trainFromMboxes(backend, hamPath, spamPath string) (engine.Classifier, int,
 		return nil, 0, err
 	}
 	eng := engine.New(clf, engine.Config{Name: backend})
-	in, wait := eng.LearnStream(context.Background())
+	in, wait := eng.LearnStream(context.Background()) //sbvet:unguarded operator-initiated bootstrap from local mboxes the operator labeled; admission vets third-party reports, not the operator
 	for _, m := range ham {
 		in <- engine.Labeled{Msg: m, Spam: false}
 	}

@@ -158,18 +158,6 @@ func unitcheck(cfgPath string, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "sbvet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The suite exports no facts, but cmd/go caches on the output
-	// file's existence, so always produce it; a facts-only run is
-	// then complete.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "sbvet: %v\n", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
 
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -229,7 +217,54 @@ func unitcheck(cfgPath string, jsonOut bool) int {
 		TypesInfo:  info,
 		TypeErrors: typeErrs,
 	}
-	findings := analysis.CheckPackage(pkg, suite.Analyzers)
+
+	// The interprocedural analyzers exchange facts through the vetx
+	// files cmd/go threads between per-package runs: the dependencies'
+	// facts seed the store, this package's accumulated facts (its own
+	// plus the imported ones, so transport is transitive) are written
+	// to VetxOutput for dependents. A facts-only run (VetxOnly: cmd/go
+	// scheduling a dependency) does the same analysis but reports
+	// nothing.
+	checker := analysis.NewChecker(suite.Analyzers)
+	find := func(path string) *types.Package {
+		if path == cfg.ImportPath {
+			return tpkg
+		}
+		if _, ok := cfg.PackageFile[path]; !ok {
+			return nil
+		}
+		dep, err := compilerImporter.Import(path)
+		if err != nil {
+			return nil
+		}
+		return dep
+	}
+	for _, vetxFile := range cfg.PackageVetx {
+		vetx, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // a missing dep vetx costs its facts, not the run
+		}
+		if err := analysis.DecodeFacts(checker.Facts, vetx, find); err != nil {
+			fmt.Fprintf(os.Stderr, "sbvet: %v\n", err)
+			return 1
+		}
+	}
+	checker.AddPackage(pkg)
+	findings := checker.RunPackage(pkg)
+	if cfg.VetxOutput != "" {
+		vetx, err := analysis.EncodeFacts(checker.Facts, suite.Analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbvet: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, vetx, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "sbvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
 	if jsonOut {
 		emitJSON(cfg.ID, groupByCategory(findings))
 		return 0

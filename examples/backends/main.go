@@ -40,7 +40,7 @@ func main() {
 			log.Fatal(err)
 		}
 		eng := repro.NewEngine(clf, repro.EngineConfig{Name: name, Workers: 4})
-		in, wait := eng.LearnStream(context.Background())
+		in, wait := eng.LearnStream(context.Background()) //sbvet:unguarded example: bulk-loading an operator-labeled corpus, the pre-admission baseline
 		for _, ex := range inbox.Examples {
 			in <- repro.LabeledMessage{Msg: ex.Msg, Spam: ex.Spam}
 		}
@@ -61,7 +61,7 @@ func main() {
 		// a fresh filter per dose, whatever the learner.
 		for _, dose := range doses {
 			clf, _ := train(name)
-			clf.LearnWeighted(attackMsg, true, repro.AttackSize(dose, inbox.Len()))
+			clf.LearnWeighted(attackMsg, true, repro.AttackSize(dose, inbox.Len())) //sbvet:unguarded example: the dictionary attack being demonstrated
 			attacked := repro.EvaluateBatch(clf, test, 4)
 			fmt.Printf("  %4.1f%% dictionary attack -> %5.1f%% ham misclassified\n",
 				100*dose, 100*attacked.HamMisclassifiedRate())

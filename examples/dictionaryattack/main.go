@@ -39,7 +39,7 @@ func main() {
 	for _, fraction := range []float64{0.001, 0.01, 0.05} {
 		n := repro.AttackSize(fraction, inbox.Len())
 		poisoned := filter.Clone()
-		poisoned.LearnWeighted(attack.BuildAttack(rng), true, n)
+		poisoned.LearnWeighted(attack.BuildAttack(rng), true, n) //sbvet:unguarded example: the dictionary attack being demonstrated
 		conf := repro.Evaluate(poisoned, fresh)
 		fmt.Printf("  %5.1f%% control (%4d emails): ham as spam %5.1f%%, ham lost (spam or unsure) %5.1f%%\n",
 			100*fraction, n, 100*conf.HamAsSpamRate(), 100*conf.HamMisclassifiedRate())
@@ -48,7 +48,7 @@ func main() {
 	// The paper's point: at 1% control the filter is unusable.
 	n := repro.AttackSize(0.01, inbox.Len())
 	poisoned := filter.Clone()
-	poisoned.LearnWeighted(attack.BuildAttack(rng), true, n)
+	poisoned.LearnWeighted(attack.BuildAttack(rng), true, n) //sbvet:unguarded example: the dictionary attack being demonstrated
 	conf := repro.Evaluate(poisoned, fresh)
 	fmt.Printf("\nwith %d attack emails (1%% of training), %.0f%% of legitimate mail is lost —\n",
 		n, 100*conf.HamMisclassifiedRate())

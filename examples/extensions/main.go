@@ -41,7 +41,7 @@ func main() {
 
 	damage := func(attackMsg *repro.Message) float64 {
 		poisoned := filter.Clone()
-		poisoned.LearnWeighted(attackMsg, true, n)
+		poisoned.LearnWeighted(attackMsg, true, n) //sbvet:unguarded example: the pseudospam attack being demonstrated
 		return repro.Evaluate(poisoned, fresh).HamMisclassifiedRate()
 	}
 	fmt.Printf("attack budget 10,000 words, %d attack emails (1%% control):\n", n)
@@ -73,7 +73,7 @@ func main() {
 	}
 	poisoned := filter.Clone()
 	// The benign-looking attack emails end up trained as HAM.
-	poisoned.LearnWeighted(attack.BuildAttack(rng), false, repro.AttackSize(0.02, inbox.Len()))
+	poisoned.LearnWeighted(attack.BuildAttack(rng), false, repro.AttackSize(0.02, inbox.Len())) //sbvet:unguarded example: the pseudospam attack being demonstrated
 	delivered := 0
 	for _, m := range future {
 		if l, _ := poisoned.Classify(m); l == repro.Ham {

@@ -41,7 +41,7 @@ func main() {
 		}
 		poisoned := filter.Clone()
 		attackMsg := attack.BuildAttack(rng)
-		poisoned.LearnWeighted(attackMsg, true, 300)
+		poisoned.LearnWeighted(attackMsg, true, 300) //sbvet:unguarded example: the focused attack being demonstrated
 		label, score := poisoned.Classify(target)
 		fmt.Printf("guessing %3.0f%% of tokens: target now %-6s (score %.4f)\n",
 			100*p, label, score)
@@ -55,7 +55,7 @@ func main() {
 	}
 	attackMsg := attack.BuildAttack(rng)
 	poisoned := filter.Clone()
-	poisoned.LearnWeighted(attackMsg, true, 300)
+	poisoned.LearnWeighted(attackMsg, true, 300) //sbvet:unguarded example: the focused attack being demonstrated
 
 	included := map[string]bool{}
 	//sbvet:retokenize exhibit inspects the attack payload's token set once, off the serving path

@@ -59,7 +59,7 @@ func main() {
 	for week := 2; week <= 3; week++ {
 		store.Append(gen.Corpus(rng, 200, 200))
 		next := repro.TrainFilter(store, repro.DefaultFilterOptions(), nil)
-		eng.Swap(next)
+		eng.Swap(next) //sbvet:unguarded example: checkpoint walkthrough publishes operator-built snapshots, no third-party training
 		g, err := repro.SaveEngine(st, "prod", "sbayes", eng)
 		if err != nil {
 			log.Fatal(err)
@@ -109,7 +109,7 @@ func main() {
 	// Shards 1 and 3 retrain once more and checkpoint; 0 and 2 crash
 	// before their next checkpoint.
 	for _, i := range []int{1, 3} {
-		fleet.Swap(i, base.Clone())
+		fleet.Swap(i, base.Clone()) //sbvet:unguarded example: checkpoint walkthrough publishes operator-built snapshots, no third-party training
 		name := repro.ShardSnapshotName("fleet", i)
 		if _, err := repro.SaveEngine(st, name, "sbayes", fleet.Shard(i)); err != nil {
 			log.Fatal(err)

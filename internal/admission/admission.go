@@ -43,17 +43,21 @@ import (
 )
 
 // Verdict is an admission decision's three-way outcome.
+//
+//sbvet:nofacade alias of the engine-declared contract; the facade exports it as AdmitVerdict
 type Verdict = engine.AdmitVerdict
 
 // The verdicts. (Held rather than Quarantine, because Quarantine names
 // the buffer type below.)
 const (
-	Accepted = engine.AdmitAccept
-	Held     = engine.AdmitQuarantine
-	Rejected = engine.AdmitReject
+	Accepted = engine.AdmitAccept     //sbvet:nofacade alias; the facade exports it as AdmitAccept
+	Held     = engine.AdmitQuarantine //sbvet:nofacade alias; the facade exports it as AdmitQuarantine
+	Rejected = engine.AdmitReject     //sbvet:nofacade alias; the facade exports it as AdmitReject
 )
 
 // Decision is one vetted candidate's outcome.
+//
+//sbvet:nofacade alias of the engine-declared contract; the facade exports it as AdmitDecision
 type Decision = engine.AdmitDecision
 
 // Admitter vets candidate training examples; see engine.Admitter.

@@ -1,0 +1,13 @@
+package admitflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/admitflow"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAdmitflow(t *testing.T) {
+	analysistest.Run(t, "testdata", admitflow.Analyzer,
+		"internal/engine", "deployutil", "deploy")
+}

@@ -1,0 +1,83 @@
+// Package deploy is the checked surface: a deployment that must route
+// all training through the admission guard. The fixture proves the
+// acceptance case — an unguarded Retrain two hops from the entry point
+// is flagged at every hop, while the Guarded-routed twin is clean —
+// plus the backend-level sinks, interface dispatch, inline vetting,
+// and the //sbvet:unguarded waiver.
+package deploy
+
+import (
+	"internal/engine"
+
+	"deployutil"
+)
+
+// entry is two hops above the sink: entry -> helper -> Engine.Retrain.
+// The call below never mentions training, but the path reaches it.
+func entry(e *engine.Engine, train []*engine.Message) {
+	helper(e, train) // want `unvetted training path: call to deploy\.helper reaches \(\*internal/engine\.Engine\)\.Retrain`
+}
+
+// helper is one hop above the sink.
+func helper(e *engine.Engine, train []*engine.Message) {
+	e.Retrain(train) // want `unvetted training path: direct call to \(\*internal/engine\.Engine\)\.Retrain`
+}
+
+// entryGuarded is the twin routed through Guarded: clean at every hop.
+func entryGuarded(g *engine.Guarded, train []*engine.Message) {
+	helperGuarded(g, train)
+}
+
+// helperGuarded trains through the guard.
+func helperGuarded(g *engine.Guarded, train []*engine.Message) {
+	g.Retrain(train)
+}
+
+// crossPackage inherits deployutil.Rebuild's taint through its
+// exported fact; the guarded twin does not.
+func crossPackage(e *engine.Engine, g *engine.Guarded, train []*engine.Message) {
+	deployutil.Rebuild(e, train) // want `unvetted training path: call to deployutil\.Rebuild reaches \(\*internal/engine\.Engine\)\.Retrain`
+	deployutil.RebuildVetted(g, train)
+	deployutil.InjectAnnotated(nil, nil)
+}
+
+// backendDirect hits the backend-level sinks: the interface methods
+// and a stream.
+func backendDirect(e *engine.Engine, clf engine.Classifier, m *engine.Message) {
+	clf.Learn(m, true)              // want `unvetted training path: direct call to \(internal/engine\.Classifier\)\.Learn`
+	clf.LearnWeighted(m, true, 10)  // want `unvetted training path: direct call to \(internal/engine\.Classifier\)\.LearnWeighted`
+	in := e.LearnStream()           // want `unvetted training path: direct call to \(\*internal/engine\.Engine\)\.LearnStream`
+	in <- m
+}
+
+// vetsInline calls the Admitter itself before training: a guard, so
+// its training call is sanctioned.
+func vetsInline(e *engine.Engine, admit engine.Admitter, train []*engine.Message) {
+	var kept []*engine.Message
+	for _, m := range train {
+		if admit.Admit(m, true).Accept {
+			kept = append(kept, m)
+		}
+	}
+	e.Retrain(kept)
+}
+
+// waived trains unguarded on purpose and says so; the directive also
+// sanitizes it for waivedCaller below.
+func waived(e *engine.Engine, train []*engine.Message) {
+	e.Retrain(train) //sbvet:unguarded fixture: the deliberately unguarded baseline arm
+}
+
+// waivedCaller is clean: the annotated site does not taint its
+// function.
+func waivedCaller(e *engine.Engine, train []*engine.Message) {
+	waived(e, train)
+}
+
+// closureBuilder trains inside a function literal; the call is
+// attributed to this function, so the site is still flagged.
+func closureBuilder(e *engine.Engine, train []*engine.Message) {
+	go func() {
+		e.Retrain(train) // want `unvetted training path: direct call to \(\*internal/engine\.Engine\)\.Retrain`
+	}()
+}

@@ -19,6 +19,11 @@ type Analyzer struct {
 	Doc string
 	// Run performs the analysis over one package.
 	Run func(*Pass) error
+	// FactTypes lists the fact types this analyzer exports and
+	// imports, one zero value per concrete type (mirroring x/tools:
+	// declaring them here is what registers them for driver
+	// serialization in go vet's unitchecker mode).
+	FactTypes []Fact
 }
 
 // Pass is one analyzer's view of one type-checked package.
@@ -30,6 +35,24 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic. The checker installs it.
 	Report func(Diagnostic)
+
+	// Graph is the call graph available to this pass: module-wide in
+	// the standalone checker (every package of the load closure is
+	// indexed before any analyzer runs), package-local in go vet's
+	// per-package unitchecker mode — there, cross-package reachability
+	// arrives through imported facts instead.
+	Graph *CallGraph
+
+	// The fact accessors, installed by the checker (func-valued
+	// fields, the x/tools shape). Exports may target only the pass's
+	// own package; imports may query any package analyzed earlier in
+	// dependency order.
+	ExportObjectFact  func(obj types.Object, fact Fact)
+	ImportObjectFact  func(obj types.Object, fact Fact) bool
+	ExportPackageFact func(fact Fact)
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+	AllObjectFacts    func() []ObjectFact
+	AllPackageFacts   func() []PackageFact
 }
 
 // Diagnostic is one finding, positioned in Fset.

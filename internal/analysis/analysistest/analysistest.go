@@ -36,9 +36,19 @@ type want struct {
 
 // Run loads each fixture package under testdata/src and checks a's
 // diagnostics against the // want annotations.
+//
+// All listed packages share one checker: the call graph spans the
+// whole fixture load closure, and facts exported while analyzing one
+// fixture package are visible when analyzing its dependents — the
+// same interprocedural view the standalone driver gives the real
+// module. Packages are analyzed in dependency order (imports first),
+// with unlisted fixture dependencies analyzed facts-only: their
+// findings are not matched against wants.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	l := analysis.NewLoader(filepath.Join(testdata, "src"), "")
+	listed := make(map[string]bool)
+	var pkgs []*analysis.Package
 	for _, path := range pkgpaths {
 		pkg, err := l.LoadImport(path)
 		if err != nil {
@@ -47,16 +57,49 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("fixture %q does not type-check: %v", path, terr)
 		}
-		wants := collectWants(t, pkg)
-		for _, f := range analysis.CheckPackage(pkg, []*analysis.Analyzer{a}) {
-			if !claim(wants, f) {
-				t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		listed[path] = true
+		pkgs = append(pkgs, pkg)
+	}
+
+	c := analysis.NewChecker([]*analysis.Analyzer{a})
+	for _, pkg := range l.LoadedPackages() {
+		c.AddPackage(pkg)
+	}
+
+	var wants []*want
+	var findings []analysis.Finding
+	analyzed := make(map[string]bool)
+	var run func(pkg *analysis.Package)
+	run = func(pkg *analysis.Package) {
+		if analyzed[pkg.PkgPath] {
+			return
+		}
+		analyzed[pkg.PkgPath] = true
+		if pkg.Types != nil {
+			for _, imp := range pkg.Types.Imports() {
+				if dep := l.Loaded(imp.Path()); dep != nil {
+					run(dep)
+				}
 			}
 		}
-		for _, w := range wants {
-			if !w.matched {
-				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
-			}
+		fs := c.RunPackage(pkg)
+		if listed[pkg.PkgPath] {
+			wants = append(wants, collectWants(t, pkg)...)
+			findings = append(findings, fs...)
+		}
+	}
+	for _, pkg := range pkgs {
+		run(pkg)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
 		}
 	}
 }

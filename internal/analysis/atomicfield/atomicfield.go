@@ -1,0 +1,177 @@
+// Package atomicfield proves the mixed-access invariant: a struct
+// field accessed through sync/atomic anywhere must never be plainly
+// read or written.
+//
+// The serving layer's hot counters (snapshot generations, per-shard
+// stat counters) are updated with atomic.Add/Load/Store so scoring
+// never takes a lock. One plain read of such a field compiles, passes
+// tests, and is a data race that the race detector only catches if a
+// test happens to hit the interleaving; one plain write can tear. The
+// safe rule is all-or-nothing per field, checked mechanically.
+//
+// The analyzer records every field that appears as &x.f in an argument
+// to a sync/atomic call (Load*, Store*, Add*, Swap*, CompareAndSwap*),
+// exports an atomicFact for each such field declared in the package —
+// so uses in dependent packages are checked too — and then flags every
+// other plain selection of those fields.
+//
+// Exemptions: _test.go files; functions named init or starting with
+// New/new (constructors run before the value is shared, and zeroing or
+// seeding a counter there is the normal idiom); and sites annotated
+// //sbvet:unatomic with a reason. Fields of the typed atomic wrappers
+// (atomic.Uint64, atomic.Pointer[T]) never need this analyzer — the
+// type system already forbids plain access — which is also the
+// preferred fix.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicfield",
+	Doc:       "flag plain reads/writes of struct fields that are accessed with sync/atomic elsewhere",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*atomicFact)(nil)},
+}
+
+// atomicFact marks a struct field as atomically accessed; Display is
+// the Type.Field name for diagnostics in other packages.
+type atomicFact struct {
+	Display string
+}
+
+// AFact marks atomicFact as a fact type.
+func (*atomicFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	// First sweep: find every &x.f handed to a sync/atomic call.
+	// atomicFields maps the field to its display name; atomicArgs
+	// records those selector positions so the second sweep does not
+	// flag the atomic sites themselves.
+	atomicFields := make(map[*types.Var]string)
+	atomicArgs := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field, display := fieldOf(pass, sel)
+				if field == nil {
+					continue
+				}
+				atomicArgs[sel] = true
+				if atomicFields[field] == "" {
+					atomicFields[field] = display
+				}
+			}
+			return true
+		})
+	}
+
+	for field, display := range atomicFields {
+		if field.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(field, &atomicFact{Display: display})
+		}
+	}
+
+	// Second sweep: every other selection of an atomic field is a
+	// plain access. Constructors and init are exempt wholesale.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && isConstructor(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				field, display := fieldOf(pass, sel)
+				if field == nil {
+					return true
+				}
+				if name, known := atomicFields[field]; known {
+					display = name
+				} else {
+					var af atomicFact
+					if !pass.ImportObjectFact(field, &af) {
+						return true
+					}
+					display = af.Display
+				}
+				if pass.IsTestFile(sel.Pos()) || pass.ExemptedAt(sel.Pos(), "unatomic") {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "plain access to atomic field: %s is read and written with sync/atomic elsewhere; use atomic operations here too (or an atomic.Uint64-style typed field) or annotate //sbvet:unatomic with a reason", display)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function (LoadUint64, AddInt64, StoreUint32, SwapPointer,
+// CompareAndSwapUint64, ...).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves sel to the struct field it selects, with a
+// Type.Field display name, or nil for non-field selections.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) (*types.Var, string) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	display := field.Name()
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		display = named.Obj().Name() + "." + display
+	}
+	return field, display
+}
+
+// isConstructor reports whether a function name marks pre-publication
+// initialization: init itself or a New*/new* constructor.
+func isConstructor(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}

@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer,
+		"stats", "statsuser")
+}

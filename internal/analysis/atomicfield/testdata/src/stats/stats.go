@@ -1,0 +1,56 @@
+// Package stats is the atomicfield fixture: Counters.Hits and
+// Counters.Misses are atomic fields (they appear in sync/atomic
+// calls), label is not. Plain accesses outside constructors are
+// flagged; the //sbvet:unatomic site is waived.
+package stats
+
+import "sync/atomic"
+
+// Counters is a hot-path stat block.
+type Counters struct {
+	Hits   uint64
+	Misses uint64
+	label  string
+}
+
+// NewCounters seeds a counter block; constructors may write plainly —
+// the value is not shared yet.
+func NewCounters(seed uint64) *Counters {
+	c := &Counters{label: "fixture"}
+	c.Hits = seed
+	return c
+}
+
+// Record bumps a counter atomically: these are the sanctioned sites.
+func (c *Counters) Record(hit bool) {
+	if hit {
+		atomic.AddUint64(&c.Hits, 1)
+	} else {
+		atomic.AddUint64(&c.Misses, 1)
+	}
+}
+
+// Snapshot reads both counters atomically: clean.
+func (c *Counters) Snapshot() (hits, misses uint64) {
+	return atomic.LoadUint64(&c.Hits), atomic.LoadUint64(&c.Misses)
+}
+
+// Total mixes a plain read with an atomic one: the plain read races.
+func (c *Counters) Total() uint64 {
+	h := c.Hits // want `plain access to atomic field: Counters\.Hits`
+	return h + atomic.LoadUint64(&c.Misses)
+}
+
+// Reset writes plainly: a torn write on 32-bit, a race everywhere.
+func (c *Counters) Reset() {
+	c.Misses = 0 // want `plain access to atomic field: Counters\.Misses`
+}
+
+// Label touches the non-atomic field: clean.
+func (c *Counters) Label() string { return c.label }
+
+// drain reads plainly on a single-goroutine path and says so.
+func (c *Counters) drain() uint64 {
+	h := c.Hits //sbvet:unatomic fixture: single-goroutine teardown path
+	return h
+}

@@ -1,0 +1,20 @@
+// Package statsuser accesses stats.Counters from outside its package:
+// the atomicFact exported by stats travels with the field, so the
+// plain read here is flagged too.
+package statsuser
+
+import (
+	"sync/atomic"
+
+	"stats"
+)
+
+// Report reads plainly: flagged through the imported fact.
+func Report(c *stats.Counters) uint64 {
+	return c.Hits // want `plain access to atomic field: Counters\.Hits`
+}
+
+// ReportAtomic is the fixed twin.
+func ReportAtomic(c *stats.Counters) uint64 {
+	return atomic.LoadUint64(&c.Hits)
+}

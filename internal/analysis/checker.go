@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // Finding is one positioned diagnostic, resolved for printing.
@@ -18,11 +19,69 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Category)
 }
 
+// SortFindings orders findings deterministically — file, line, column,
+// analyzer name, message — so CI diffs, -json output, and self-check
+// failure dumps are stable across runs regardless of analyzer
+// scheduling.
+func SortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Checker runs a fixed analyzer list over a sequence of packages with
+// shared interprocedural state: one call graph accumulating every
+// package added, and one fact store carrying analyzer facts from
+// dependency passes to dependent passes. The standalone driver feeds
+// it the whole module; the unitchecker driver feeds it one package
+// with the fact store pre-populated from the dependencies' vetx files.
+type Checker struct {
+	analyzers []*Analyzer
+	// Graph is the shared call graph. Add every package of the load
+	// closure (AddPackage) before the first RunPackage so passes see
+	// the module-wide view.
+	Graph *CallGraph
+	// Facts is the shared fact store.
+	Facts *FactStore
+}
+
+// NewChecker returns a checker for the analyzer list. Fact types
+// declared by the analyzers are registered for driver serialization.
+func NewChecker(analyzers []*Analyzer) *Checker {
+	RegisterFactTypes(analyzers)
+	return &Checker{
+		analyzers: analyzers,
+		Graph:     NewCallGraph(),
+		Facts:     NewFactStore(),
+	}
+}
+
+// AddPackage indexes pkg into the shared call graph without running
+// any analyzer.
+func (c *Checker) AddPackage(pkg *Package) { c.Graph.AddPackage(pkg) }
+
 // Check runs every analyzer over every package matching patterns
-// under the loader's root and returns the findings sorted by
-// position. A package that fails to load or type-check yields one
-// finding per error under the "sbvet" category — the suite never
-// reports a broken build as clean.
+// under the loader's root and returns the findings sorted by position
+// and analyzer name. Packages are analyzed in dependency order —
+// imports before importers — with unmatched internal dependencies
+// analyzed facts-only (their findings are discarded), so a pattern
+// like ./internal/... still sees facts from the module root's other
+// packages it imports. A package that fails to load or type-check
+// yields one finding per error under the "sbvet" category — the suite
+// never reports a broken build as clean.
 func Check(l *Loader, analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
 	paths, err := l.Packages(patterns...)
 	if err != nil {
@@ -32,29 +91,58 @@ func Check(l *Loader, analyzers []*Analyzer, patterns ...string) ([]Finding, err
 		return nil, fmt.Errorf("analysis: no packages match %v", patterns)
 	}
 	var findings []Finding
+	matched := make(map[string]bool)
+	var loaded []*Package
 	for _, path := range paths {
 		pkg, err := l.LoadImport(path)
 		if err != nil {
 			findings = append(findings, Finding{Category: "sbvet", Message: err.Error()})
 			continue
 		}
-		findings = append(findings, CheckPackage(pkg, analyzers)...)
+		matched[path] = true
+		loaded = append(loaded, pkg)
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Position, findings[j].Position
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+
+	c := NewChecker(analyzers)
+	// Index the whole load closure — matched packages and every
+	// internal dependency their type-checking pulled in — before any
+	// analyzer runs, so every pass sees the module-wide call graph.
+	for _, pkg := range l.LoadedPackages() {
+		c.AddPackage(pkg)
+	}
+
+	// Analyze dependencies first so facts exist when importers query
+	// them.
+	analyzed := make(map[string]bool)
+	var run func(pkg *Package)
+	run = func(pkg *Package) {
+		if analyzed[pkg.PkgPath] {
+			return
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		analyzed[pkg.PkgPath] = true
+		if pkg.Types != nil {
+			for _, imp := range pkg.Types.Imports() {
+				if dep := l.Loaded(imp.Path()); dep != nil {
+					run(dep)
+				}
+			}
 		}
-		return a.Column < b.Column
-	})
+		fs := c.RunPackage(pkg)
+		if matched[pkg.PkgPath] {
+			findings = append(findings, fs...)
+		}
+	}
+	for _, pkg := range loaded {
+		run(pkg)
+	}
+	SortFindings(findings)
 	return findings, nil
 }
 
-// CheckPackage runs the analyzers over one loaded package.
-func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+// RunPackage runs the checker's analyzers over one package, sharing
+// the accumulated call graph and fact store, and returns that
+// package's findings sorted.
+func (c *Checker) RunPackage(pkg *Package) []Finding {
 	var findings []Finding
 	report := func(d Diagnostic) {
 		findings = append(findings, Finding{
@@ -74,12 +162,12 @@ func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 				report(Diagnostic{
 					Pos:      d.Pos,
 					Category: "sbvet",
-					Message:  fmt.Sprintf("unknown directive //sbvet:%s (known: drain, nostat, reload, retokenize)", d.Name),
+					Message:  fmt.Sprintf("unknown directive //sbvet:%s (known: %s)", d.Name, strings.Join(directiveNames(), ", ")),
 				})
 			}
 		}
 	}
-	for _, a := range analyzers {
+	for _, a := range c.analyzers {
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -87,10 +175,33 @@ func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			Report:    report,
+			Graph:     c.Graph,
 		}
+		bindFacts(pass, c.Facts)
 		if err := a.Run(pass); err != nil {
 			findings = append(findings, Finding{Category: a.Name, Message: fmt.Sprintf("%s: analyzer error: %v", pkg.PkgPath, err)})
 		}
 	}
+	SortFindings(findings)
 	return findings
+}
+
+// CheckPackage runs the analyzers over one loaded package in
+// isolation: a fresh checker whose call graph holds only this package
+// and whose fact store starts empty. Multi-package analysis goes
+// through Check or an explicit Checker.
+func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	c := NewChecker(analyzers)
+	c.AddPackage(pkg)
+	return c.RunPackage(pkg)
+}
+
+// directiveNames returns the known directive names, sorted.
+func directiveNames() []string {
+	names := make([]string, 0, len(KnownDirectives))
+	for name := range KnownDirectives {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }

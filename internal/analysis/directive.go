@@ -26,6 +26,10 @@ var KnownDirectives = map[string]string{
 	"nostat":     "statscomplete",
 	"drain":      "ctxdrain",
 	"retokenize": "tokenizeonce",
+	"unguarded":  "admitflow",
+	"reentrant":  "hookorder",
+	"nofacade":   "facadeexport",
+	"unatomic":   "atomicfield",
 }
 
 // directivePrefix is the comment marker. Like //go:build, there is no
@@ -34,8 +38,11 @@ var KnownDirectives = map[string]string{
 const directivePrefix = "//sbvet:"
 
 // Directives returns every //sbvet: directive in f, in source order.
+// A comment may stack several directives ("//sbvet:drain done
+// //sbvet:nostat derived"): each one's reason runs to the next marker.
 // Malformed directives (bare "//sbvet:" with no name) are returned
-// with an empty Name so the checker can diagnose them.
+// with an empty Name so the checker can diagnose them. Trailing \r
+// from CRLF sources is trimmed with the rest of the whitespace.
 func Directives(fset *token.FileSet, f *ast.File) []Directive {
 	var out []Directive
 	for _, cg := range f.Comments {
@@ -43,14 +50,15 @@ func Directives(fset *token.FileSet, f *ast.File) []Directive {
 			if !strings.HasPrefix(c.Text, directivePrefix) {
 				continue
 			}
-			rest := strings.TrimPrefix(c.Text, directivePrefix)
-			name, reason, _ := strings.Cut(rest, " ")
-			out = append(out, Directive{
-				Name:   strings.TrimSpace(name),
-				Reason: strings.TrimSpace(reason),
-				Line:   fset.Position(c.Slash).Line,
-				Pos:    c.Slash,
-			})
+			for _, rest := range strings.Split(c.Text, directivePrefix)[1:] {
+				name, reason, _ := strings.Cut(rest, " ")
+				out = append(out, Directive{
+					Name:   strings.TrimSpace(name),
+					Reason: strings.TrimSpace(reason),
+					Line:   fset.Position(c.Slash).Line,
+					Pos:    c.Slash,
+				})
+			}
 		}
 	}
 	return out

@@ -26,9 +26,57 @@
 //     new double-tokenize call sites cannot creep into the serving or
 //     admission paths while the tokenize-once refactor is pending.
 //
+// The second round adds an interprocedural layer — a module-wide call
+// graph (CallGraph) over the already-type-checked packages, static
+// calls plus method calls resolved through declared interface types,
+// and an exported-facts mechanism (Fact, FactStore) — and four
+// analyzers that prove call-path invariants no single function body
+// can show:
+//
+//   - admitflow (internal/analysis/admitflow): outside the packages
+//     that own training, no call path may reach the engine's training
+//     surface (LearnStream / Retrain* / Swap*) or a backend's raw
+//     Learn/LearnWeighted without passing through Guarded/Admitter —
+//     the guarded-training invariant the PR 5 admission layer exists
+//     to enforce, closed against future call sites.
+//   - hookorder (internal/analysis/hookorder): a PrePublish or
+//     PostPublish hook, or anything it transitively calls, must not
+//     call Swap / publish / Retrain* — a hook runs inside publish, so
+//     re-entering the publish path is a deadlock shipping in a config
+//     struct.
+//   - facadeexport (internal/analysis/facadeexport): every exported
+//     capability of internal/engine and internal/admission must be
+//     surfaced by the repro facade (same name, or referenced by a
+//     renamed alias or wrapper) — with internal/ packages, an
+//     unexported capability does not exist for users.
+//   - atomicfield (internal/analysis/atomicfield): a struct field
+//     accessed through sync/atomic anywhere must never be plainly
+//     read or written — one plain read of a hot counter is a data
+//     race the race detector only catches if a test wins the
+//     interleaving.
+//
 // cmd/sbvet aggregates the suite into one binary that runs standalone
 // (go run ./cmd/sbvet ./...) or as a go vet tool
-// (go vet -vettool=$(which sbvet) ./...).
+// (go vet -vettool=$(which sbvet) ./...). Findings are reported in a
+// deterministic order (file, line, column, analyzer) in both modes.
+//
+// # Facts and the x/tools correspondence
+//
+// The framework mirrors golang.org/x/tools/go/analysis field for
+// field — Analyzer{Name, Doc, Run, FactTypes}, Pass with
+// ExportObjectFact / ImportObjectFact / ExportPackageFact /
+// ImportPackageFact, and Fact's AFact marker — so analyzers written
+// here port to the real driver mechanically once a module proxy is
+// reachable. Facts are how interprocedural results cross package
+// boundaries: an analyzer running on package P may attach a fact
+// (a serializable struct with an AFact method, registered via
+// FactTypes) to P's own objects; when a dependent package is analyzed
+// later, ImportObjectFact retrieves it. In-process the checker keeps
+// facts in a FactStore; under go vet's unitchecker protocol each
+// package's facts are gob-encoded into a .vetx file (factsio.go) and
+// transported to dependent compilations, exactly as x/tools does.
+// Dependency order is guaranteed in both modes: the checker analyzes
+// a package only after all its imports.
 //
 // # Directives
 //
@@ -50,9 +98,27 @@
 //	                    drain-to-close and must ignore cancellation
 //	//sbvet:retokenize  tokenizeonce — this call site may invoke the
 //	                    tokenizer directly
+//	//sbvet:unguarded   admitflow — this training call is deliberately
+//	                    unguarded (an attack demo, an operator
+//	                    bootstrap); the waiver also sanitizes the
+//	                    function for its callers
+//	//sbvet:reentrant   hookorder — this hook's publish call is
+//	                    intentional
+//	//sbvet:nofacade    facadeexport — this exported declaration is
+//	                    deliberately not part of the facade contract
+//	//sbvet:unatomic    atomicfield — this plain access is safe (for
+//	                    example, a single-goroutine teardown path)
+//
+// A typical waiver, from the experiment layer, reads:
+//
+//	f.LearnWeighted(attackMsg, true, n) //sbvet:unguarded the attack injection being measured
 //
 // Directive parsing is shared (see Directives and ExemptedAt) so all
-// analyzers agree on placement rules, and unknown directive names are
-// themselves diagnosed by the checker, so a typo like //sbvet:drian
-// cannot silently waive nothing.
+// analyzers agree on placement rules: one comment may stack several
+// directives, CRLF endings are tolerated, and a blank line between
+// the directive and the site breaks the waiver — adjacency is
+// required, so a stale comment cannot waive code that drifted away
+// from it. Unknown directive names are themselves diagnosed by the
+// checker, so a typo like //sbvet:drian cannot silently waive
+// nothing.
 package analysis

@@ -1,0 +1,13 @@
+package facadeexport_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/facadeexport"
+)
+
+func TestFacadeexport(t *testing.T) {
+	analysistest.Run(t, "testdata", facadeexport.Analyzer,
+		"internal/engine", "internal/admission", "repro")
+}

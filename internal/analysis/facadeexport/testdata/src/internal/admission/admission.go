@@ -1,0 +1,12 @@
+// Package admission is a fixture API package that is fully covered:
+// its one real export is aliased by the facade and its alias of the
+// engine contract opts out, so no diagnostic fires for it.
+package admission
+
+import "internal/engine"
+
+// Policy decides what to admit; the facade aliases it.
+type Policy struct{ Threshold float64 }
+
+//sbvet:nofacade fixture: alias of the engine-declared contract, exported there
+type Msg = engine.Message

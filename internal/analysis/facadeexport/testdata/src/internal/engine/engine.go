@@ -1,0 +1,31 @@
+// Package engine is a fixture API package: some of its exported
+// surface is aliased by the fixture facade, some is missing (the
+// diagnostic), and one declaration opts out with //sbvet:nofacade.
+package engine
+
+// Message stands in for mail.Message; the facade aliases it.
+type Message struct{ Body string }
+
+// Engine serves a classifier; the facade aliases it.
+type Engine struct{}
+
+// Factory builds classifiers by name; the facade forgot it.
+type Factory func() *Engine
+
+// QuarantineSink receives rejected candidates; the facade forgot it
+// too.
+type QuarantineSink interface {
+	Reject(m *Message)
+}
+
+// Store persists snapshots; the facade re-exports it under a clearer
+// name, which counts as surfaced.
+type Store interface {
+	Save(m *Message)
+}
+
+// shardState is unexported: never part of the contract.
+type shardState struct{}
+
+//sbvet:nofacade fixture: internal plumbing shared with admission only
+type Plumbing struct{}

@@ -1,0 +1,22 @@
+// Package repro is the fixture facade: it aliases part of the engine
+// surface and all of admission's, so the engine import is flagged with
+// the two missing names and the admission import is clean.
+package repro
+
+import (
+	"internal/admission"
+	"internal/engine" // want `facade gap: internal/engine exports Factory, QuarantineSink but the repro facade does not re-export them`
+)
+
+// Message is the training/scoring unit.
+type Message = engine.Message
+
+// Engine is the serving engine.
+type Engine = engine.Engine
+
+// Policy is the admission policy.
+type Policy = admission.Policy
+
+// SnapshotStore persists snapshots: a renamed re-export of
+// engine.Store, still surfaced.
+type SnapshotStore = engine.Store

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Fact serialization for go vet's unitchecker protocol. The standalone
+// checker keeps facts in memory across its dependency-ordered walk,
+// but go vet runs the tool once per package in separate processes:
+// facts must round-trip through the per-package .vetx files cmd/go
+// threads from each package's run to its dependents (PackageVetx in
+// the config, VetxOutput for this package's own). x/tools transports
+// gob-encoded facts addressed by objectpath; this is the same design
+// with a simplified object path covering the shapes the suite's facts
+// attach to — package-level objects ("Name"), methods and struct
+// fields of package-level named types ("Type.Name").
+
+// factRecord is one serialized fact.
+type factRecord struct {
+	// PkgPath is the import path of the package owning the object (or
+	// the package itself, for package facts).
+	PkgPath string
+	// ObjPath addresses the object within the package: "" for a
+	// package fact, "Name" for a package-level object, "Type.Name"
+	// for a method or field of a package-level named type.
+	ObjPath string
+	// Analyzer is the owning analyzer's name.
+	Analyzer string
+	// Fact is the fact value; its concrete type must be registered
+	// (RegisterFactTypes).
+	Fact Fact
+}
+
+var registerMu sync.Mutex
+
+// RegisterFactTypes registers every fact type the analyzers declare
+// with gob, so vetx encoding/decoding can transport them as interface
+// values. Safe to call repeatedly.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	registerMu.Lock()
+	defer registerMu.Unlock()
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// objPath addresses obj within its package, or returns "" (with ok
+// false) for objects the simplified path scheme cannot address —
+// locals, anonymous types, interface methods of unnamed interfaces.
+func objPath(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if obj.Parent() == pkg.Scope() {
+		return obj.Name(), true
+	}
+	// A method: Type.Name via the receiver's named type.
+	if fn, ok := obj.(*types.Func); ok {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Parent() == pkg.Scope() {
+				return named.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+	}
+	// A struct field: scan the package's named types for the one whose
+	// underlying struct declares it.
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return tn.Name() + "." + v.Name(), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// resolveObjPath finds the object path addresses within pkg, or nil.
+func resolveObjPath(pkg *types.Package, path string) types.Object {
+	name, sel, nested := strings.Cut(path, ".")
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil || !nested {
+		return obj
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	found, _, _ := types.LookupFieldOrMethod(tn.Type(), true, pkg, sel)
+	return found
+}
+
+// EncodeFacts serializes the store's facts — the current package's own
+// and everything it imported, so transport is transitive the way
+// x/tools' is — for the analyzers' namespaces. Facts on objects the
+// path scheme cannot address are dropped (they are unreachable from
+// other packages anyway). The output is deterministic.
+func EncodeFacts(s *FactStore, analyzers []*Analyzer) ([]byte, error) {
+	var records []factRecord
+	for _, a := range analyzers {
+		for _, of := range s.allObjectFacts(a.Name) {
+			path, ok := objPath(of.Object)
+			if !ok {
+				continue
+			}
+			records = append(records, factRecord{
+				PkgPath:  of.Object.Pkg().Path(),
+				ObjPath:  path,
+				Analyzer: a.Name,
+				Fact:     of.Fact,
+			})
+		}
+		for _, pf := range s.allPackageFacts(a.Name) {
+			records = append(records, factRecord{
+				PkgPath:  pf.Package.Path(),
+				Analyzer: a.Name,
+				Fact:     pf.Fact,
+			})
+		}
+	}
+	sort.Slice(records, func(i, j int) bool {
+		a, b := records[i], records[j]
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		if a.ObjPath != b.ObjPath {
+			return a.ObjPath < b.ObjPath
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return fmt.Sprintf("%T", a.Fact) < fmt.Sprintf("%T", b.Fact)
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(records); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts merges one vetx file's facts into the store. find maps
+// an import path to its type-checked package (the unitchecker's
+// export-data importer); records whose package or object cannot be
+// resolved are skipped — the corresponding objects are not referenced
+// by the package under analysis, so their facts cannot matter to it.
+func DecodeFacts(s *FactStore, data []byte, find func(path string) *types.Package) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var records []factRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&records); err != nil {
+		return fmt.Errorf("analysis: decoding facts: %w", err)
+	}
+	for _, r := range records {
+		pkg := find(r.PkgPath)
+		if pkg == nil {
+			continue
+		}
+		if r.ObjPath == "" {
+			s.SetPackageFact(r.Analyzer, pkg, r.Fact)
+			continue
+		}
+		if obj := resolveObjPath(pkg, r.ObjPath); obj != nil {
+			s.SetObjectFact(r.Analyzer, obj, r.Fact)
+		}
+	}
+	return nil
+}

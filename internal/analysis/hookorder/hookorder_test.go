@@ -1,0 +1,13 @@
+package hookorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hookorder"
+)
+
+func TestHookorder(t *testing.T) {
+	analysistest.Run(t, "testdata", hookorder.Analyzer,
+		"internal/engine", "pubutil", "hooks")
+}

@@ -45,6 +45,9 @@ type Loader struct {
 	modPath string
 	std     types.Importer
 	pkgs    map[string]*Package
+	// order records load completion order: dependencies before
+	// dependents, deterministically (parse order drives import order).
+	order   []*Package
 	loading map[string]bool
 }
 
@@ -175,8 +178,19 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	pkg.Types = tpkg
 	pkg.Files = files
 	l.pkgs[path] = pkg
+	l.order = append(l.order, pkg)
 	return pkg, nil
 }
+
+// Loaded returns the already-loaded package for an import path, or
+// nil. It never triggers a load, so checkers can map a type-checked
+// import back to its source package without risking re-entrancy.
+func (l *Loader) Loaded(path string) *Package { return l.pkgs[path] }
+
+// LoadedPackages returns every package this loader has loaded, in
+// completion order: dependencies before dependents. The slice is
+// shared; callers must not mutate it.
+func (l *Loader) LoadedPackages() []*Package { return l.order }
 
 // Packages enumerates the import paths of every package under root
 // matching the patterns. Supported patterns are the go tool's common

@@ -5,18 +5,28 @@ package suite
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/admitflow"
+	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/ctxdrain"
+	"repro/internal/analysis/facadeexport"
+	"repro/internal/analysis/hookorder"
 	"repro/internal/analysis/snapshotonce"
 	"repro/internal/analysis/statscomplete"
 	"repro/internal/analysis/tokenizeonce"
 )
 
-// Analyzers is the full sbvet suite.
+// Analyzers is the full sbvet suite: the four intraprocedural checks
+// from the first round, then the four interprocedural call-graph
+// checks.
 var Analyzers = []*analysis.Analyzer{
 	snapshotonce.Analyzer,
 	statscomplete.Analyzer,
 	ctxdrain.Analyzer,
 	tokenizeonce.Analyzer,
+	admitflow.Analyzer,
+	hookorder.Analyzer,
+	facadeexport.Analyzer,
+	atomicfield.Analyzer,
 }
 
 // ByName returns the analyzer with the given name, or nil.

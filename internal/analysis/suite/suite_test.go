@@ -41,10 +41,13 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestByName pins the suite's composition: four analyzers, one per
+// TestByName pins the suite's composition: eight analyzers, one per
 // invariant class, resolvable by name.
 func TestByName(t *testing.T) {
-	for _, name := range []string{"snapshotonce", "statscomplete", "ctxdrain", "tokenizeonce"} {
+	for _, name := range []string{
+		"snapshotonce", "statscomplete", "ctxdrain", "tokenizeonce",
+		"admitflow", "hookorder", "facadeexport", "atomicfield",
+	} {
 		if suite.ByName(name) == nil {
 			t.Errorf("ByName(%q) = nil; the suite lost an analyzer", name)
 		}
@@ -52,7 +55,7 @@ func TestByName(t *testing.T) {
 	if suite.ByName("nosuch") != nil {
 		t.Error("ByName(nosuch) returned an analyzer")
 	}
-	if len(suite.Analyzers) != 4 {
-		t.Errorf("suite has %d analyzers, want 4", len(suite.Analyzers))
+	if len(suite.Analyzers) != 8 {
+		t.Errorf("suite has %d analyzers, want 8", len(suite.Analyzers))
 	}
 }

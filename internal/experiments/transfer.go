@@ -137,7 +137,7 @@ func RunTransfer(env *Env) (*TransferResult, error) {
 		f := eval.TrainFilter(inbox, p.Opts, tok)
 		testTokens := eval.TokenizeCorpus(test, tok)
 		row := TransferRow{Profile: p, Baseline: eval.EvaluateTokenSetBatch(f, testTokens, cfg.Workers)}
-		f.LearnWeighted(attackMsg, true, n)
+		f.LearnWeighted(attackMsg, true, n) //sbvet:unguarded the attack injection being measured: the experiment trains the poison in deliberately
 		row.Attacked = eval.EvaluateTokenSetBatch(f, testTokens, cfg.Workers)
 		res.Rows = append(res.Rows, row)
 	}
@@ -193,7 +193,7 @@ func RunBackendTransfer(env *Env) (*BackendTransferResult, error) {
 			Doc:      backend.Doc,
 			Baseline: eval.EvaluateBatch(clf, test, cfg.Workers),
 		}
-		clf.LearnWeighted(attackMsg, true, n)
+		clf.LearnWeighted(attackMsg, true, n) //sbvet:unguarded the attack injection being measured: the experiment trains the poison in deliberately
 		row.Attacked = eval.EvaluateBatch(clf, test, cfg.Workers)
 		res.Rows = append(res.Rows, row)
 	}

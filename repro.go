@@ -110,18 +110,34 @@
 //
 // # Static analysis
 //
-// The serving invariants described above — one snapshot load per
-// decision, every atomic counter surfacing in Stats, drain loops that
-// honor context cancellation, tokenize-once message flow — are
-// enforced at lint time by a project-specific analyzer suite,
-// internal/analysis, with four analyzers: snapshotonce,
-// statscomplete, ctxdrain and tokenizeonce. The cmd/sbvet binary runs
-// them standalone (go run ./cmd/sbvet ./..., which is make lint) or
-// as a go vet backend (go vet -vettool=$(which sbvet) ./...), and CI
-// fails on any finding. Intentional exceptions are annotated in the
-// source with //sbvet:NAME directives (reload, nostat, drain,
-// retokenize), each carrying a reason; unknown directive names are
-// themselves diagnostics, so a typo cannot silently waive a check.
+// The serving and admission invariants described above are enforced
+// at lint time by a project-specific analyzer suite,
+// internal/analysis, with eight analyzers. Four are intraprocedural:
+// snapshotonce (one snapshot load per decision), statscomplete (every
+// atomic counter surfaces in Stats), ctxdrain (drain loops honor
+// context cancellation) and tokenizeonce (tokenize-once message
+// flow). Four are interprocedural, proved over a module-wide call
+// graph with analyzer facts crossing package boundaries: admitflow
+// (no call path reaches the engine's training surface or a backend's
+// raw learners without passing through Guarded/Admitter), hookorder
+// (a PrePublish/PostPublish hook never re-enters the publish path —
+// Swap, publish, or Retrain* — which would deadlock inside the swap),
+// facadeexport (every exported internal/engine and internal/admission
+// capability is surfaced by this facade) and atomicfield (a field
+// accessed with sync/atomic is never plainly read or written). The
+// cmd/sbvet binary runs them standalone (go run ./cmd/sbvet ./...,
+// which is make lint) or as a go vet backend
+// (go vet -vettool=$(which sbvet) ./..., which is make lint-vettool),
+// and CI fails on any finding. Intentional exceptions are annotated
+// in the source with //sbvet:NAME directives (reload, nostat, drain,
+// retokenize, unguarded, reentrant, nofacade, unatomic), each
+// carrying a reason — for example the experiment layer's deliberate
+// poison injection reads
+//
+//	f.LearnWeighted(attackMsg, true, n) //sbvet:unguarded the attack injection being measured
+//
+// Unknown directive names are themselves diagnostics, so a typo
+// cannot silently waive a check.
 //
 // The layers, top to bottom:
 //
@@ -153,6 +169,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/admission"
@@ -187,14 +204,37 @@ type Persistable = engine.Persistable
 // Engine.RetrainIncremental requires it.
 type Cloner = engine.Cloner
 
+// TokenClassifier is the optional capability of scoring a
+// pre-tokenized message (a distinct-token set), so hot loops can
+// tokenize a corpus once and re-score it many times.
+type TokenClassifier = engine.TokenClassifier
+
+// TokenLearner is the optional capability of training directly on a
+// distinct-token set with a multiplicity; only backends whose
+// training is per-message token presence can offer it.
+type TokenLearner = engine.TokenLearner
+
+// Tokenizing is the optional capability of exposing the tokenizer the
+// classifier trains and scores with, so callers can pre-tokenize
+// corpora consistently with the backend.
+type Tokenizing = engine.Tokenizing
+
 // Backend is one registered learner implementation.
 type Backend = engine.Backend
+
+// ClassifierFactory constructs a fresh classifier; admitters use one
+// to build probe filters.
+type ClassifierFactory = engine.Factory
 
 // Backends returns the registered backend names ("graham", "sbayes").
 func Backends() []string { return engine.Backends() }
 
 // LookupBackend returns the named backend.
 func LookupBackend(name string) (Backend, error) { return engine.Lookup(name) }
+
+// RegisterBackend adds a backend to the registry Backends and
+// LookupBackend consult; the stock backends register themselves.
+func RegisterBackend(b Backend) { engine.Register(b) }
 
 // NewClassifier constructs a fresh classifier for a backend name.
 func NewClassifier(backend string) (Classifier, error) {
@@ -229,6 +269,12 @@ type EngineStats = engine.Stats
 // NewEngine returns a scoring engine over any classifier.
 func NewEngine(c Classifier, cfg EngineConfig) *Engine { return engine.New(c, cfg) }
 
+// NewEngineAt returns a scoring engine serving at a prior generation,
+// as a resume does after a restart, so the generation line continues.
+func NewEngineAt(c Classifier, gen uint64, cfg EngineConfig) *Engine {
+	return engine.NewAt(c, gen, cfg)
+}
+
 // Sharded is one logical filter partitioned across N Engine shards
 // routed by a recipient hash: batches are grouped by shard, fanned
 // out concurrently, and restitched in input order; shards retrain
@@ -255,6 +301,25 @@ func NewSharded(clfs []Classifier, cfg ShardedConfig) *Sharded { return engine.N
 // RecipientShardKey is the default ShardKey: an FNV-1a hash of the
 // message's canonicalized To address.
 func RecipientShardKey(m *Message) uint64 { return engine.RecipientKey(m) }
+
+// AddressShardKey hashes one canonicalized address the way the
+// default recipient routing does, so tooling can predict a message's
+// shard from its To address alone.
+func AddressShardKey(addr string) uint64 { return engine.AddressKey(addr) }
+
+// PartitionByShardKey splits a corpus into n per-shard corpora with
+// the same routing a Sharded engine uses, so per-shard retraining
+// trains each shard on exactly the mail it serves.
+func PartitionByShardKey(c *Corpus, n int, key ShardKey) []*Corpus {
+	return engine.PartitionByKey(c, n, key)
+}
+
+// ParallelFor runs fn(i) for i in [0, n) on a bounded worker pool,
+// returning early if ctx is cancelled — the fan-out primitive the
+// sharded engine and the parallel evaluators share.
+func ParallelFor(ctx context.Context, n, workers int, fn func(i int)) error {
+	return engine.ParallelFor(ctx, n, workers, fn)
+}
 
 // ---- Admission control (the training-data vetting pipeline) ----
 
@@ -292,6 +357,10 @@ type Guarded = engine.Guarded
 
 // GuardedConfig wires the quarantine sink and the publish hooks.
 type GuardedConfig = engine.GuardedConfig
+
+// QuarantineSink receives examples an Admitter quarantined; a
+// *Quarantine is the stock implementation.
+type QuarantineSink = engine.QuarantineSink
 
 // GuardedSharded is Guarded over a Sharded engine: one policy vets at
 // the gateway, each decision counted against the destination shard.
@@ -352,6 +421,10 @@ type QuarantineConfig = admission.QuarantineConfig
 
 // QuarantineStats is the buffer's accounting.
 type QuarantineStats = admission.QuarantineStats
+
+// HeldMessage is one quarantined training candidate awaiting review
+// at the next snapshot swap.
+type HeldMessage = admission.HeldMessage
 
 // NewQuarantine builds an empty buffer.
 func NewQuarantine(cfg QuarantineConfig) *Quarantine { return admission.NewQuarantine(cfg) }
@@ -415,6 +488,19 @@ func SaveEngine(st SnapshotStore, name, backend string, e *Engine) (uint64, erro
 // generations are skipped; ErrNoSnapshot if none validates.
 func ResumeEngine(st SnapshotStore, name string, cfg EngineConfig) (*Engine, SnapshotEnvelope, error) {
 	return engine.ResumeEngine(st, name, cfg)
+}
+
+// LatestSnapshotEnvelope decodes name's newest valid persisted
+// snapshot without constructing an engine, skipping generations that
+// fail validation; ErrNoSnapshot if none validates.
+func LatestSnapshotEnvelope(st SnapshotStore, name string) (SnapshotEnvelope, error) {
+	return engine.LatestEnvelope(st, name)
+}
+
+// NewClassifierFromEnvelope reconstructs the trained classifier a
+// persisted envelope carries, via the backend registry.
+func NewClassifierFromEnvelope(env SnapshotEnvelope) (Classifier, error) {
+	return engine.NewFromEnvelope(env)
 }
 
 // ResumeSharded restores a Sharded of shards engines, each shard from
