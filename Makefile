@@ -23,6 +23,9 @@
 #                    cover.out + the per-function summary cover.txt
 #                    (CI uploads both)
 #   make bench       run all benchmarks (one per exhibit + micro-benchmarks)
+#   make bench-tokenize  just the tokenizer microbench (stream vs the
+#                    legacy []string path, MB/s and allocs/op) — the
+#                    fast loop for tokenize-once pipeline work
 #   make bench-json  run the benchmarks and write $(BENCH_JSON) as a
 #                    machine-readable artifact (CI uploads it, so the
 #                    perf trajectory accumulates across PRs)
@@ -31,11 +34,11 @@
 #                    `make cover` and adds `make fuzz`)
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR8.json
 BENCHTIME  ?= 1s
 FUZZTIME   ?= 10s
 
-.PHONY: build test race vet lint lint-vettool fuzz cover bench bench-json check
+.PHONY: build test race vet lint lint-vettool fuzz cover bench bench-tokenize bench-json check
 
 build:
 	$(GO) build ./...
@@ -69,6 +72,7 @@ lint-vettool:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzSBayesSaveLoad -fuzztime=$(FUZZTIME) ./internal/sbayes/
 	$(GO) test -run='^$$' -fuzz=FuzzGrahamSaveLoad -fuzztime=$(FUZZTIME) ./internal/graham/
+	$(GO) test -run='^$$' -fuzz=FuzzTokenStream -fuzztime=$(FUZZTIME) ./internal/tokenize/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -77,6 +81,9 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+bench-tokenize:
+	$(GO) test -bench=BenchmarkTokenizeMessage -benchmem -run=^$$ .
 
 # Two steps rather than a pipe: /bin/sh has no pipefail, and a piped
 # `go test` failure would otherwise exit 0 and archive a truncated

@@ -40,6 +40,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mail"
 	"repro/internal/stats"
+	"repro/internal/tokenize"
 )
 
 // Verdict is an admission decision's three-way outcome.
@@ -90,9 +91,11 @@ func (c *Chain) Name() string {
 }
 
 // Admit runs the links in order; the first non-Accept decision wins.
-func (c *Chain) Admit(ctx context.Context, m *mail.Message, spam bool) Decision {
+// The same token stream (possibly nil) is handed to every link — the
+// tokenize-once contract composes through the chain.
+func (c *Chain) Admit(ctx context.Context, m *mail.Message, ts *tokenize.TokenStream, spam bool) Decision {
 	for _, a := range c.links {
-		if d := a.Admit(ctx, m, spam); d.Verdict != Accepted {
+		if d := a.Admit(ctx, m, ts, spam); d.Verdict != Accepted {
 			return d
 		}
 	}
@@ -139,7 +142,7 @@ func (s *Sampled) Name() string { return fmt.Sprintf("sampled-%.2f(%s)", s.p, s.
 func (s *Sampled) Skipped() uint64 { return s.skipped.Load() }
 
 // Admit consults the inner admitter for a p-fraction of candidates.
-func (s *Sampled) Admit(ctx context.Context, m *mail.Message, spam bool) Decision {
+func (s *Sampled) Admit(ctx context.Context, m *mail.Message, ts *tokenize.TokenStream, spam bool) Decision {
 	s.mu.Lock()
 	consult := s.rng.Bernoulli(s.p)
 	s.mu.Unlock()
@@ -147,5 +150,5 @@ func (s *Sampled) Admit(ctx context.Context, m *mail.Message, spam bool) Decisio
 		s.skipped.Add(1)
 		return Decision{Verdict: Accepted, Reason: "sampled out"}
 	}
-	return s.inner.Admit(ctx, m, spam)
+	return s.inner.Admit(ctx, m, ts, spam)
 }

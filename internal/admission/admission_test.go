@@ -22,6 +22,7 @@ import (
 	"repro/internal/mail"
 	"repro/internal/stats"
 	"repro/internal/textgen"
+	"repro/internal/tokenize"
 
 	// The sbayes backend registers itself on import (graham above is
 	// imported for its options too).
@@ -70,7 +71,7 @@ type fixed struct {
 }
 
 func (f fixed) Name() string { return f.name }
-func (f fixed) Admit(context.Context, *mail.Message, bool) admission.Decision {
+func (f fixed) Admit(context.Context, *mail.Message, *tokenize.TokenStream, bool) admission.Decision {
 	return f.d
 }
 
@@ -90,7 +91,7 @@ func TestChainFirstNonAcceptWins(t *testing.T) {
 		{admission.NewChain(accept, reject), admission.Rejected},
 	}
 	for i, c := range cases {
-		if got := c.chain.Admit(ctx, m, true).Verdict; got != c.want {
+		if got := c.chain.Admit(ctx, m, nil, true).Verdict; got != c.want {
 			t.Errorf("case %d: verdict %v, want %v", i, got, c.want)
 		}
 	}
@@ -109,7 +110,7 @@ func TestSampledSkipsDeterministically(t *testing.T) {
 		}
 		var out []admission.Verdict
 		for i := 0; i < 64; i++ {
-			out = append(out, s.Admit(ctx, &mail.Message{Body: "x\n"}, true).Verdict)
+			out = append(out, s.Admit(ctx, &mail.Message{Body: "x\n"}, nil, true).Verdict)
 		}
 		return out
 	}
@@ -141,11 +142,11 @@ func TestFloodGateIsStructuralAndLabelBlind(t *testing.T) {
 	// the gate reads structure, which is what catches pseudospam
 	// delivered under ham labels.
 	for _, spam := range []bool{true, false} {
-		if d := gate.Admit(ctx, attack, spam); d.Verdict != admission.Rejected {
+		if d := gate.Admit(ctx, attack, nil, spam); d.Verdict != admission.Rejected {
 			t.Errorf("dictionary payload (spam=%v) got %v (%s)", spam, d.Verdict, d.Reason)
 		}
 	}
-	if d := gate.Admit(ctx, organic, false); d.Verdict != admission.Accepted {
+	if d := gate.Admit(ctx, organic, nil, false); d.Verdict != admission.Accepted {
 		t.Errorf("organic ham got %v (%s)", d.Verdict, d.Reason)
 	}
 	if gate.Vetted() != 3 || gate.Flagged() != 2 {
@@ -154,14 +155,14 @@ func TestFloodGateIsStructuralAndLabelBlind(t *testing.T) {
 	// Repeat copies of a flagged payload are served from the identity
 	// memo — the same decision, without re-tokenizing the huge body —
 	// while a body-identical distinct message is measured afresh.
-	first := gate.Admit(ctx, attack, true)
+	first := gate.Admit(ctx, attack, nil, true)
 	for i := 0; i < 10; i++ {
-		if d := gate.Admit(ctx, attack, true); d != first {
+		if d := gate.Admit(ctx, attack, nil, true); d != first {
 			t.Fatalf("memoized copy got %+v, want %+v", d, first)
 		}
 	}
 	clone := &mail.Message{Body: attack.Body}
-	if d := gate.Admit(ctx, clone, true); d.Verdict != admission.Rejected {
+	if d := gate.Admit(ctx, clone, nil, true); d.Verdict != admission.Rejected {
 		t.Errorf("distinct flood payload got %v", d.Verdict)
 	}
 }
@@ -184,7 +185,7 @@ func TestIncrementalRONIBudgetAccountingIsMonotone(t *testing.T) {
 	r := stats.NewRNG(8)
 	deferred := false
 	for i := 0; i < 100; i++ {
-		a.Admit(ctx, g.Message(r, i%2 == 0), i%2 == 0)
+		a.Admit(ctx, g.Message(r, i%2 == 0), nil, i%2 == 0)
 		s := a.Stats()
 		if s.Arrivals < prev.Arrivals || s.Probes < prev.Probes || s.MemoHits < prev.MemoHits ||
 			s.Deferred < prev.Deferred || s.CreditsGranted < prev.CreditsGranted {
@@ -217,7 +218,7 @@ func TestIncrementalRONIBudgetAccountingIsMonotone(t *testing.T) {
 	// away — the swap-time review grant must outlive the review's own
 	// vetting (regression: the old clamp discarded it on first Admit).
 	granted := after.Bucket
-	a.Admit(ctx, g.Message(r, true), true) // memo miss: costs one probe, no clamp
+	a.Admit(ctx, g.Message(r, true), nil, true) // memo miss: costs one probe, no clamp
 	if got := a.Stats().Bucket; got < granted-1 {
 		t.Errorf("bucket %v after one probe from a granted %v — grant was clamped away", got, granted)
 	}
@@ -235,9 +236,9 @@ func TestIncrementalRONIMemoizesByIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := core.NewDictionaryAttack(lexicon.Optimal(g.Universe())).BuildAttack(stats.NewRNG(2))
-	first := a.Admit(ctx, payload, true)
+	first := a.Admit(ctx, payload, nil, true)
 	for i := 0; i < 49; i++ {
-		if d := a.Admit(ctx, payload, true); d != first {
+		if d := a.Admit(ctx, payload, nil, true); d != first {
 			t.Fatalf("copy %d got %+v, first copy got %+v", i, d, first)
 		}
 	}
@@ -252,8 +253,8 @@ func TestIncrementalRONIMemoizesByIdentity(t *testing.T) {
 	// identity key, not the body, is the cache key) — and so is the
 	// same payload under the other training label.
 	clone := &mail.Message{Body: payload.Body}
-	a.Admit(ctx, clone, true)
-	a.Admit(ctx, payload, false)
+	a.Admit(ctx, clone, nil, true)
+	a.Admit(ctx, payload, nil, false)
 	if s := a.Stats(); s.Probes != 3 {
 		t.Errorf("distinct identity and distinct label cost %d probes total, want 3", s.Probes)
 	}
@@ -262,7 +263,7 @@ func TestIncrementalRONIMemoizesByIdentity(t *testing.T) {
 	if err := a.Refresh(pool(t, g, 200), stats.NewRNG(9)); err != nil {
 		t.Fatal(err)
 	}
-	a.Admit(ctx, payload, true)
+	a.Admit(ctx, payload, nil, true)
 	if s := a.Stats(); s.Probes != 4 || s.Refreshes != 1 {
 		t.Errorf("after refresh: probes %d refreshes %d, want 4 and 1", s.Probes, s.Refreshes)
 	}
@@ -325,7 +326,7 @@ func TestIncrementalRONIMatchesBatchRONI(t *testing.T) {
 			}
 			rejectedInc := map[*mail.Message]bool{}
 			for _, e := range candidates.Examples {
-				d := inc.Admit(ctx, e.Msg, e.Spam)
+				d := inc.Admit(ctx, e.Msg, nil, e.Spam)
 				if d.Verdict == admission.Held {
 					t.Fatalf("budget covered every candidate yet %q was deferred", d.Reason)
 				}
@@ -361,11 +362,11 @@ func TestQuarantineReviewIsDeterministic(t *testing.T) {
 	build := func() *admission.Quarantine {
 		q := admission.NewQuarantine(admission.QuarantineConfig{MaxReviews: 2})
 		for i := 0; i < 20; i++ {
-			q.Hold(&mail.Message{Body: fmt.Sprintf("held %d\n", i)}, i%2 == 0, "deferred")
+			q.Hold(&mail.Message{Body: fmt.Sprintf("held %d\n", i)}, nil, i%2 == 0, "deferred")
 		}
 		return q
 	}
-	judge := func(m *mail.Message, spam bool) admission.Decision {
+	judge := func(m *mail.Message, _ *tokenize.TokenStream, spam bool) admission.Decision {
 		switch {
 		case len(m.Body)%3 == 0:
 			return admission.Decision{Verdict: admission.Accepted}
@@ -391,12 +392,12 @@ func TestQuarantineReviewIsDeterministic(t *testing.T) {
 func TestQuarantineExpiryAndOverflow(t *testing.T) {
 	q := admission.NewQuarantine(admission.QuarantineConfig{Capacity: 2, MaxReviews: 2})
 	for i := 0; i < 5; i++ {
-		q.Hold(&mail.Message{Body: fmt.Sprintf("m%d\n", i)}, true, "deferred")
+		q.Hold(&mail.Message{Body: fmt.Sprintf("m%d\n", i)}, nil, true, "deferred")
 	}
 	if s := q.Stats(); s.Pending != 2 || s.Overflow != 3 {
 		t.Fatalf("capacity 2: pending %d overflow %d", s.Pending, s.Overflow)
 	}
-	undecided := func(*mail.Message, bool) admission.Decision {
+	undecided := func(*mail.Message, *tokenize.TokenStream, bool) admission.Decision {
 		return admission.Decision{Verdict: admission.Held}
 	}
 	// First review: both survive undecided. Second review: both expire.
@@ -417,10 +418,10 @@ func TestQuarantineCapacityHoldsDuringReview(t *testing.T) {
 	// the capacity bound, so holds racing the review cannot balloon
 	// the buffer past it.
 	q := admission.NewQuarantine(admission.QuarantineConfig{Capacity: 2, MaxReviews: 5})
-	q.Hold(&mail.Message{Body: "a\n"}, true, "deferred")
-	q.Hold(&mail.Message{Body: "b\n"}, true, "deferred")
-	q.Review(func(*mail.Message, bool) admission.Decision {
-		q.Hold(&mail.Message{Body: "mid\n"}, true, "deferred")
+	q.Hold(&mail.Message{Body: "a\n"}, nil, true, "deferred")
+	q.Hold(&mail.Message{Body: "b\n"}, nil, true, "deferred")
+	q.Review(func(*mail.Message, *tokenize.TokenStream, bool) admission.Decision {
+		q.Hold(&mail.Message{Body: "mid\n"}, nil, true, "deferred")
 		return admission.Decision{Verdict: admission.Held}
 	})
 	s := q.Stats()
@@ -435,12 +436,12 @@ func TestQuarantineCapacityHoldsDuringReview(t *testing.T) {
 func TestQuarantineHoldDuringReviewLandsInNextBatch(t *testing.T) {
 	q := admission.NewQuarantine(admission.QuarantineConfig{MaxReviews: 5})
 	first := &mail.Message{Body: "first\n"}
-	q.Hold(first, true, "deferred")
+	q.Hold(first, nil, true, "deferred")
 	late := &mail.Message{Body: "late\n"}
-	judge := func(m *mail.Message, spam bool) admission.Decision {
+	judge := func(m *mail.Message, _ *tokenize.TokenStream, spam bool) admission.Decision {
 		// A candidate quarantined while the review runs must not be
 		// judged by this review.
-		q.Hold(late, false, "deferred")
+		q.Hold(late, nil, false, "deferred")
 		if m == late {
 			t.Fatal("review judged a message held mid-review")
 		}

@@ -79,11 +79,25 @@ func (g *TokenFloodGate) Flagged() uint64 { return g.flagged.Load() }
 
 // Admit rejects wide-vocabulary candidates and accepts the rest. The
 // label is irrelevant: the gate is structural, which is exactly why it
-// still fires on pseudospam delivered under ham labels. Reject
-// verdicts are memoized by payload identity, so the n-1 repeat copies
-// of a replicated flood payload skip the (large) tokenization pass.
-func (g *TokenFloodGate) Admit(_ context.Context, m *mail.Message, _ bool) Decision {
+// still fires on pseudospam delivered under ham labels. When the
+// caller hands a token stream (the tokenize-once path), the distinct
+// count is read off it for free and no memo is needed; without one,
+// reject verdicts are memoized by payload identity, so the n-1 repeat
+// copies of a replicated flood payload skip the (large) tokenization
+// pass.
+func (g *TokenFloodGate) Admit(_ context.Context, m *mail.Message, ts *tokenize.TokenStream, _ bool) Decision {
 	g.vetted.Add(1)
+	if ts != nil {
+		n := ts.Len()
+		if n >= g.max {
+			g.flagged.Add(1)
+			return Decision{
+				Verdict: Rejected,
+				Reason:  fmt.Sprintf("token flood: %d distinct tokens >= %d", n, g.max),
+			}
+		}
+		return Decision{Verdict: Accepted, Reason: fmt.Sprintf("%d distinct tokens", n)}
+	}
 	g.mu.Lock()
 	d, hit := g.flaggedMemo[m]
 	g.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/mail"
+	"repro/internal/tokenize"
 )
 
 // QuarantineConfig tunes the deferred-candidate buffer.
@@ -22,8 +23,12 @@ type QuarantineConfig struct {
 
 // HeldMessage is one quarantined training candidate.
 type HeldMessage struct {
-	Msg  *mail.Message
-	Spam bool
+	Msg *mail.Message
+	// Stream is the candidate tokenized once at vetting time (nil when
+	// the holder had none); reviews hand it back to the judge so a
+	// deferred candidate is never re-tokenized.
+	Stream *tokenize.TokenStream
+	Spam   bool
 	// Reason is the admission decision that parked it here.
 	Reason string
 	// Reviews counts swap-time reviews it has survived undecided.
@@ -77,8 +82,10 @@ func NewQuarantine(cfg QuarantineConfig) *Quarantine {
 	return &Quarantine{cfg: cfg}
 }
 
-// Hold buffers one candidate (engine.QuarantineSink).
-func (q *Quarantine) Hold(m *mail.Message, spam bool, reason string) {
+// Hold buffers one candidate (engine.QuarantineSink). ts is the
+// candidate's token stream when the holder tokenized it (nil
+// otherwise); it is kept with the message for the swap-time review.
+func (q *Quarantine) Hold(m *mail.Message, ts *tokenize.TokenStream, spam bool, reason string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.cfg.Capacity > 0 && len(q.held)+q.reviewing >= q.cfg.Capacity {
@@ -86,7 +93,7 @@ func (q *Quarantine) Hold(m *mail.Message, spam bool, reason string) {
 		return
 	}
 	q.totalHeld++
-	q.held = append(q.held, HeldMessage{Msg: m, Spam: spam, Reason: reason})
+	q.held = append(q.held, HeldMessage{Msg: m, Stream: ts, Spam: spam, Reason: reason})
 }
 
 // Len returns the current buffer depth.
@@ -128,7 +135,7 @@ func (q *Quarantine) Stats() QuarantineStats {
 // expired). Order is deterministic: given the same buffer and a
 // deterministic judge, two reviews release the same messages in the
 // same order.
-func (q *Quarantine) Review(judge func(m *mail.Message, spam bool) Decision) (released []HeldMessage, droppedNow int) {
+func (q *Quarantine) Review(judge func(m *mail.Message, ts *tokenize.TokenStream, spam bool) Decision) (released []HeldMessage, droppedNow int) {
 	q.mu.Lock()
 	pending := q.held
 	q.held = nil
@@ -141,7 +148,7 @@ func (q *Quarantine) Review(judge func(m *mail.Message, spam bool) Decision) (re
 	var keep []HeldMessage
 	var dropped, expired uint64
 	for _, h := range pending {
-		switch d := judge(h.Msg, h.Spam); d.Verdict {
+		switch d := judge(h.Msg, h.Stream, h.Spam); d.Verdict {
 		case Accepted:
 			released = append(released, h)
 		case Rejected:

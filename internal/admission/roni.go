@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mail"
 	"repro/internal/stats"
+	"repro/internal/tokenize"
 )
 
 // IncrementalRONIConfig tunes the budgeted incremental RONI admitter.
@@ -83,13 +84,24 @@ type IncrementalRONIStats struct {
 	Bucket float64
 }
 
-// admitKey memoizes verdicts by payload identity and training label —
-// the same identity keying the scenario's batch scrubber uses, so a
-// body collision between organic mail and an attack payload is still
-// judged separately.
+// admitKey memoizes verdicts by payload and training label. On the
+// tokenize-once path the payload is identified by the token stream's
+// digest, so two copies of a replicated attack memo-hit even when they
+// arrive as distinct *mail.Message values; without a stream the key
+// falls back to message identity (msg non-nil), which never collides
+// with a digest key.
 type admitKey struct {
-	msg  *mail.Message
-	spam bool
+	msg    *mail.Message
+	digest uint64
+	spam   bool
+}
+
+// keyFor builds the memo key for one candidate.
+func keyFor(m *mail.Message, ts *tokenize.TokenStream, spam bool) admitKey {
+	if ts != nil {
+		return admitKey{digest: ts.Digest(), spam: spam}
+	}
+	return admitKey{msg: m, spam: spam}
 }
 
 // IncrementalRONI is the §5.1 Reject On Negative Impact defense run
@@ -101,10 +113,11 @@ type admitKey struct {
 // unvetted — the expensive decision is deferred to the next snapshot
 // swap, where the buffer is reviewed with fresh budget.
 //
-// Verdicts from actual probes are memoized by payload identity, so the
-// paper's replicated attacks (n copies of one dictionary email) cost
-// one probe total; deferrals are not memoized, so a later copy can be
-// probed once budget accrues.
+// Verdicts from actual probes are memoized by payload — the token
+// stream's digest on the tokenize-once path, message identity as the
+// fallback — so the paper's replicated attacks (n copies of one
+// dictionary email) cost one probe total; deferrals are not memoized,
+// so a later copy can be probed once budget accrues.
 type IncrementalRONI struct {
 	mu      sync.Mutex
 	cfg     IncrementalRONIConfig
@@ -200,7 +213,7 @@ func (a *IncrementalRONI) Refresh(pool *corpus.Corpus, r *stats.RNG) error {
 // the admitter's lock — trial filters mutate during measurement — so
 // concurrent Admit calls serialize; the per-call cost is what the
 // budget is for.
-func (a *IncrementalRONI) Admit(_ context.Context, m *mail.Message, spam bool) Decision {
+func (a *IncrementalRONI) Admit(_ context.Context, m *mail.Message, ts *tokenize.TokenStream, spam bool) Decision {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.arrivals++
@@ -214,7 +227,7 @@ func (a *IncrementalRONI) Admit(_ context.Context, m *mail.Message, spam bool) D
 			a.bucket = a.cfg.Burst
 		}
 	}
-	key := admitKey{msg: m, spam: spam}
+	key := keyFor(m, ts, spam)
 	if d, ok := a.memo[key]; ok {
 		a.memoHits++
 		return d
@@ -225,7 +238,7 @@ func (a *IncrementalRONI) Admit(_ context.Context, m *mail.Message, spam bool) D
 	}
 	a.bucket--
 	a.probes++
-	imp := a.roni.MeasureImpact(m, spam)
+	imp := a.roni.MeasureImpactStream(m, ts, spam)
 	d := Decision{Verdict: Accepted, Reason: fmt.Sprintf("roni: ham-as-ham delta %+.2f", imp.HamAsHamDelta)}
 	if imp.HamAsHamDelta <= -a.cfg.RONI.Threshold {
 		d = Decision{Verdict: Rejected, Reason: fmt.Sprintf("roni: ham-as-ham delta %+.2f breaches -%.2f", imp.HamAsHamDelta, a.cfg.RONI.Threshold)}

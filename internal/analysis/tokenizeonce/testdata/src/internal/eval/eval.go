@@ -14,3 +14,20 @@ func TokenizeCorpus(tok *tokenize.Tokenizer, msgs []string) [][]string {
 	}
 	return out
 }
+
+// StreamCorpus pre-tokenizes into streams — same sanctioned pattern,
+// stream entry point.
+func StreamCorpus(tok *tokenize.Tokenizer, msgs []string) []*tokenize.TokenStream {
+	out := make([]*tokenize.TokenStream, len(msgs))
+	for i, m := range msgs {
+		out[i] = tok.Stream(m)
+	}
+	return out
+}
+
+// Rematerialize is flagged even though eval is allowlisted for
+// tokenizer entry points: only internal/tokenize may convert a
+// stream back into a []string.
+func Rematerialize(ts *tokenize.TokenStream) []string {
+	return ts.Strings() // want `call to \(\*tokenize\.TokenStream\)\.Strings outside internal/tokenize`
+}

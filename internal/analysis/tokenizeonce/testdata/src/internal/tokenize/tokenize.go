@@ -23,3 +23,16 @@ func (t *Tokenizer) TokenizeText(s string) []string { return []string{s} }
 // DistinctCount is a derived-fact helper: callers outside the layer
 // ask for facts about tokens instead of tokenizing themselves.
 func (t *Tokenizer) DistinctCount(m string) int { return len(t.TokenSet(m)) }
+
+// TokenStream mimics the real interned stream.
+type TokenStream struct{ toks []string }
+
+// Stream is the tokenize-once entry point; fenced like the others.
+func (t *Tokenizer) Stream(m string) *TokenStream { return &TokenStream{toks: t.Tokenize(m)} }
+
+// Strings materializes the stream back into a slice. The owning
+// package may call it (this call is in-package and quiet).
+func (s *TokenStream) Strings() []string { return append([]string(nil), s.toks...) }
+
+// Render uses Strings in-package: the owner is allowed.
+func (s *TokenStream) Render() []string { return s.Strings() }

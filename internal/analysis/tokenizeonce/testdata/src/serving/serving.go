@@ -16,6 +16,25 @@ func Stream(tok *tokenize.Tokenizer, body string) []string {
 	return tok.TokenizeText(body) // want `direct call to \(\*tokenize\.Tokenizer\)\.TokenizeText outside the tokenization layer`
 }
 
+// StreamEntry shows the tokenize-once entry point itself is fenced
+// for non-owners: the stream must arrive from the engine layer.
+func StreamEntry(tok *tokenize.Tokenizer, m string) *tokenize.TokenStream {
+	return tok.Stream(m) // want `direct call to \(\*tokenize\.Tokenizer\)\.Stream outside the tokenization layer`
+}
+
+// Rematerialize converts a stream back to []string on the serving
+// path — the regression the Strings fence blocks.
+func Rematerialize(ts *tokenize.TokenStream) []string {
+	return ts.Strings() // want `call to \(\*tokenize\.TokenStream\)\.Strings outside internal/tokenize`
+}
+
+// WaivedStrings shows the escape hatch applies to the Strings fence
+// too.
+func WaivedStrings(ts *tokenize.TokenStream) []string {
+	//sbvet:retokenize fixture: trace rendering materializes tokens once, off the hot path
+	return ts.Strings()
+}
+
 // DerivedFact asks the tokenize package for a fact about the message
 // instead of tokenizing — the sanctioned alternative.
 func DerivedFact(tok *tokenize.Tokenizer, m string) int {

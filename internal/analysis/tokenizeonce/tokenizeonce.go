@@ -1,11 +1,12 @@
 // Package tokenizeonce fences tokenization into the layer that owns
 // it. BENCH_PR3 showed batch scoring flat from 1→8 workers because
 // every stage re-tokenizes what the previous stage already tokenized;
-// the planned fix is to tokenize once per message and flow tokens
-// through score/vet/learn. That refactor is only worth doing if new
-// double-tokenize call sites cannot creep in meanwhile, so this
-// analyzer forbids direct calls to the tokenizer's per-message entry
-// points ((*tokenize.Tokenizer).Tokenize, TokenSet, TokenizeText)
+// the tokenize-once pipeline fixed that by tokenizing once per
+// message and flowing a *tokenize.TokenStream through
+// score/vet/learn. That invariant only holds if new double-tokenize
+// call sites cannot creep in, so this analyzer forbids direct calls
+// to the tokenizer's per-message entry points
+// ((*tokenize.Tokenizer).Tokenize, TokenSet, TokenizeText, Stream)
 // outside an allowlist of packages that legitimately own
 // tokenization:
 //
@@ -13,17 +14,28 @@
 //   - internal/sbayes and internal/graham, the backends whose
 //     Learn/Classify/Score are the single sanctioned
 //     message->tokens boundary;
-//   - internal/eval, whose TokenizeCorpus IS the tokenize-once
-//     pattern (pre-tokenize, then score many times);
+//   - internal/engine, which tokenizes once at the batch boundary
+//     (streamPath, guardStream, vetCorpus) and hands the same stream
+//     to Classify, Admit, and the learn path;
+//   - internal/eval, whose TokenizeCorpus/StreamCorpus ARE the
+//     tokenize-once pattern (pre-tokenize, then score many times);
 //   - internal/core and internal/experiments, the offline exhibit
 //     layer that pre-tokenizes attack payloads and validation pools
 //     once per run, off the serving path.
 //
-// Everything else — engine, admission, scenario, the CLIs, the facade
-// and examples — must either flow pre-computed tokens or carry an
+// Everything else — admission, scenario, the CLIs, the facade and
+// examples — must either flow pre-computed streams or carry an
 // explicit //sbvet:retokenize directive stating why this call site
-// may pay (and re-pay) the tokenization cost. _test.go files are
-// exempt: tests tokenize to construct expected token sets.
+// may pay (and re-pay) the tokenization cost.
+//
+// The analyzer also fences (*tokenize.TokenStream).Strings in EVERY
+// package except internal/tokenize, allowlisted or not: converting a
+// stream back to []string rebuilds the materialized slice the
+// interned pipeline exists to avoid, so only diagnostics and
+// deliberately annotated call sites may do it.
+//
+// _test.go files are exempt from both checks: tests tokenize to
+// construct expected token sets.
 package tokenizeonce
 
 import (
@@ -48,6 +60,7 @@ var Allow = []string{
 	"internal/tokenize",
 	"internal/sbayes",
 	"internal/graham",
+	"internal/engine",
 	"internal/eval",
 	"internal/core",
 	"internal/experiments",
@@ -58,10 +71,13 @@ var entryPoints = map[string]bool{
 	"Tokenize":     true,
 	"TokenSet":     true,
 	"TokenizeText": true,
+	"Stream":       true,
 }
 
 func run(pass *analysis.Pass) error {
-	if allowed(pass.Pkg.Path()) {
+	pkgAllowed := allowed(pass.Pkg.Path())
+	streamOwner := isPkg(pass.Pkg.Path(), "internal/tokenize")
+	if pkgAllowed && streamOwner {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -71,11 +87,16 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !entryPoints[sel.Sel.Name] {
+			if !ok {
+				return true
+			}
+			fencedEntry := !pkgAllowed && entryPoints[sel.Sel.Name]
+			fencedStrings := !streamOwner && sel.Sel.Name == "Strings"
+			if !fencedEntry && !fencedStrings {
 				return true
 			}
 			fn := analysis.MethodCallee(pass.TypesInfo, sel)
-			if fn == nil || !isTokenizer(fn) {
+			if fn == nil {
 				return true
 			}
 			// Tests tokenize to construct expected token sets; the
@@ -83,10 +104,18 @@ func run(pass *analysis.Pass) error {
 			if pass.IsTestFile(call.Lparen) {
 				return true
 			}
-			if pass.ExemptedAt(call.Lparen, "retokenize") {
-				return true
+			switch {
+			case fencedEntry && isTokenizeMethod(fn, "Tokenizer"):
+				if pass.ExemptedAt(call.Lparen, "retokenize") {
+					return true
+				}
+				pass.Reportf(call.Lparen, "direct call to (*tokenize.Tokenizer).%s outside the tokenization layer; the hot path must tokenize each message once and flow the tokens (see the tokenize-once roadmap item) — move the work behind an allowlisted package or annotate //sbvet:retokenize with a reason", sel.Sel.Name)
+			case fencedStrings && isTokenizeMethod(fn, "TokenStream"):
+				if pass.ExemptedAt(call.Lparen, "retokenize") {
+					return true
+				}
+				pass.Reportf(call.Lparen, "call to (*tokenize.TokenStream).Strings outside internal/tokenize; materializing the stream back into a []string defeats the interned token pipeline — iterate At/Count instead or annotate //sbvet:retokenize with a reason")
 			}
-			pass.Reportf(call.Lparen, "direct call to (*tokenize.Tokenizer).%s outside the tokenization layer; the hot path must tokenize each message once and flow the tokens (see the tokenize-once roadmap item) — move the work behind an allowlisted package or annotate //sbvet:retokenize with a reason", sel.Sel.Name)
 			return true
 		})
 	}
@@ -96,16 +125,21 @@ func run(pass *analysis.Pass) error {
 // allowed reports whether pkgPath may tokenize directly.
 func allowed(pkgPath string) bool {
 	for _, entry := range Allow {
-		if pkgPath == entry || strings.HasSuffix(pkgPath, "/"+entry) {
+		if isPkg(pkgPath, entry) {
 			return true
 		}
 	}
 	return false
 }
 
-// isTokenizer reports whether fn is a method on the tokenize
-// package's Tokenizer type.
-func isTokenizer(fn *types.Func) bool {
+// isPkg reports whether pkgPath equals entry or ends in "/"+entry.
+func isPkg(pkgPath, entry string) bool {
+	return pkgPath == entry || strings.HasSuffix(pkgPath, "/"+entry)
+}
+
+// isTokenizeMethod reports whether fn is a method on the named type
+// recv from the tokenize package.
+func isTokenizeMethod(fn *types.Func, recv string) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return false
@@ -119,5 +153,5 @@ func isTokenizer(fn *types.Func) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Tokenizer" && obj.Pkg() != nil && obj.Pkg().Name() == "tokenize"
+	return obj.Name() == recv && obj.Pkg() != nil && obj.Pkg().Name() == "tokenize"
 }

@@ -8,10 +8,12 @@ import (
 )
 
 // TestFixtures proves the analyzer fences the tokenizer's entry
-// points: direct calls in a non-allowlisted package are flagged,
-// while the tokenize package itself, an allowlisted pre-tokenizing
-// consumer, derived-fact helpers, and the //sbvet:retokenize escape
-// hatch stay quiet.
+// points (including the tokenize-once Stream constructor): direct
+// calls in a non-allowlisted package are flagged, while the tokenize
+// package itself, an allowlisted pre-tokenizing consumer,
+// derived-fact helpers, and the //sbvet:retokenize escape hatch stay
+// quiet. It also proves the (*TokenStream).Strings fence holds in
+// every package except internal/tokenize — allowlisted or not.
 func TestFixtures(t *testing.T) {
 	analysistest.Run(t, "testdata", tokenizeonce.Analyzer,
 		"internal/tokenize", "internal/eval", "serving")

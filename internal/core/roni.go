@@ -80,17 +80,17 @@ type Impact struct {
 }
 
 // roniTrial is one sampled (T, V) pair with its baseline counts. The
-// clf is any backend; the optional capability views (tokenClf,
-// tokenLearner) are resolved once at construction so the per-query
+// clf is any backend; the optional capability views (streamClf,
+// streamLearner) are resolved once at construction so the per-query
 // hot path pays no type assertions.
 type roniTrial struct {
-	clf          engine.Classifier
-	tokenClf     engine.TokenClassifier // nil: classify val messages directly
-	tokenLearner engine.TokenLearner    // nil: Learn/Unlearn the query message
-	val          []corpus.Example
-	valTokens    [][]string
-	baseHamHam   int
-	baseCorrect  int
+	clf           engine.Classifier
+	streamClf     engine.StreamClassifier // nil: classify val messages directly
+	streamLearner engine.StreamLearner    // nil: Learn/Unlearn the query message
+	val           []corpus.Example
+	valStreams    []*tokenize.TokenStream
+	baseHamHam    int
+	baseCorrect   int
 }
 
 // RONI is a reusable impact evaluator over one message pool. It works
@@ -99,7 +99,7 @@ type roniTrial struct {
 // Learn → re-evaluate → Unlearn, which every Classifier supports.
 type RONI struct {
 	cfg    RONIConfig
-	tok    *tokenize.Tokenizer // non-nil: all trials share it, query tokens are cached
+	tok    *tokenize.Tokenizer // non-nil: all trials share it, query streams are reused
 	trials []roniTrial
 }
 
@@ -119,8 +119,8 @@ func NewRONI(cfg RONIConfig, pool *corpus.Corpus, opts sbayes.Options, tok *toke
 
 // NewRONIBackend is NewRONI against an arbitrary backend: each trial
 // filter comes from newClassifier (typically a registered Backend's
-// New). Backends that expose their tokenizer and accept pre-tokenized
-// messages get the same cached-token fast path as SpamBayes.
+// New). Backends that expose their tokenizer and consume token
+// streams get the same tokenize-once fast path as SpamBayes.
 func NewRONIBackend(cfg RONIConfig, pool *corpus.Corpus, newClassifier engine.Factory, r *stats.RNG) (*RONI, error) {
 	return newRONI(cfg, pool, newClassifier, r)
 }
@@ -143,31 +143,31 @@ func newRONI(cfg RONIConfig, pool *corpus.Corpus, newClassifier engine.Factory, 
 			clf.Learn(e.Msg, e.Spam)
 		}
 		trial := roniTrial{clf: clf, val: valSet}
-		trial.tokenLearner, _ = clf.(engine.TokenLearner)
-		// Pre-tokenize the validation set when the backend can both
-		// expose its tokenizer and score token sets.
+		trial.streamLearner, _ = clf.(engine.StreamLearner)
+		// Tokenize the validation set once when the backend can both
+		// expose its tokenizer and score token streams.
 		if tokenizing, ok := clf.(engine.Tokenizing); ok {
-			if tokenClf, ok := clf.(engine.TokenClassifier); ok {
-				trial.tokenClf = tokenClf
+			if streamClf, ok := clf.(engine.StreamClassifier); ok {
+				trial.streamClf = streamClf
 				for _, e := range valSet {
-					trial.valTokens = append(trial.valTokens, tokenizing.Tokenizer().TokenSet(e.Msg))
+					trial.valStreams = append(trial.valStreams, tokenizing.Tokenizer().Stream(e.Msg))
 				}
 			}
 		}
 		trial.baseHamHam, trial.baseCorrect = trial.evaluate()
 		d.trials = append(d.trials, trial)
 	}
-	// When every trial filter learns token sets, one tokenization of
+	// When every trial filter learns token streams, one tokenization of
 	// the query serves all trials: a factory hands every trial an
 	// identically configured tokenizer, so any trial's will do.
-	allTokenLearners := len(d.trials) > 0
+	allStreamLearners := len(d.trials) > 0
 	for i := range d.trials {
-		if d.trials[i].tokenLearner == nil {
-			allTokenLearners = false
+		if d.trials[i].streamLearner == nil {
+			allStreamLearners = false
 			break
 		}
 	}
-	if allTokenLearners {
+	if allStreamLearners {
 		if tokenizing, ok := d.trials[0].clf.(engine.Tokenizing); ok {
 			d.tok = tokenizing.Tokenizer()
 		}
@@ -180,8 +180,8 @@ func newRONI(cfg RONIConfig, pool *corpus.Corpus, newClassifier engine.Factory, 
 func (t *roniTrial) evaluate() (hamHam, correct int) {
 	for i, e := range t.val {
 		var label engine.Label
-		if t.tokenClf != nil {
-			label, _ = t.tokenClf.ClassifyTokens(t.valTokens[i])
+		if t.streamClf != nil {
+			label, _ = t.streamClf.ClassifyTokenStream(t.valStreams[i])
 		} else {
 			label, _ = t.clf.Classify(e.Msg)
 		}
@@ -204,24 +204,33 @@ func (d *RONI) Config() RONIConfig { return d.cfg }
 
 // MeasureImpact computes Q's impact: each trial filter temporarily
 // learns Q (as spam or ham per qSpam), re-scores its validation set,
-// and unlearns Q, leaving the evaluator unchanged.
+// and unlearns Q, leaving the evaluator unchanged. Callers already
+// holding Q's token stream should use MeasureImpactStream instead, so
+// Q is tokenized at most once across the whole serving path.
 func (d *RONI) MeasureImpact(q *mail.Message, qSpam bool) Impact {
-	var tokens []string
-	if d.tok != nil {
-		tokens = d.tok.TokenSet(q)
+	return d.MeasureImpactStream(q, nil, qSpam)
+}
+
+// MeasureImpactStream is MeasureImpact for a query already tokenized
+// once by the caller. ts may be nil, in which case the evaluator
+// tokenizes Q itself when every trial filter learns streams (and
+// falls back to whole-message Learn/Unlearn otherwise).
+func (d *RONI) MeasureImpactStream(q *mail.Message, ts *tokenize.TokenStream, qSpam bool) Impact {
+	if ts == nil && d.tok != nil {
+		ts = d.tok.Stream(q)
 	}
 	var hamHamDelta, correctDelta float64
 	for i := range d.trials {
 		t := &d.trials[i]
-		if tokens != nil && t.tokenLearner != nil {
-			t.tokenLearner.LearnTokens(tokens, qSpam, 1)
+		if ts != nil && t.streamLearner != nil {
+			t.streamLearner.LearnTokenStream(ts, qSpam, 1)
 		} else {
 			t.clf.Learn(q, qSpam)
 		}
 		hh, corr := t.evaluate()
 		var err error
-		if tokens != nil && t.tokenLearner != nil {
-			err = t.tokenLearner.UnlearnTokens(tokens, qSpam, 1)
+		if ts != nil && t.streamLearner != nil {
+			err = t.streamLearner.UnlearnTokenStream(ts, qSpam, 1)
 		} else {
 			err = t.clf.Unlearn(q, qSpam)
 		}

@@ -108,6 +108,28 @@ type TokenLearner interface {
 	UnlearnTokens(tokens []string, isSpam bool, weight int) error
 }
 
+// StreamClassifier is the capability of scoring a tokenized message
+// (a tokenize.TokenStream) directly. This is the serving-path fast
+// lane of the tokenize-once pipeline: the engine tokenizes each
+// message exactly once at the batch boundary and every downstream
+// stage — scoring, admission vetting, learning — consumes the same
+// stream through these interfaces instead of re-tokenizing.
+type StreamClassifier interface {
+	ClassifyTokenStream(ts *tokenize.TokenStream) (Label, float64)
+	ScoreTokenStream(ts *tokenize.TokenStream) float64
+}
+
+// StreamLearner is the capability of training directly on a tokenized
+// message. Unlike TokenLearner, every backend can offer it: the
+// stream carries per-token occurrence counts, so occurrence-counting
+// backends (Graham) recover exactly what they would have read from
+// the raw message, and presence backends (SpamBayes) simply ignore
+// the counts.
+type StreamLearner interface {
+	LearnTokenStream(ts *tokenize.TokenStream, isSpam bool, weight int)
+	UnlearnTokenStream(ts *tokenize.TokenStream, isSpam bool, weight int) error
+}
+
 // Persistable is the capability of saving the trained database and
 // restoring it in place. Load replaces the receiver's entire trained
 // state with the stream's contents.

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/mail"
+	"repro/internal/tokenize"
 )
 
 // AdmitVerdict is an admission decision's three-way outcome.
@@ -68,15 +69,21 @@ type Admitter interface {
 	Name() string
 	// Admit decides one candidate's fate. spam is the label the example
 	// would be trained under (the contamination assumption labels
-	// attack mail spam; the pseudospam variant labels it ham).
-	Admit(ctx context.Context, m *mail.Message, spam bool) AdmitDecision
+	// attack mail spam; the pseudospam variant labels it ham). ts, when
+	// non-nil, is m tokenized once by the caller with the tokenizer the
+	// filter would learn it under — admitters consume it instead of
+	// re-tokenizing (the tokenize-once contract). A nil ts means the
+	// caller had no tokenizer; admitters that need tokens fall back to
+	// tokenizing m themselves.
+	Admit(ctx context.Context, m *mail.Message, ts *tokenize.TokenStream, spam bool) AdmitDecision
 }
 
 // QuarantineSink receives examples an Admitter quarantined. The
 // concrete buffer (admission.Quarantine) holds them for re-scoring at
-// the next snapshot swap.
+// the next snapshot swap; ts (possibly nil) is the candidate's token
+// stream, kept alongside so the swap-time review does not re-tokenize.
 type QuarantineSink interface {
-	Hold(m *mail.Message, spam bool, reason string)
+	Hold(m *mail.Message, ts *tokenize.TokenStream, spam bool, reason string)
 }
 
 // ThresholdSetter is the capability of replacing a classifier's
@@ -216,21 +223,38 @@ func (g *Guarded) Stats() Stats { return g.eng.Stats() }
 
 // Vet runs one candidate through the admitter, records the decision in
 // the engine's admission counters, and routes a quarantine verdict to
-// the configured sink. It is the single chokepoint every guarded
-// training path shares, and is exported so a deployment that trains
-// through its own machinery (the scenario simulator's background
-// rebuilds) can still vet inline.
+// the configured sink. It is the tokenizing adapter over VetStream:
+// the candidate is tokenized once here (with the serving snapshot's
+// tokenizer, when it exposes one) and the same stream feeds the
+// admitter and the quarantine sink. Callers already holding the
+// stream call VetStream instead.
 func (g *Guarded) Vet(ctx context.Context, m *mail.Message, spam bool) AdmitDecision {
-	return vet(ctx, g.admit, g.cfg.Quarantine, g.eng, m, spam)
+	var ts *tokenize.TokenStream
+	if tok := tokenizerOf(g.eng.Classifier()); tok != nil {
+		ts = tok.Stream(m)
+	}
+	return g.VetStream(ctx, m, ts, spam)
 }
 
-// vet is the shared Vet implementation of Guarded and GuardedSharded;
-// counters lands on the engine that would train the example.
-func vet(ctx context.Context, admit Admitter, sink QuarantineSink, counters *Engine, m *mail.Message, spam bool) AdmitDecision {
-	d := admit.Admit(ctx, m, spam)
+// VetStream is the single vetting chokepoint every guarded training
+// path shares: it runs one candidate (tokenized once upstream; ts may
+// be nil) through the admitter, records the decision, and routes a
+// quarantine verdict — stream and all — to the configured sink. It is
+// exported so a deployment that trains through its own machinery (the
+// scenario simulator's background rebuilds) can still vet inline
+// without re-tokenizing.
+func (g *Guarded) VetStream(ctx context.Context, m *mail.Message, ts *tokenize.TokenStream, spam bool) AdmitDecision {
+	return vet(ctx, g.admit, g.cfg.Quarantine, g.eng, m, ts, spam)
+}
+
+// vet is the shared VetStream implementation of Guarded and
+// GuardedSharded; counters land on the engine that would train the
+// example.
+func vet(ctx context.Context, admit Admitter, sink QuarantineSink, counters *Engine, m *mail.Message, ts *tokenize.TokenStream, spam bool) AdmitDecision {
+	d := admit.Admit(ctx, m, ts, spam)
 	counters.recordAdmission(d.Verdict)
 	if d.Verdict == AdmitQuarantine && sink != nil {
-		sink.Hold(m, spam, d.Reason)
+		sink.Hold(m, ts, spam, d.Reason)
 	}
 	return d
 }
@@ -239,19 +263,26 @@ func vet(ctx context.Context, admit Admitter, sink QuarantineSink, counters *Eng
 // admitted subset. Quarantined examples go to the sink; rejected ones
 // are dropped. It checks ctx between examples.
 func (g *Guarded) VetCorpus(ctx context.Context, c *corpus.Corpus) (*corpus.Corpus, error) {
-	return vetCorpus(ctx, c, g.Vet)
+	tok := tokenizerOf(g.eng.Classifier())
+	return vetCorpus(ctx, c, func(*mail.Message) *tokenize.Tokenizer { return tok }, g.VetStream)
 }
 
 // vetCorpus is the shared VetCorpus loop of Guarded and
-// GuardedSharded, parameterized on the vet chokepoint (the same shape
-// guardStream uses).
-func vetCorpus(ctx context.Context, c *corpus.Corpus, vet func(context.Context, *mail.Message, bool) AdmitDecision) (*corpus.Corpus, error) {
+// GuardedSharded, parameterized on the per-message tokenizer routing
+// (tokFor returns nil when no tokenizer applies) and the vet
+// chokepoint. Each example is tokenized exactly once, for the vetting
+// decision and the sink together.
+func vetCorpus(ctx context.Context, c *corpus.Corpus, tokFor func(*mail.Message) *tokenize.Tokenizer, vet func(context.Context, *mail.Message, *tokenize.TokenStream, bool) AdmitDecision) (*corpus.Corpus, error) {
 	kept := &corpus.Corpus{}
 	for _, ex := range c.Examples {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if vet(ctx, ex.Msg, ex.Spam).Verdict == AdmitAccept {
+		var ts *tokenize.TokenStream
+		if tok := tokFor(ex.Msg); tok != nil {
+			ts = tok.Stream(ex.Msg)
+		}
+		if vet(ctx, ex.Msg, ts, ex.Spam).Verdict == AdmitAccept {
 			kept.Add(ex.Msg, ex.Spam)
 		}
 	}
@@ -341,16 +372,22 @@ func (g *Guarded) RetrainIncremental(ctx context.Context, delta *corpus.Corpus) 
 // sending before calling wait.
 func (g *Guarded) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, error)) {
 	inner, innerWait := g.eng.LearnStream(ctx)
-	return guardStream(ctx, inner, innerWait, g.eng.learnBuf, g.Vet)
+	tok := tokenizerOf(g.eng.Classifier())
+	return guardStream(ctx, inner, innerWait, g.eng.learnBuf,
+		func(*mail.Message) *tokenize.Tokenizer { return tok }, g.VetStream)
 }
 
 // guardStream interposes a vetting goroutine in front of a training
 // stream — the shared scaffold of Guarded.LearnStream and
-// GuardedSharded.LearnStream. Its drain contract mirrors the Sharded
-// router: on cancellation the vetting goroutine stops forwarding and
-// keeps the outer channel flowing until wait observes the error, so a
-// producer blocked on a full buffer is always released.
-func guardStream(ctx context.Context, inner chan<- Labeled, innerWait func() (int, error), buf int, vet func(context.Context, *mail.Message, bool) AdmitDecision) (chan<- Labeled, func() (int, error)) {
+// GuardedSharded.LearnStream. Each example is tokenized exactly once
+// (unless the producer already attached a stream): the same stream
+// feeds the admission decision and, on acceptance, rides the Labeled
+// into the inner learn stream so the learner never re-tokenizes. The
+// drain contract mirrors the Sharded router: on cancellation the
+// vetting goroutine stops forwarding and keeps the outer channel
+// flowing until wait observes the error, so a producer blocked on a
+// full buffer is always released.
+func guardStream(ctx context.Context, inner chan<- Labeled, innerWait func() (int, error), buf int, tokFor func(*mail.Message) *tokenize.Tokenizer, vet func(context.Context, *mail.Message, *tokenize.TokenStream, bool) AdmitDecision) (chan<- Labeled, func() (int, error)) {
 	in := make(chan Labeled, buf)
 	stop := make(chan struct{})
 	vetDone := make(chan struct{})
@@ -374,11 +411,18 @@ func guardStream(ctx context.Context, inner chan<- Labeled, innerWait func() (in
 				if !ok {
 					return
 				}
-				if vet(ctx, ex.Msg, ex.Spam).Verdict == AdmitAccept {
+				ts := ex.Stream
+				if ts == nil {
+					if tok := tokFor(ex.Msg); tok != nil {
+						ts = tok.Stream(ex.Msg)
+					}
+				}
+				if vet(ctx, ex.Msg, ts, ex.Spam).Verdict == AdmitAccept {
 					// On cancellation the inner consumer drains its own
 					// stream until its wait observes it, and wait below
 					// does not call innerWait until vetting has exited,
 					// so this forward is always released.
+					ex.Stream = ts
 					inner <- ex
 				}
 			}
@@ -438,15 +482,40 @@ func (g *GuardedSharded) ClassifyBatch(ctx context.Context, msgs []*mail.Message
 func (g *GuardedSharded) Stats() ShardedStats { return g.sh.Stats() }
 
 // Vet runs one candidate through the admitter, counting the decision
-// against the shard the example routes to.
+// against the shard the example routes to. Like Guarded.Vet it is the
+// tokenizing adapter: the candidate is tokenized once with its
+// destination shard's tokenizer and the stream shared with the sink.
 func (g *GuardedSharded) Vet(ctx context.Context, m *mail.Message, spam bool) AdmitDecision {
-	return vet(ctx, g.admit, g.cfg.Quarantine, g.sh.shards[g.sh.ShardFor(m)], m, spam)
+	sh := g.sh.shards[g.sh.ShardFor(m)]
+	var ts *tokenize.TokenStream
+	if tok := tokenizerOf(sh.Classifier()); tok != nil {
+		ts = tok.Stream(m)
+	}
+	return vet(ctx, g.admit, g.cfg.Quarantine, sh, m, ts, spam)
+}
+
+// VetStream vets one already-tokenized candidate (ts may be nil),
+// counting the decision against the shard the example routes to.
+func (g *GuardedSharded) VetStream(ctx context.Context, m *mail.Message, ts *tokenize.TokenStream, spam bool) AdmitDecision {
+	return vet(ctx, g.admit, g.cfg.Quarantine, g.sh.shards[g.sh.ShardFor(m)], m, ts, spam)
+}
+
+// tokFor resolves each shard's serving tokenizer once and returns the
+// per-message routing view of them, so batch vetting and the guarded
+// stream tokenize each candidate exactly once with the tokenizer of
+// the shard that would train it.
+func (g *GuardedSharded) tokFor() func(*mail.Message) *tokenize.Tokenizer {
+	toks := make([]*tokenize.Tokenizer, g.sh.NumShards())
+	for i, sh := range g.sh.shards {
+		toks[i] = tokenizerOf(sh.Classifier())
+	}
+	return func(m *mail.Message) *tokenize.Tokenizer { return toks[g.sh.ShardFor(m)] }
 }
 
 // VetCorpus vets every example in corpus order, returning the admitted
 // subset (still unpartitioned — the caller routes it).
 func (g *GuardedSharded) VetCorpus(ctx context.Context, c *corpus.Corpus) (*corpus.Corpus, error) {
-	return vetCorpus(ctx, c, g.Vet)
+	return vetCorpus(ctx, c, g.tokFor(), g.VetStream)
 }
 
 // RetrainAll vets train at the gateway, partitions the admitted subset
@@ -512,5 +581,5 @@ func (g *GuardedSharded) SwapAll(clfs []Classifier) ([]uint64, error) {
 // examples flow into the sharded engine's own routing LearnStream.
 func (g *GuardedSharded) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, error)) {
 	inner, innerWait := g.sh.LearnStream(ctx)
-	return guardStream(ctx, inner, innerWait, g.sh.shards[0].learnBuf, g.Vet)
+	return guardStream(ctx, inner, innerWait, g.sh.shards[0].learnBuf, g.tokFor(), g.VetStream)
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/mail"
+	"repro/internal/tokenize"
 )
 
 // markerAdmitter rejects bodies containing "poison", quarantines
@@ -27,7 +28,7 @@ import (
 type markerAdmitter struct{}
 
 func (markerAdmitter) Name() string { return "marker" }
-func (markerAdmitter) Admit(_ context.Context, m *mail.Message, _ bool) engine.AdmitDecision {
+func (markerAdmitter) Admit(_ context.Context, m *mail.Message, _ *tokenize.TokenStream, _ bool) engine.AdmitDecision {
 	switch {
 	case strings.Contains(m.Body, "poison"):
 		return engine.AdmitDecision{Verdict: engine.AdmitReject, Reason: "marker: poison"}
@@ -46,7 +47,7 @@ type blockingAdmitter struct {
 }
 
 func (b *blockingAdmitter) Name() string { return "blocking" }
-func (b *blockingAdmitter) Admit(context.Context, *mail.Message, bool) engine.AdmitDecision {
+func (b *blockingAdmitter) Admit(context.Context, *mail.Message, *tokenize.TokenStream, bool) engine.AdmitDecision {
 	b.once.Do(func() { close(b.entered) })
 	<-b.release
 	return engine.AdmitDecision{Verdict: engine.AdmitAccept}
@@ -58,7 +59,7 @@ type heldSink struct {
 	held []*mail.Message
 }
 
-func (s *heldSink) Hold(m *mail.Message, _ bool, _ string) {
+func (s *heldSink) Hold(m *mail.Message, _ *tokenize.TokenStream, _ bool, _ string) {
 	s.mu.Lock()
 	s.held = append(s.held, m)
 	s.mu.Unlock()

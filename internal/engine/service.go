@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/mail"
+	"repro/internal/tokenize"
 )
 
 // Config tunes an Engine.
@@ -132,6 +133,42 @@ type Result struct {
 	Score float64
 }
 
+// streamPath is the resolved tokenize-once fast lane for one snapshot:
+// when the serving classifier both consumes token streams and exposes
+// its tokenizer, the engine tokenizes each message exactly once at the
+// batch boundary and scores the stream directly. Resolution happens
+// once per batch (two type assertions), not once per message.
+type streamPath struct {
+	sc  StreamClassifier
+	tok *tokenize.Tokenizer
+}
+
+// streamPathFor resolves the fast lane for clf; ok is false when the
+// classifier lacks either capability and callers must fall back to
+// whole-message scoring.
+func streamPathFor(clf Classifier) (streamPath, bool) {
+	sc, ok := clf.(StreamClassifier)
+	if !ok {
+		return streamPath{}, false
+	}
+	tok := tokenizerOf(clf)
+	if tok == nil {
+		return streamPath{}, false
+	}
+	return streamPath{sc: sc, tok: tok}, true
+}
+
+// tokenizerOf returns clf's tokenizer when it exposes one, nil
+// otherwise — the shared capability probe of the scoring fast lane and
+// the guarded vetting path (which tokenizes candidates with the same
+// tokenizer the filter would learn them under).
+func tokenizerOf(clf Classifier) *tokenize.Tokenizer {
+	if tz, ok := clf.(Tokenizing); ok {
+		return tz.Tokenizer()
+	}
+	return nil
+}
+
 // Classify scores one message against the current snapshot — the
 // at-delivery verdict an online deployment hands the user while
 // retraining may be running in the background. Its wall-clock cost is
@@ -139,7 +176,14 @@ type Result struct {
 // visible as batch scoring.
 func (e *Engine) Classify(m *mail.Message) Result {
 	start := time.Now()
-	label, score := e.cur.Load().clf.Classify(m)
+	clf := e.cur.Load().clf
+	var label Label
+	var score float64
+	if sp, ok := streamPathFor(clf); ok {
+		label, score = sp.sc.ClassifyTokenStream(sp.tok.Stream(m))
+	} else {
+		label, score = clf.Classify(m)
+	}
 	e.classifyNanos.Add(uint64(time.Since(start)))
 	e.byLabel[labelIndex(label)].Add(1)
 	return Result{Label: label, Score: score}
@@ -152,9 +196,16 @@ func (e *Engine) Classify(m *mail.Message) Result {
 // cancelled.
 func (e *Engine) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Result, error) {
 	clf := e.cur.Load().clf
+	sp, streaming := streamPathFor(clf)
 	out := make([]Result, len(msgs))
 	err := e.run(ctx, len(msgs), func(i int) {
-		label, score := clf.Classify(msgs[i])
+		var label Label
+		var score float64
+		if streaming {
+			label, score = sp.sc.ClassifyTokenStream(sp.tok.Stream(msgs[i]))
+		} else {
+			label, score = clf.Classify(msgs[i])
+		}
 		out[i] = Result{Label: label, Score: score}
 	})
 	if err != nil {
@@ -172,9 +223,14 @@ func (e *Engine) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Res
 // invariant sum(ByLabel) == Classified intact.
 func (e *Engine) ScoreBatch(ctx context.Context, msgs []*mail.Message) ([]float64, error) {
 	clf := e.cur.Load().clf
+	sp, streaming := streamPathFor(clf)
 	out := make([]float64, len(msgs))
 	err := e.run(ctx, len(msgs), func(i int) {
-		out[i] = clf.Score(msgs[i])
+		if streaming {
+			out[i] = sp.sc.ScoreTokenStream(sp.tok.Stream(msgs[i]))
+		} else {
+			out[i] = clf.Score(msgs[i])
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -281,10 +337,15 @@ func trainAll(ctx context.Context, clf Classifier, c *corpus.Corpus) error {
 	return nil
 }
 
-// Labeled is one training example flowing through LearnStream.
+// Labeled is one training example flowing through LearnStream. Stream,
+// when non-nil, is Msg tokenized once upstream (a guarded stream's
+// vetting stage tokenizes each candidate exactly once and forwards the
+// stream here); a StreamLearner consumer trains on it directly instead
+// of re-tokenizing Msg. Producers without a stream leave it nil.
 type Labeled struct {
-	Msg  *mail.Message
-	Spam bool
+	Msg    *mail.Message
+	Stream *tokenize.TokenStream
+	Spam   bool
 }
 
 // LearnStream starts a single-consumer bulk-training stream into the
@@ -306,6 +367,7 @@ type Labeled struct {
 // exactly like a send racing a close.
 func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, error)) {
 	clf := e.cur.Load().clf
+	learner, _ := clf.(StreamLearner)
 	in := make(chan Labeled, e.learnBuf)
 	done := make(chan struct{})
 	stop := make(chan struct{})
@@ -328,7 +390,11 @@ func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, 
 				if !ok {
 					return
 				}
-				clf.Learn(ex.Msg, ex.Spam)
+				if ex.Stream != nil && learner != nil {
+					learner.LearnTokenStream(ex.Stream, ex.Spam, 1)
+				} else {
+					clf.Learn(ex.Msg, ex.Spam)
+				}
 				e.learned.Add(1)
 				n++
 			}

@@ -171,6 +171,56 @@ func EvaluateTokenSetBatch(c engine.TokenClassifier, ts TokenSet, workers int) C
 	return sumConfusions(confs)
 }
 
+// LabeledStream is a once-tokenized labeled message — the stream
+// counterpart of Labeled, carrying occurrence counts and the stream
+// digest instead of a flat token slice.
+type LabeledStream struct {
+	Stream *tokenize.TokenStream
+	Spam   bool
+}
+
+// StreamSet is a once-tokenized corpus for the stream scoring path.
+type StreamSet []LabeledStream
+
+// StreamCorpus tokenizes every message of c exactly once with tok
+// (nil selects the default tokenizer) into a StreamSet.
+func StreamCorpus(c *corpus.Corpus, tok *tokenize.Tokenizer) StreamSet {
+	if tok == nil {
+		tok = tokenize.Default()
+	}
+	out := make(StreamSet, 0, c.Len())
+	for _, e := range c.Examples {
+		out = append(out, LabeledStream{Stream: tok.Stream(e.Msg), Spam: e.Spam})
+	}
+	return out
+}
+
+// EvaluateStreamSet scores a once-tokenized corpus under any
+// classifier that consumes token streams.
+func EvaluateStreamSet(c engine.StreamClassifier, ss StreamSet) Confusion {
+	var conf Confusion
+	for _, ex := range ss {
+		label, _ := c.ClassifyTokenStream(ex.Stream)
+		conf.Observe(ex.Spam, label)
+	}
+	return conf
+}
+
+// EvaluateStreamSetBatch is EvaluateStreamSet sharded across up to
+// workers goroutines (GOMAXPROCS when workers <= 0). The classifier
+// must tolerate concurrent ClassifyTokenStream calls; TokenStreams are
+// immutable, so sharing them across shards is free.
+func EvaluateStreamSetBatch(c engine.StreamClassifier, ss StreamSet, workers int) Confusion {
+	confs := shardedConfusions(len(ss), &workers)
+	Parallel(workers, workers, func(w int) {
+		for i := w; i < len(ss); i += workers {
+			label, _ := c.ClassifyTokenStream(ss[i].Stream)
+			confs[w].Observe(ss[i].Spam, label)
+		}
+	})
+	return sumConfusions(confs)
+}
+
 // Evaluate scores a corpus under any classifier.
 func Evaluate(c engine.Classifier, test *corpus.Corpus) Confusion {
 	var conf Confusion

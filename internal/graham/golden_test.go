@@ -7,6 +7,10 @@ package graham
 // path for old databases, and regenerate the fixture with
 //
 //	go test ./internal/graham -run TestGoldenGRDB -update
+//
+// golden_v1.grdb is frozen history (written by the PR-4 Save, same
+// training data): it is never regenerated, and the compat test below
+// proves v1 databases still load and migrate to canonical v2 bytes.
 
 import (
 	"bytes"
@@ -19,7 +23,7 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden format fixtures")
 
 func TestGoldenGRDBFormat(t *testing.T) {
-	path := filepath.Join("testdata", "golden_v1.grdb")
+	path := filepath.Join("testdata", "golden_v2.grdb")
 	got := canonicalDB()
 	if *updateGolden {
 		if err := os.WriteFile(path, got, 0o644); err != nil {
@@ -51,5 +55,30 @@ func TestGoldenGRDBFormat(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Fatal("re-saving the golden fixture is not byte-identical")
+	}
+}
+
+func TestGoldenGRDBV1Compat(t *testing.T) {
+	v1, err := os.ReadFile(filepath.Join("testdata", "golden_v1.grdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(bytes.NewReader(v1), DefaultOptions(), nil)
+	if err != nil {
+		t.Fatalf("loading v1 fixture: %v", err)
+	}
+	ns, nh := f.Counts()
+	if ns != 6 || nh != 6 {
+		t.Fatalf("v1 fixture counts = (%d, %d), want (6, 6)", ns, nh)
+	}
+	// The v1 fixture was written from the same training data as the
+	// v2 golden, so migrating it (load + save) must land exactly on
+	// the canonical v2 bytes.
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), canonicalDB()) {
+		t.Fatal("v1 fixture does not migrate to the canonical v2 bytes")
 	}
 }

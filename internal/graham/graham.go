@@ -38,14 +38,19 @@ import (
 )
 
 // Filter satisfies the backend-generic contract. It is not a
-// TokenLearner: Graham counts token occurrences with multiplicity, so
-// training cannot be reconstructed from a distinct-token set.
+// TokenLearner — Graham counts token occurrences with multiplicity,
+// which a distinct-token set cannot reconstruct — but it IS a
+// StreamLearner: a tokenize.TokenStream carries per-token occurrence
+// counts, exactly the information the occurrence walk used to re-read
+// from the raw message.
 var (
-	_ engine.Classifier      = (*Filter)(nil)
-	_ engine.TokenClassifier = (*Filter)(nil)
-	_ engine.Persistable     = (*Filter)(nil)
-	_ engine.Tokenizing      = (*Filter)(nil)
-	_ engine.Cloner          = (*Filter)(nil)
+	_ engine.Classifier       = (*Filter)(nil)
+	_ engine.TokenClassifier  = (*Filter)(nil)
+	_ engine.StreamClassifier = (*Filter)(nil)
+	_ engine.StreamLearner    = (*Filter)(nil)
+	_ engine.Persistable      = (*Filter)(nil)
+	_ engine.Tokenizing       = (*Filter)(nil)
+	_ engine.Cloner           = (*Filter)(nil)
 )
 
 func init() {
@@ -107,14 +112,19 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// Filter is the Graham classifier.
+// Filter is the Graham classifier. Like the sbayes filter, statistics
+// are keyed by interned token IDs: one symbol table maps token text
+// to a dense tokenize.Sym, and the good/bad occurrence counts live in
+// flat slices indexed by it, cloned with two memcpys.
 type Filter struct {
 	opts  Options
 	tok   *tokenize.Tokenizer
 	ngood int
 	nbad  int
-	good  map[string]int // token occurrences in ham (with multiplicity)
-	bad   map[string]int // token occurrences in spam
+	syms  *tokenize.Symbols
+	good  []int32 // ham occurrences (with multiplicity), indexed by Sym
+	bad   []int32 // spam occurrences, indexed by Sym
+	vocab int     // ids with a nonzero count on either side
 }
 
 // New returns an empty filter (nil tokenizer selects the default).
@@ -129,8 +139,7 @@ func New(opts Options, tok *tokenize.Tokenizer) *Filter {
 	return &Filter{
 		opts: opts,
 		tok:  tok,
-		good: make(map[string]int),
-		bad:  make(map[string]int),
+		syms: tokenize.NewSymbols(),
 	}
 }
 
@@ -146,34 +155,62 @@ func (f *Filter) Tokenizer() *tokenize.Tokenizer { return f.tok }
 // Counts returns the trained message counts (spam, ham).
 func (f *Filter) Counts() (nbad, ngood int) { return f.nbad, f.ngood }
 
-// VocabSize returns the number of distinct tokens in the database.
-func (f *Filter) VocabSize() int {
-	n := len(f.bad)
-	for t := range f.good {
-		if _, also := f.bad[t]; !also {
-			n++
-		}
+// VocabSize returns the number of distinct tokens in the database
+// (union of both sides). Maintained on zero↔nonzero transitions, so
+// it is O(1).
+func (f *Filter) VocabSize() int { return f.vocab }
+
+// TokenCounts returns the raw occurrence counts of a token.
+func (f *Filter) TokenCounts(token string) (bad, good int) {
+	if id, ok := f.syms.Lookup(token); ok {
+		return int(f.bad[id]), int(f.good[id])
 	}
-	return n
+	return 0, 0
 }
 
-// Clone returns an independent deep copy of the filter.
+// intern assigns (or finds) the token's dense ID, keeping both count
+// slices in step with the symbol table.
+func (f *Filter) intern(token string) tokenize.Sym {
+	id := f.syms.Intern(token)
+	if int(id) == len(f.good) {
+		f.good = append(f.good, 0)
+		f.bad = append(f.bad, 0)
+	}
+	return id
+}
+
+// addCount adjusts one side's occurrence count by a signed delta,
+// maintaining the vocab counter across zero↔nonzero transitions of
+// the union.
+func (f *Filter) addCount(id tokenize.Sym, isSpam bool, n int32) {
+	wasZero := f.good[id] == 0 && f.bad[id] == 0
+	if isSpam {
+		f.bad[id] += n
+	} else {
+		f.good[id] += n
+	}
+	isZero := f.good[id] == 0 && f.bad[id] == 0
+	if wasZero && !isZero {
+		f.vocab++
+	} else if !wasZero && isZero {
+		f.vocab--
+	}
+}
+
+// Clone returns an independent deep copy of the filter: the symbol
+// table clones copy-on-write (O(1)) and the count slices copy with
+// memcpys.
 func (f *Filter) Clone() *Filter {
-	c := &Filter{
+	return &Filter{
 		opts:  f.opts,
 		tok:   f.tok,
 		ngood: f.ngood,
 		nbad:  f.nbad,
-		good:  make(map[string]int, len(f.good)),
-		bad:   make(map[string]int, len(f.bad)),
+		syms:  f.syms.Clone(),
+		good:  append(make([]int32, 0, len(f.good)), f.good...),
+		bad:   append(make([]int32, 0, len(f.bad)), f.bad...),
+		vocab: f.vocab,
 	}
-	for t, n := range f.good {
-		c.good[t] = n
-	}
-	for t, n := range f.bad {
-		c.bad[t] = n
-	}
-	return c
 }
 
 // CloneClassifier is Clone behind the engine.Cloner capability, for
@@ -202,29 +239,31 @@ func (f *Filter) SetThresholds(hamCutoff, spamCutoff float64) error {
 // Learn trains on one message. Unlike SpamBayes, occurrences count
 // with multiplicity.
 func (f *Filter) Learn(m *mail.Message, isSpam bool) {
-	f.LearnWeighted(m, isSpam, 1)
+	f.LearnTokenStream(f.tok.Stream(m), isSpam, 1)
 }
 
 // LearnWeighted trains as if weight identical copies were learned
 // (all counts are linear, so this is exact).
 func (f *Filter) LearnWeighted(m *mail.Message, isSpam bool, weight int) {
+	f.LearnTokenStream(f.tok.Stream(m), isSpam, weight)
+}
+
+// LearnTokenStream trains directly on a tokenized message: each
+// distinct token contributes its occurrence count times weight.
+func (f *Filter) LearnTokenStream(ts *tokenize.TokenStream, isSpam bool, weight int) {
 	if weight < 0 {
 		panic("graham: negative learn weight")
 	}
 	if weight == 0 {
 		return
 	}
-	stream := f.tok.Tokenize(m)
 	if isSpam {
 		f.nbad += weight
-		for _, t := range stream {
-			f.bad[t] += weight
-		}
 	} else {
 		f.ngood += weight
-		for _, t := range stream {
-			f.good[t] += weight
-		}
+	}
+	for i := 0; i < ts.Len(); i++ {
+		f.addCount(f.intern(string(ts.At(i))), isSpam, int32(ts.Count(i)*weight))
 	}
 }
 
@@ -232,36 +271,40 @@ func (f *Filter) LearnWeighted(m *mail.Message, isSpam bool, weight int) {
 // It returns an error (leaving the filter unchanged) if the message
 // was not counted with this label, as far as the counts can tell.
 func (f *Filter) Unlearn(m *mail.Message, isSpam bool) error {
-	return f.UnlearnWeighted(m, isSpam, 1)
+	return f.UnlearnTokenStream(f.tok.Stream(m), isSpam, 1)
 }
 
 // UnlearnWeighted is the inverse of LearnWeighted. It panics if
 // weight < 0.
 func (f *Filter) UnlearnWeighted(m *mail.Message, isSpam bool, weight int) error {
+	return f.UnlearnTokenStream(f.tok.Stream(m), isSpam, weight)
+}
+
+// UnlearnTokenStream is the inverse of LearnTokenStream. The stream's
+// deduped occurrence counts make the removal validation direct: every
+// distinct token's stored count must cover count×weight before
+// anything mutates.
+func (f *Filter) UnlearnTokenStream(ts *tokenize.TokenStream, isSpam bool, weight int) error {
 	if weight < 0 {
 		panic("graham: negative unlearn weight")
 	}
 	if weight == 0 {
 		return nil
 	}
-	counts := f.good
 	total := f.ngood
+	counts := f.good
 	if isSpam {
-		counts = f.bad
 		total = f.nbad
+		counts = f.bad
 	}
 	if total < weight {
 		return fmt.Errorf("graham: unlearn message underflow (have %d, remove %d)", total, weight)
 	}
-	// Occurrences count with multiplicity; validate every token's
-	// removal before mutating anything.
-	remove := map[string]int{}
-	for _, t := range f.tok.Tokenize(m) {
-		remove[t] += weight
-	}
-	for t, n := range remove {
-		if counts[t] < n {
-			return fmt.Errorf("graham: unlearn underflow on token %q", t)
+	for i := 0; i < ts.Len(); i++ {
+		n := int32(ts.Count(i) * weight)
+		id, ok := f.syms.Lookup(string(ts.At(i)))
+		if !ok || counts[id] < n {
+			return fmt.Errorf("graham: unlearn underflow on token %q", ts.At(i))
 		}
 	}
 	if isSpam {
@@ -269,21 +312,28 @@ func (f *Filter) UnlearnWeighted(m *mail.Message, isSpam bool, weight int) error
 	} else {
 		f.ngood -= weight
 	}
-	for t, n := range remove {
-		if counts[t] == n {
-			delete(counts, t)
-		} else {
-			counts[t] -= n
-		}
+	for i := 0; i < ts.Len(); i++ {
+		// Validation proved every token is interned with enough count.
+		id, _ := f.syms.Lookup(string(ts.At(i)))
+		f.addCount(id, isSpam, -int32(ts.Count(i)*weight))
 	}
 	return nil
 }
 
 // TokenProb returns Graham's per-token spam probability.
 func (f *Filter) TokenProb(token string) float64 {
-	g := f.opts.HamWeight * f.good[token]
-	b := f.bad[token]
-	if g+b < f.opts.MinOccurrences {
+	var g, b int
+	if id, ok := f.syms.Lookup(token); ok {
+		g, b = int(f.good[id]), int(f.bad[id])
+	}
+	return f.prob(g, b)
+}
+
+// prob computes the clamped probability from raw good/bad occurrence
+// counts.
+func (f *Filter) prob(good, bad int) float64 {
+	g := f.opts.HamWeight * good
+	if g+bad < f.opts.MinOccurrences {
 		return f.opts.UnknownProb
 	}
 	var gRatio, bRatio float64
@@ -291,7 +341,7 @@ func (f *Filter) TokenProb(token string) float64 {
 		gRatio = math.Min(1, float64(g)/float64(f.ngood))
 	}
 	if f.nbad > 0 {
-		bRatio = math.Min(1, float64(b)/float64(f.nbad))
+		bRatio = math.Min(1, float64(bad)/float64(f.nbad))
 	}
 	if gRatio+bRatio == 0 {
 		return f.opts.UnknownProb
@@ -300,9 +350,31 @@ func (f *Filter) TokenProb(token string) float64 {
 	return math.Max(f.opts.ClampLow, math.Min(f.opts.ClampHigh, p))
 }
 
+// cand pairs a token with its probability during selection of the
+// most interesting tokens.
+type cand struct {
+	p    float64
+	dist float64
+	tok  string
+}
+
+// candSlice sorts candidates by descending distance from 0.5, then
+// token text — a concrete sort.Interface so the per-message hot path
+// avoids sort.Slice's reflection allocations.
+type candSlice []cand
+
+func (s candSlice) Len() int      { return len(s) }
+func (s candSlice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s candSlice) Less(i, j int) bool {
+	if s[i].dist != s[j].dist {
+		return s[i].dist > s[j].dist
+	}
+	return s[i].tok < s[j].tok
+}
+
 // Score returns the combined spam probability of a message.
 func (f *Filter) Score(m *mail.Message) float64 {
-	return f.ScoreTokens(f.tok.TokenSet(m))
+	return f.ScoreTokenStream(f.tok.Stream(m))
 }
 
 // ScoreTokens computes the combined spam probability over a
@@ -311,26 +383,37 @@ func (f *Filter) ScoreTokens(tokens []string) float64 {
 	if len(tokens) == 0 {
 		return f.opts.UnknownProb
 	}
-	type cand struct {
-		p    float64
-		dist float64
-		tok  string
-	}
-	cands := make([]cand, 0, len(tokens))
+	cands := make(candSlice, 0, len(tokens))
 	for _, t := range tokens {
 		p := f.TokenProb(t)
 		cands = append(cands, cand{p: p, dist: math.Abs(p - 0.5), tok: t})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist > cands[j].dist
-		}
-		return cands[i].tok < cands[j].tok
-	})
+	return f.combine(cands)
+}
+
+// ScoreTokenStream computes the combined spam probability over a
+// tokenized message. Scoring is per token presence, so the stream's
+// occurrence counts are irrelevant here.
+func (f *Filter) ScoreTokenStream(ts *tokenize.TokenStream) float64 {
+	if ts.Len() == 0 {
+		return f.opts.UnknownProb
+	}
+	cands := make(candSlice, 0, ts.Len())
+	for i := 0; i < ts.Len(); i++ {
+		t := string(ts.At(i))
+		p := f.TokenProb(t)
+		cands = append(cands, cand{p: p, dist: math.Abs(p - 0.5), tok: t})
+	}
+	return f.combine(cands)
+}
+
+// combine selects the MaxTokens most interesting candidates and takes
+// the naive Bayes product in log space for stability.
+func (f *Filter) combine(cands candSlice) float64 {
+	sort.Sort(cands)
 	if len(cands) > f.opts.MaxTokens {
 		cands = cands[:f.opts.MaxTokens]
 	}
-	// Naive Bayes product in log space for stability.
 	var logP, logNotP float64
 	for _, c := range cands {
 		logP += math.Log(c.p)
@@ -362,6 +445,11 @@ func (f *Filter) Classify(m *mail.Message) (engine.Label, float64) {
 // ClassifyTokens is Classify over a pre-tokenized message.
 func (f *Filter) ClassifyTokens(tokens []string) (engine.Label, float64) {
 	return f.labelFor(f.ScoreTokens(tokens))
+}
+
+// ClassifyTokenStream is Classify over a tokenized message.
+func (f *Filter) ClassifyTokenStream(ts *tokenize.TokenStream) (engine.Label, float64) {
+	return f.labelFor(f.ScoreTokenStream(ts))
 }
 
 func (f *Filter) labelFor(s float64) (engine.Label, float64) {

@@ -119,7 +119,7 @@ func TestMultiplicityCounts(t *testing.T) {
 	// Graham counts occurrences, not message presence.
 	f := NewDefault()
 	f.Learn(mkMsg("echo echo echo echo echo\n"), true)
-	if got := f.bad["echo"]; got != 5 {
+	if got, _ := f.TokenCounts("echo"); got != 5 {
 		t.Errorf("occurrences = %d, want 5", got)
 	}
 }
@@ -170,11 +170,11 @@ func TestUnlearnRestoresMultiplicity(t *testing.T) {
 	if err := f.Unlearn(mkMsg("echo echo echo other\n"), true); err != nil {
 		t.Fatal(err)
 	}
-	if got := f.bad["echo"]; got != 1 {
+	if got, _ := f.TokenCounts("echo"); got != 1 {
 		t.Errorf("echo occurrences = %d, want 1", got)
 	}
-	if _, left := f.bad["other"]; left {
-		t.Error("fully unlearned token not deleted")
+	if got, _ := f.TokenCounts("other"); got != 0 {
+		t.Error("fully unlearned token kept a count")
 	}
 	if nbad, _ := f.Counts(); nbad != 1 {
 		t.Errorf("nbad = %d, want 1", nbad)
@@ -183,7 +183,7 @@ func TestUnlearnRestoresMultiplicity(t *testing.T) {
 	if err := f.Unlearn(mkMsg("echo echo\n"), true); err == nil {
 		t.Error("over-unlearn succeeded")
 	}
-	if got := f.bad["echo"]; got != 1 {
+	if got, _ := f.TokenCounts("echo"); got != 1 {
 		t.Errorf("failed unlearn mutated counts: echo = %d", got)
 	}
 	// Wrong label fails too.

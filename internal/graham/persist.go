@@ -10,21 +10,34 @@ import (
 	"repro/internal/tokenize"
 )
 
-// Binary database format (all integers unsigned varints), mirroring
-// the sbayes format but with Graham's two occurrence maps:
+// Binary database format, version 2 (all integers unsigned varints),
+// mirroring the sbayes v2 format but with Graham's two occurrence
+// sides sharing one symbol table:
 //
-//	magic   "GRDB\x01"
+//	magic   "GRDB\x02"
 //	ngood, nbad
-//	ngoodTokens, ngoodTokens × { len(token), token bytes, count }
-//	nbadTokens,  nbadTokens  × { len(token), token bytes, count }
+//	nsyms,     nsyms     × { len(token), token bytes }   — symbol table
+//	ngoodrecs, ngoodrecs × { id, count }                 — ham side
+//	nbadrecs,  nbadrecs  × { id, count }                 — spam side
 //
-// Tokens are written in sorted order, so identical databases always
-// serialize identically. Options and tokenizer configuration are the
-// caller's to manage (they are code, not data).
+// Symbols are written in sorted token order (the union of both sides'
+// nonzero tokens) and each record section with strictly increasing
+// ids, so identical databases always serialize identically. The
+// decoder treats ids as untrusted input: out-of-bounds, repeated or
+// decreasing ids and duplicate symbols are rejected
+// (FuzzGrahamSaveLoad exercises exactly that surface). Version 1
+// ("GRDB\x01": ngood, nbad, then per side ntokens × {token, count})
+// remains loadable; Save always writes v2. Options and tokenizer
+// configuration are the caller's to manage (they are code, not data).
 
-var persistMagic = [5]byte{'G', 'R', 'D', 'B', 1}
+const (
+	persistV1 = 1
+	persistV2 = 2
+)
 
-// Save writes the token database to w.
+var persistMagic = [5]byte{'G', 'R', 'D', 'B', persistV2}
+
+// Save writes the token database to w (format version 2).
 func (f *Filter) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(persistMagic[:]); err != nil {
@@ -42,23 +55,49 @@ func (f *Filter) Save(w io.Writer) error {
 	if err := writeUvarint(uint64(f.nbad)); err != nil {
 		return err
 	}
-	for _, counts := range []map[string]int{f.good, f.bad} {
-		if err := writeUvarint(uint64(len(counts))); err != nil {
+	// Canonical symbol table: the union of nonzero tokens, sorted.
+	toks := make([]string, 0, f.vocab)
+	for id := range f.good {
+		if f.good[id] != 0 || f.bad[id] != 0 {
+			toks = append(toks, f.syms.Name(tokenize.Sym(id)))
+		}
+	}
+	sort.Strings(toks)
+	if err := writeUvarint(uint64(len(toks))); err != nil {
+		return err
+	}
+	for _, t := range toks {
+		if err := writeUvarint(uint64(len(t))); err != nil {
 			return err
 		}
-		tokens := make([]string, 0, len(counts))
-		for t := range counts {
-			tokens = append(tokens, t)
+		if _, err := bw.WriteString(t); err != nil {
+			return err
 		}
-		sort.Strings(tokens)
-		for _, t := range tokens {
-			if err := writeUvarint(uint64(len(t))); err != nil {
+	}
+	// Record sections keyed by canonical (sorted-order) id.
+	for side := 0; side < 2; side++ {
+		counts := f.good
+		if side == 1 {
+			counts = f.bad
+		}
+		nrecs := 0
+		for _, t := range toks {
+			if id, ok := f.syms.Lookup(t); ok && counts[id] != 0 {
+				nrecs++
+			}
+		}
+		if err := writeUvarint(uint64(nrecs)); err != nil {
+			return err
+		}
+		for i, t := range toks {
+			id, _ := f.syms.Lookup(t)
+			if counts[id] == 0 {
+				continue
+			}
+			if err := writeUvarint(uint64(i)); err != nil {
 				return err
 			}
-			if _, err := bw.WriteString(t); err != nil {
-				return err
-			}
-			if err := writeUvarint(uint64(counts[t])); err != nil {
+			if err := writeUvarint(uint64(counts[id])); err != nil {
 				return err
 			}
 		}
@@ -74,77 +113,180 @@ func (f *Filter) Load(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	f.ngood, f.nbad, f.good, f.bad = loaded.ngood, loaded.nbad, loaded.good, loaded.bad
+	f.ngood, f.nbad = loaded.ngood, loaded.nbad
+	f.syms, f.good, f.bad, f.vocab = loaded.syms, loaded.good, loaded.bad, loaded.vocab
 	return nil
 }
 
-// Load reads a token database written by Save, returning a filter
-// with the given options and tokenizer (nil selects defaults).
+// One below 1<<31 so the counts stay positive even in an int32.
+const maxReasonable = 1<<31 - 1
+
+// Load reads a token database written by Save (format version 1 or
+// 2), returning a filter with the given options and tokenizer (nil
+// selects defaults).
 func Load(r io.Reader, opts Options, tok *tokenize.Tokenizer) (*Filter, error) {
 	br := bufio.NewReader(r)
 	var magic [5]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("graham: reading magic: %w", err)
 	}
-	if magic != persistMagic {
+	if magic[0] != 'G' || magic[1] != 'R' || magic[2] != 'D' || magic[3] != 'B' {
 		return nil, fmt.Errorf("graham: bad magic %q", magic[:])
 	}
-	readUvarint := func(what string) (uint64, error) {
-		v, err := binary.ReadUvarint(br)
-		if err != nil {
-			return 0, fmt.Errorf("graham: reading %s: %w", what, err)
-		}
-		return v, nil
-	}
-	// One below 1<<31 so the counts stay positive even in a 32-bit
-	// int.
-	const maxReasonable = 1<<31 - 1
 	f := New(opts, tok)
-	ngood, err := readUvarint("ngood")
+	switch magic[4] {
+	case persistV1:
+		if err := loadV1(br, f); err != nil {
+			return nil, err
+		}
+	case persistV2:
+		if err := loadV2(br, f); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("graham: unsupported format version %d", magic[4])
+	}
+	return f, nil
+}
+
+func readUvarint(br *bufio.Reader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("graham: reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+// readToken reads one length-prefixed token into buf, enforcing the
+// length bound.
+func readToken(br *bufio.Reader, buf []byte) ([]byte, error) {
+	tlen, err := readUvarint(br, "token length")
 	if err != nil {
 		return nil, err
 	}
-	nbad, err := readUvarint("nbad")
+	if tlen > 1<<20 {
+		return nil, fmt.Errorf("graham: implausible token length %d", tlen)
+	}
+	if uint64(cap(buf)) < tlen {
+		buf = make([]byte, tlen)
+	}
+	buf = buf[:tlen]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("graham: reading token: %w", err)
+	}
+	return buf, nil
+}
+
+// loadV1 parses the version-1 body: per side, ntokens × {token,
+// count}.
+func loadV1(br *bufio.Reader, f *Filter) error {
+	ngood, err := readUvarint(br, "ngood")
 	if err != nil {
-		return nil, err
+		return err
+	}
+	nbad, err := readUvarint(br, "nbad")
+	if err != nil {
+		return err
 	}
 	if ngood > maxReasonable || nbad > maxReasonable {
-		return nil, fmt.Errorf("graham: implausible database header (%d, %d)", ngood, nbad)
+		return fmt.Errorf("graham: implausible database header (%d, %d)", ngood, nbad)
 	}
 	f.ngood, f.nbad = int(ngood), int(nbad)
 	tokenBuf := make([]byte, 0, 64)
-	for _, counts := range []map[string]int{f.good, f.bad} {
-		ntokens, err := readUvarint("token count")
+	for side := 0; side < 2; side++ {
+		isSpam := side == 1
+		ntokens, err := readUvarint(br, "token count")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ntokens > maxReasonable {
-			return nil, fmt.Errorf("graham: implausible token count %d", ntokens)
+			return fmt.Errorf("graham: implausible token count %d", ntokens)
 		}
 		for i := uint64(0); i < ntokens; i++ {
-			tlen, err := readUvarint("token length")
+			tokenBuf, err = readToken(br, tokenBuf)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if tlen > 1<<20 {
-				return nil, fmt.Errorf("graham: implausible token length %d", tlen)
-			}
-			if uint64(cap(tokenBuf)) < tlen {
-				tokenBuf = make([]byte, tlen)
-			}
-			tokenBuf = tokenBuf[:tlen]
-			if _, err := io.ReadFull(br, tokenBuf); err != nil {
-				return nil, fmt.Errorf("graham: reading token: %w", err)
-			}
-			n, err := readUvarint("occurrence count")
+			n, err := readUvarint(br, "occurrence count")
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if n > maxReasonable {
-				return nil, fmt.Errorf("graham: implausible counts for %q", tokenBuf)
+				return fmt.Errorf("graham: implausible counts for %q", tokenBuf)
 			}
-			counts[string(tokenBuf)] = int(n)
+			f.addCount(f.intern(string(tokenBuf)), isSpam, int32(n))
 		}
 	}
-	return f, nil
+	return nil
+}
+
+// loadV2 parses the version-2 body: the shared symbol table, then one
+// record section per side. Ids come from untrusted input: they must
+// be strictly increasing and in bounds per section, and the symbol
+// table must not repeat a token.
+func loadV2(br *bufio.Reader, f *Filter) error {
+	ngood, err := readUvarint(br, "ngood")
+	if err != nil {
+		return err
+	}
+	nbad, err := readUvarint(br, "nbad")
+	if err != nil {
+		return err
+	}
+	if ngood > maxReasonable || nbad > maxReasonable {
+		return fmt.Errorf("graham: implausible database header (%d, %d)", ngood, nbad)
+	}
+	f.ngood, f.nbad = int(ngood), int(nbad)
+	nsyms, err := readUvarint(br, "nsyms")
+	if err != nil {
+		return err
+	}
+	if nsyms > maxReasonable {
+		return fmt.Errorf("graham: implausible symbol count %d", nsyms)
+	}
+	tokenBuf := make([]byte, 0, 64)
+	for i := uint64(0); i < nsyms; i++ {
+		tokenBuf, err = readToken(br, tokenBuf)
+		if err != nil {
+			return err
+		}
+		// Interning a fresh token assigns exactly id i; anything else
+		// means the table repeats a token.
+		if id := f.intern(string(tokenBuf)); uint64(id) != i {
+			return fmt.Errorf("graham: duplicate symbol %q", tokenBuf)
+		}
+	}
+	for side := 0; side < 2; side++ {
+		isSpam := side == 1
+		nrecs, err := readUvarint(br, "record count")
+		if err != nil {
+			return err
+		}
+		if nrecs > nsyms {
+			return fmt.Errorf("graham: more records (%d) than symbols (%d)", nrecs, nsyms)
+		}
+		prev := int64(-1)
+		for i := uint64(0); i < nrecs; i++ {
+			id, err := readUvarint(br, "record id")
+			if err != nil {
+				return err
+			}
+			if id >= nsyms {
+				return fmt.Errorf("graham: record id %d out of bounds (nsyms %d)", id, nsyms)
+			}
+			if int64(id) <= prev {
+				return fmt.Errorf("graham: record ids not strictly increasing (%d after %d)", id, prev)
+			}
+			prev = int64(id)
+			n, err := readUvarint(br, "occurrence count")
+			if err != nil {
+				return err
+			}
+			if n > maxReasonable {
+				return fmt.Errorf("graham: implausible counts for record %d", id)
+			}
+			f.addCount(tokenize.Sym(id), isSpam, int32(n))
+		}
+	}
+	return nil
 }

@@ -6,13 +6,13 @@ import (
 
 	"repro/internal/mail"
 	"repro/internal/stats"
+	"repro/internal/tokenize"
 )
 
 // TokenScore returns f(w), the Robinson-smoothed spam score of a
 // token (equations 1–2). Unseen tokens score exactly the prior x.
 func (f *Filter) TokenScore(token string) float64 {
-	r := f.records[token]
-	return f.scoreRecord(r)
+	return f.scoreRecord(f.recordFor(token))
 }
 
 // scoreRecord computes f(w) from raw counts.
@@ -49,7 +49,7 @@ type Clue struct {
 
 // Score returns the message score I(E) ∈ [0, 1] (equation 3).
 func (f *Filter) Score(m *mail.Message) float64 {
-	return f.ScoreTokens(f.tok.TokenSet(m))
+	return f.ScoreTokenStream(f.tok.Stream(m))
 }
 
 // Classify returns the verdict and score for a message.
@@ -66,16 +66,40 @@ func (f *Filter) ClassifyTokens(tokens []string) (Label, float64) {
 
 // ScoreTokens computes I(E) over a distinct-token set.
 func (f *Filter) ScoreTokens(tokens []string) float64 {
-	clues := f.selectDiscriminators(tokens)
-	return f.combine(clues)
+	cands := make(clueSlice, 0, len(tokens))
+	for _, t := range tokens {
+		cands = f.appendClue(cands, t)
+	}
+	return f.combine(f.rank(cands))
+}
+
+// ScoreTokenStream computes I(E) over a tokenized message without
+// materializing any token slice. Token presence drives the score, so
+// the stream's occurrence counts are irrelevant here.
+func (f *Filter) ScoreTokenStream(ts *tokenize.TokenStream) float64 {
+	cands := make(clueSlice, 0, ts.Len())
+	for i := 0; i < ts.Len(); i++ {
+		cands = f.appendClue(cands, string(ts.At(i)))
+	}
+	return f.combine(f.rank(cands))
+}
+
+// ClassifyTokenStream is Classify over a tokenized message.
+func (f *Filter) ClassifyTokenStream(ts *tokenize.TokenStream) (Label, float64) {
+	s := f.ScoreTokenStream(ts)
+	return f.opts.LabelFor(s), s
 }
 
 // Explain returns every token's score and whether it entered δ(E),
 // in the message's token order.
 func (f *Filter) Explain(m *mail.Message) []Clue {
 	tokens := f.tok.TokenSet(m)
+	cands := make(clueSlice, 0, len(tokens))
+	for _, t := range tokens {
+		cands = f.appendClue(cands, t)
+	}
 	used := map[string]bool{}
-	for _, c := range f.selectDiscriminators(tokens) {
+	for _, c := range f.rank(cands) {
 		used[c.token] = true
 	}
 	out := make([]Clue, len(tokens))
@@ -92,28 +116,40 @@ type clue struct {
 	dist  float64
 }
 
-// selectDiscriminators computes δ(E): the at most MaxDiscriminators
-// tokens whose scores are furthest from 0.5 and at least
-// MinProbStrength away from it. Ties are broken by token text so the
-// result is deterministic regardless of map iteration order.
-func (f *Filter) selectDiscriminators(tokens []string) []clue {
-	cands := make([]clue, 0, len(tokens))
-	for _, t := range tokens {
-		s := f.TokenScore(t)
-		d := math.Abs(s - 0.5)
-		if d >= f.opts.MinProbStrength {
-			cands = append(cands, clue{token: t, score: s, dist: d})
-		}
+// clueSlice sorts clues by descending distance from 0.5, then
+// descending score, then token text — a concrete sort.Interface so the
+// per-message hot path avoids sort.Slice's reflection allocations.
+type clueSlice []clue
+
+func (s clueSlice) Len() int      { return len(s) }
+func (s clueSlice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s clueSlice) Less(i, j int) bool {
+	if s[i].dist != s[j].dist {
+		return s[i].dist > s[j].dist
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist > cands[j].dist
-		}
-		if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
-		}
-		return cands[i].token < cands[j].token
-	})
+	if s[i].score != s[j].score {
+		return s[i].score > s[j].score
+	}
+	return s[i].token < s[j].token
+}
+
+// appendClue scores one token and appends it if it clears the
+// MinProbStrength band around 0.5.
+func (f *Filter) appendClue(cands clueSlice, token string) clueSlice {
+	s := f.scoreRecord(f.recordFor(token))
+	d := math.Abs(s - 0.5)
+	if d >= f.opts.MinProbStrength {
+		cands = append(cands, clue{token: token, score: s, dist: d})
+	}
+	return cands
+}
+
+// rank computes δ(E) from the candidate clues: the at most
+// MaxDiscriminators tokens whose scores are furthest from 0.5. Ties
+// are broken by token text so the result is deterministic regardless
+// of input order.
+func (f *Filter) rank(cands clueSlice) []clue {
+	sort.Sort(cands)
 	if len(cands) > f.opts.MaxDiscriminators {
 		cands = cands[:f.opts.MaxDiscriminators]
 	}

@@ -12,12 +12,14 @@ import (
 // Filter satisfies the backend-generic contract plus every optional
 // capability.
 var (
-	_ engine.Classifier      = (*Filter)(nil)
-	_ engine.TokenClassifier = (*Filter)(nil)
-	_ engine.TokenLearner    = (*Filter)(nil)
-	_ engine.Persistable     = (*Filter)(nil)
-	_ engine.Tokenizing      = (*Filter)(nil)
-	_ engine.Cloner          = (*Filter)(nil)
+	_ engine.Classifier       = (*Filter)(nil)
+	_ engine.TokenClassifier  = (*Filter)(nil)
+	_ engine.TokenLearner     = (*Filter)(nil)
+	_ engine.StreamClassifier = (*Filter)(nil)
+	_ engine.StreamLearner    = (*Filter)(nil)
+	_ engine.Persistable      = (*Filter)(nil)
+	_ engine.Tokenizing       = (*Filter)(nil)
+	_ engine.Cloner           = (*Filter)(nil)
 )
 
 func init() {
@@ -36,14 +38,20 @@ type record struct {
 }
 
 // Filter is the SpamBayes classifier: a token-count database plus the
-// scoring rule. It is not safe for concurrent mutation; concurrent
-// Classify calls without interleaved Learn calls are safe.
+// scoring rule. Statistics are keyed by interned token IDs: syms maps
+// token text to a dense tokenize.Sym and recs is indexed by it, so the
+// per-token state is a flat slice (cloned with one memcpy) instead of
+// a string-keyed map rebuilt on every Clone. Not safe for concurrent
+// mutation; concurrent Classify calls without interleaved Learn calls
+// are safe.
 type Filter struct {
-	opts    Options
-	tok     *tokenize.Tokenizer
-	nspam   int32
-	nham    int32
-	records map[string]record
+	opts  Options
+	tok   *tokenize.Tokenizer
+	nspam int32
+	nham  int32
+	syms  *tokenize.Symbols
+	recs  []record // indexed by tokenize.Sym; len(recs) == syms.Len()
+	vocab int      // number of records with nonzero counts
 }
 
 // New returns an empty filter with the given options and tokenizer.
@@ -57,9 +65,9 @@ func New(opts Options, tok *tokenize.Tokenizer) *Filter {
 		tok = tokenize.Default()
 	}
 	return &Filter{
-		opts:    opts,
-		tok:     tok,
-		records: make(map[string]record),
+		opts: opts,
+		tok:  tok,
+		syms: tokenize.NewSymbols(),
 	}
 }
 
@@ -78,17 +86,56 @@ func (f *Filter) Counts() (nspam, nham int) {
 }
 
 // VocabSize returns the number of distinct tokens in the database.
-func (f *Filter) VocabSize() int { return len(f.records) }
+// Maintained on zero↔nonzero count transitions, so it is O(1) even
+// though unlearned-to-zero tokens keep their interned IDs.
+func (f *Filter) VocabSize() int { return f.vocab }
+
+// recordFor returns the training counts of a token (zero if never
+// interned or unlearned back to zero).
+func (f *Filter) recordFor(token string) record {
+	if id, ok := f.syms.Lookup(token); ok {
+		return f.recs[id]
+	}
+	return record{}
+}
 
 // TokenCounts returns the raw training counts of a token.
 func (f *Filter) TokenCounts(token string) (spam, ham int) {
-	r := f.records[token]
+	r := f.recordFor(token)
 	return int(r.spam), int(r.ham)
+}
+
+// intern assigns (or finds) the token's dense ID and keeps recs in
+// step with the symbol table.
+func (f *Filter) intern(token string) tokenize.Sym {
+	id := f.syms.Intern(token)
+	if int(id) == len(f.recs) {
+		f.recs = append(f.recs, record{})
+	}
+	return id
+}
+
+// addCounts adjusts one record by a signed delta, maintaining the
+// vocab counter across zero↔nonzero transitions.
+func (f *Filter) addCounts(id tokenize.Sym, isSpam bool, w int32) {
+	r := &f.recs[id]
+	wasZero := r.spam == 0 && r.ham == 0
+	if isSpam {
+		r.spam += w
+	} else {
+		r.ham += w
+	}
+	isZero := r.spam == 0 && r.ham == 0
+	if wasZero && !isZero {
+		f.vocab++
+	} else if !wasZero && isZero {
+		f.vocab--
+	}
 }
 
 // Learn trains the filter on one message with the given label.
 func (f *Filter) Learn(m *mail.Message, isSpam bool) {
-	f.LearnTokens(f.tok.TokenSet(m), isSpam, 1)
+	f.LearnTokenStream(f.tok.Stream(m), isSpam, 1)
 }
 
 // LearnWeighted trains the filter as if weight identical copies of the
@@ -97,11 +144,33 @@ func (f *Filter) Learn(m *mail.Message, isSpam bool) {
 // experiments use it to train hundreds of identical attack emails in
 // one pass. It panics if weight < 0.
 func (f *Filter) LearnWeighted(m *mail.Message, isSpam bool, weight int) {
-	f.LearnTokens(f.tok.TokenSet(m), isSpam, weight)
+	f.LearnTokenStream(f.tok.Stream(m), isSpam, weight)
+}
+
+// LearnTokenStream trains directly on a tokenized message. Training is
+// per-message token presence, so the stream's occurrence counts are
+// ignored — each distinct token counts once per weighted copy.
+func (f *Filter) LearnTokenStream(ts *tokenize.TokenStream, isSpam bool, weight int) {
+	if weight < 0 {
+		panic("sbayes: negative learn weight")
+	}
+	if weight == 0 {
+		return
+	}
+	w := int32(weight)
+	if isSpam {
+		f.nspam += w
+	} else {
+		f.nham += w
+	}
+	for i := 0; i < ts.Len(); i++ {
+		f.addCounts(f.intern(string(ts.At(i))), isSpam, w)
+	}
 }
 
 // LearnTokens trains directly on a token set (each distinct token must
-// appear once) with the given multiplicity.
+// appear once) with the given multiplicity. Legacy []string adapter
+// over the interned-ID path.
 func (f *Filter) LearnTokens(tokens []string, isSpam bool, weight int) {
 	if weight < 0 {
 		panic("sbayes: negative learn weight")
@@ -116,13 +185,7 @@ func (f *Filter) LearnTokens(tokens []string, isSpam bool, weight int) {
 		f.nham += w
 	}
 	for _, t := range tokens {
-		r := f.records[t]
-		if isSpam {
-			r.spam += w
-		} else {
-			r.ham += w
-		}
-		f.records[t] = r
+		f.addCounts(f.intern(t), isSpam, w)
 	}
 }
 
@@ -130,11 +193,22 @@ func (f *Filter) LearnTokens(tokens []string, isSpam bool, weight int) {
 // It returns an error (leaving the filter unchanged) if the message
 // was not counted with this label, as far as the counts can tell.
 func (f *Filter) Unlearn(m *mail.Message, isSpam bool) error {
-	return f.UnlearnTokens(f.tok.TokenSet(m), isSpam, 1)
+	return f.UnlearnTokenStream(f.tok.Stream(m), isSpam, 1)
+}
+
+// UnlearnTokenStream is the inverse of LearnTokenStream.
+func (f *Filter) UnlearnTokenStream(ts *tokenize.TokenStream, isSpam bool, weight int) error {
+	return f.unlearn(ts.Len(), func(i int) string { return string(ts.At(i)) }, isSpam, weight)
 }
 
 // UnlearnTokens is the inverse of LearnTokens.
 func (f *Filter) UnlearnTokens(tokens []string, isSpam bool, weight int) error {
+	return f.unlearn(len(tokens), func(i int) string { return tokens[i] }, isSpam, weight)
+}
+
+// unlearn validates every count before mutating anything, so a failed
+// unlearn leaves the filter untouched.
+func (f *Filter) unlearn(n int, token func(i int) string, isSpam bool, weight int) error {
 	if weight < 0 {
 		panic("sbayes: negative unlearn weight")
 	}
@@ -148,14 +222,13 @@ func (f *Filter) UnlearnTokens(tokens []string, isSpam bool, weight int) error {
 	if !isSpam && f.nham < w {
 		return fmt.Errorf("sbayes: unlearn ham underflow (have %d, remove %d)", f.nham, w)
 	}
-	// Validate all token counts before mutating anything.
-	for _, t := range tokens {
-		r := f.records[t]
+	for i := 0; i < n; i++ {
+		r := f.recordFor(token(i))
 		if isSpam && r.spam < w {
-			return fmt.Errorf("sbayes: unlearn underflow on token %q", t)
+			return fmt.Errorf("sbayes: unlearn underflow on token %q", token(i))
 		}
 		if !isSpam && r.ham < w {
-			return fmt.Errorf("sbayes: unlearn underflow on token %q", t)
+			return fmt.Errorf("sbayes: unlearn underflow on token %q", token(i))
 		}
 	}
 	if isSpam {
@@ -163,36 +236,28 @@ func (f *Filter) UnlearnTokens(tokens []string, isSpam bool, weight int) error {
 	} else {
 		f.nham -= w
 	}
-	for _, t := range tokens {
-		r := f.records[t]
-		if isSpam {
-			r.spam -= w
-		} else {
-			r.ham -= w
-		}
-		if r.spam == 0 && r.ham == 0 {
-			delete(f.records, t)
-		} else {
-			f.records[t] = r
-		}
+	for i := 0; i < n; i++ {
+		// Validation proved every token is interned with count ≥ w.
+		id, _ := f.syms.Lookup(token(i))
+		f.addCounts(id, isSpam, -w)
 	}
 	return nil
 }
 
-// Clone returns an independent deep copy of the filter. Experiments
-// use it to branch a poisoned filter off a shared clean baseline.
+// Clone returns an independent deep copy of the filter: the symbol
+// table clones copy-on-write (O(1)) and the flat record slice copies
+// with one memcpy. Experiments use it to branch a poisoned filter off
+// a shared clean baseline; the engine uses it for snapshot retrains.
 func (f *Filter) Clone() *Filter {
-	c := &Filter{
-		opts:    f.opts,
-		tok:     f.tok,
-		nspam:   f.nspam,
-		nham:    f.nham,
-		records: make(map[string]record, len(f.records)),
+	return &Filter{
+		opts:  f.opts,
+		tok:   f.tok,
+		nspam: f.nspam,
+		nham:  f.nham,
+		syms:  f.syms.Clone(),
+		recs:  append(make([]record, 0, len(f.recs)), f.recs...),
+		vocab: f.vocab,
 	}
-	for t, r := range f.records {
-		c.records[t] = r
-	}
-	return c
 }
 
 // CloneClassifier is Clone behind the engine.Cloner capability, for
@@ -212,12 +277,14 @@ func (f *Filter) SetThresholds(hamCutoff, spamCutoff float64) error {
 	return nil
 }
 
-// Tokens returns all tokens in the database in sorted order. Intended
-// for persistence and debugging; O(V log V).
+// Tokens returns all tokens with nonzero counts in sorted order.
+// Intended for persistence and debugging; O(V log V).
 func (f *Filter) Tokens() []string {
-	out := make([]string, 0, len(f.records))
-	for t := range f.records {
-		out = append(out, t)
+	out := make([]string, 0, f.vocab)
+	for id, r := range f.recs {
+		if r.spam != 0 || r.ham != 0 {
+			out = append(out, f.syms.Name(tokenize.Sym(id)))
+		}
 	}
 	sort.Strings(out)
 	return out

@@ -9,19 +9,32 @@ import (
 	"repro/internal/tokenize"
 )
 
-// Binary database format (all integers unsigned varints):
+// Binary database format, version 2 (all integers unsigned varints):
 //
-//	magic   "SBDB\x01"
-//	nspam, nham, ntokens
-//	ntokens × { len(token), token bytes, spamcount, hamcount }
+//	magic   "SBDB\x02"
+//	nspam, nham
+//	nsyms,  nsyms × { len(token), token bytes }      — the symbol table
+//	nrecs,  nrecs × { id, spamcount, hamcount }      — per-symbol counts
 //
-// Tokens are written in sorted order, so identical databases always
-// serialize identically. Options and tokenizer configuration are the
-// caller's to manage (they are code, not data).
+// Symbols are written in sorted token order and records with strictly
+// increasing ids, so identical databases always serialize identically.
+// Save canonicalizes: only tokens with nonzero counts are written, so
+// in saved databases nrecs == nsyms and id == index — but the decoder
+// accepts any subset with increasing in-bounds ids, and treats the id
+// bounds as untrusted input (FuzzSBayesSaveLoad exercises exactly
+// that surface). Version 1 ("SBDB\x01": nspam, nham, ntokens ×
+// {token, spam, ham}) remains loadable; Save always writes v2.
+// Options and tokenizer configuration are the caller's to manage
+// (they are code, not data).
 
-var persistMagic = [5]byte{'S', 'B', 'D', 'B', 1}
+const (
+	persistV1 = 1
+	persistV2 = 2
+)
 
-// Save writes the token database to w.
+var persistMagic = [5]byte{'S', 'B', 'D', 'B', persistV2}
+
+// Save writes the token database to w (format version 2).
 func (f *Filter) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(persistMagic[:]); err != nil {
@@ -39,15 +52,27 @@ func (f *Filter) Save(w io.Writer) error {
 	if err := writeUvarint(uint64(f.nham)); err != nil {
 		return err
 	}
-	if err := writeUvarint(uint64(len(f.records))); err != nil {
+	// Canonical symbol table: nonzero tokens in sorted order.
+	toks := f.Tokens()
+	if err := writeUvarint(uint64(len(toks))); err != nil {
 		return err
 	}
-	for _, t := range f.Tokens() {
-		r := f.records[t]
+	for _, t := range toks {
 		if err := writeUvarint(uint64(len(t))); err != nil {
 			return err
 		}
 		if _, err := bw.WriteString(t); err != nil {
+			return err
+		}
+	}
+	// Records keyed by canonical (sorted-order) id. Every canonical
+	// symbol has nonzero counts, so nrecs == nsyms and id == index.
+	if err := writeUvarint(uint64(len(toks))); err != nil {
+		return err
+	}
+	for i, t := range toks {
+		r := f.recordFor(t)
+		if err := writeUvarint(uint64(i)); err != nil {
 			return err
 		}
 		if err := writeUvarint(uint64(r.spam)); err != nil {
@@ -69,84 +94,178 @@ func (f *Filter) Load(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	f.nspam, f.nham, f.records = loaded.nspam, loaded.nham, loaded.records
+	f.nspam, f.nham = loaded.nspam, loaded.nham
+	f.syms, f.recs, f.vocab = loaded.syms, loaded.recs, loaded.vocab
 	return nil
 }
 
-// Load reads a token database written by Save, returning a filter
-// with the given options and tokenizer (nil selects defaults).
+// One below 1<<31: counts land in int32 fields, and a count of
+// exactly 1<<31 would wrap negative.
+const maxReasonable = 1<<31 - 1
+
+// Load reads a token database written by Save (format version 1 or
+// 2), returning a filter with the given options and tokenizer (nil
+// selects defaults).
 func Load(r io.Reader, opts Options, tok *tokenize.Tokenizer) (*Filter, error) {
 	br := bufio.NewReader(r)
 	var magic [5]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("sbayes: reading magic: %w", err)
 	}
-	if magic != persistMagic {
+	if magic[0] != 'S' || magic[1] != 'B' || magic[2] != 'D' || magic[3] != 'B' {
 		return nil, fmt.Errorf("sbayes: bad magic %q", magic[:])
 	}
-	readUvarint := func(what string) (uint64, error) {
-		v, err := binary.ReadUvarint(br)
-		if err != nil {
-			return 0, fmt.Errorf("sbayes: reading %s: %w", what, err)
-		}
-		return v, nil
-	}
 	f := New(opts, tok)
-	nspam, err := readUvarint("nspam")
-	if err != nil {
-		return nil, err
-	}
-	nham, err := readUvarint("nham")
-	if err != nil {
-		return nil, err
-	}
-	ntokens, err := readUvarint("ntokens")
-	if err != nil {
-		return nil, err
-	}
-	// One below 1<<31: these land in int32 fields, and a count of
-	// exactly 1<<31 would wrap negative.
-	const maxReasonable = 1<<31 - 1
-	if nspam > maxReasonable || nham > maxReasonable || ntokens > maxReasonable {
-		return nil, fmt.Errorf("sbayes: implausible database header (%d, %d, %d)", nspam, nham, ntokens)
-	}
-	f.nspam, f.nham = int32(nspam), int32(nham)
-	// The size hint comes from an untrusted header: clamp it so a
-	// corrupt count cannot demand gigabytes before the body's first
-	// token fails to parse. The map grows to the real size naturally.
-	hint := ntokens
-	if hint > 1<<16 {
-		hint = 1 << 16
-	}
-	f.records = make(map[string]record, hint)
-	tokenBuf := make([]byte, 0, 64)
-	for i := uint64(0); i < ntokens; i++ {
-		tlen, err := readUvarint("token length")
-		if err != nil {
+	switch magic[4] {
+	case persistV1:
+		if err := loadV1(br, f); err != nil {
 			return nil, err
 		}
-		if tlen > 1<<20 {
-			return nil, fmt.Errorf("sbayes: implausible token length %d", tlen)
-		}
-		if uint64(cap(tokenBuf)) < tlen {
-			tokenBuf = make([]byte, tlen)
-		}
-		tokenBuf = tokenBuf[:tlen]
-		if _, err := io.ReadFull(br, tokenBuf); err != nil {
-			return nil, fmt.Errorf("sbayes: reading token: %w", err)
-		}
-		spam, err := readUvarint("spam count")
-		if err != nil {
+	case persistV2:
+		if err := loadV2(br, f); err != nil {
 			return nil, err
 		}
-		ham, err := readUvarint("ham count")
-		if err != nil {
-			return nil, err
-		}
-		if spam > maxReasonable || ham > maxReasonable {
-			return nil, fmt.Errorf("sbayes: implausible counts for %q", tokenBuf)
-		}
-		f.records[string(tokenBuf)] = record{spam: int32(spam), ham: int32(ham)}
+	default:
+		return nil, fmt.Errorf("sbayes: unsupported format version %d", magic[4])
 	}
 	return f, nil
+}
+
+func readUvarint(br *bufio.Reader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("sbayes: reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+// readToken reads one length-prefixed token into buf, enforcing the
+// length bound.
+func readToken(br *bufio.Reader, buf []byte) ([]byte, error) {
+	tlen, err := readUvarint(br, "token length")
+	if err != nil {
+		return nil, err
+	}
+	if tlen > 1<<20 {
+		return nil, fmt.Errorf("sbayes: implausible token length %d", tlen)
+	}
+	if uint64(cap(buf)) < tlen {
+		buf = make([]byte, tlen)
+	}
+	buf = buf[:tlen]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("sbayes: reading token: %w", err)
+	}
+	return buf, nil
+}
+
+// loadV1 parses the version-1 body: ntokens × {token, spam, ham}.
+func loadV1(br *bufio.Reader, f *Filter) error {
+	nspam, err := readUvarint(br, "nspam")
+	if err != nil {
+		return err
+	}
+	nham, err := readUvarint(br, "nham")
+	if err != nil {
+		return err
+	}
+	ntokens, err := readUvarint(br, "ntokens")
+	if err != nil {
+		return err
+	}
+	if nspam > maxReasonable || nham > maxReasonable || ntokens > maxReasonable {
+		return fmt.Errorf("sbayes: implausible database header (%d, %d, %d)", nspam, nham, ntokens)
+	}
+	f.nspam, f.nham = int32(nspam), int32(nham)
+	tokenBuf := make([]byte, 0, 64)
+	for i := uint64(0); i < ntokens; i++ {
+		tokenBuf, err = readToken(br, tokenBuf)
+		if err != nil {
+			return err
+		}
+		spam, err := readUvarint(br, "spam count")
+		if err != nil {
+			return err
+		}
+		ham, err := readUvarint(br, "ham count")
+		if err != nil {
+			return err
+		}
+		if spam > maxReasonable || ham > maxReasonable {
+			return fmt.Errorf("sbayes: implausible counts for %q", tokenBuf)
+		}
+		f.addCounts(f.intern(string(tokenBuf)), true, int32(spam))
+		f.addCounts(f.intern(string(tokenBuf)), false, int32(ham))
+	}
+	return nil
+}
+
+// loadV2 parses the version-2 body: the symbol table, then records
+// keyed by symbol id. Ids come from untrusted input: they must be
+// strictly increasing and in bounds, and the symbol table must not
+// repeat a token.
+func loadV2(br *bufio.Reader, f *Filter) error {
+	nspam, err := readUvarint(br, "nspam")
+	if err != nil {
+		return err
+	}
+	nham, err := readUvarint(br, "nham")
+	if err != nil {
+		return err
+	}
+	nsyms, err := readUvarint(br, "nsyms")
+	if err != nil {
+		return err
+	}
+	if nspam > maxReasonable || nham > maxReasonable || nsyms > maxReasonable {
+		return fmt.Errorf("sbayes: implausible database header (%d, %d, %d)", nspam, nham, nsyms)
+	}
+	f.nspam, f.nham = int32(nspam), int32(nham)
+	tokenBuf := make([]byte, 0, 64)
+	for i := uint64(0); i < nsyms; i++ {
+		tokenBuf, err = readToken(br, tokenBuf)
+		if err != nil {
+			return err
+		}
+		// Interning a fresh token assigns exactly id i; anything else
+		// means the table repeats a token.
+		if id := f.intern(string(tokenBuf)); uint64(id) != i {
+			return fmt.Errorf("sbayes: duplicate symbol %q", tokenBuf)
+		}
+	}
+	nrecs, err := readUvarint(br, "nrecs")
+	if err != nil {
+		return err
+	}
+	if nrecs > nsyms {
+		return fmt.Errorf("sbayes: more records (%d) than symbols (%d)", nrecs, nsyms)
+	}
+	prev := int64(-1)
+	for i := uint64(0); i < nrecs; i++ {
+		id, err := readUvarint(br, "record id")
+		if err != nil {
+			return err
+		}
+		if id >= nsyms {
+			return fmt.Errorf("sbayes: record id %d out of bounds (nsyms %d)", id, nsyms)
+		}
+		if int64(id) <= prev {
+			return fmt.Errorf("sbayes: record ids not strictly increasing (%d after %d)", id, prev)
+		}
+		prev = int64(id)
+		spam, err := readUvarint(br, "spam count")
+		if err != nil {
+			return err
+		}
+		ham, err := readUvarint(br, "ham count")
+		if err != nil {
+			return err
+		}
+		if spam > maxReasonable || ham > maxReasonable {
+			return fmt.Errorf("sbayes: implausible counts for record %d", id)
+		}
+		f.addCounts(tokenize.Sym(id), true, int32(spam))
+		f.addCounts(tokenize.Sym(id), false, int32(ham))
+	}
+	return nil
 }

@@ -68,10 +68,18 @@ func TestLoadErrors(t *testing.T) {
 	cases := []string{
 		"",
 		"XXXX",
-		"SBDB\x02",
+		"SBDB\x03",         // unsupported version
+		"SBDB\x02",         // truncated v2 header
 		"SBDB\x01",         // truncated header
 		"SBDB\x01\x01",     // truncated after nspam
 		"SBDB\x01\x01\x01", // truncated after nham
+		// v2 bodies with hostile symbol/record sections. Layout:
+		// nspam nham nsyms {len tok}... nrecs {id spam ham}...
+		"SBDB\x02\x01\x01\x02\x01a\x01a\x02\x00\x01\x01\x01\x01\x01", // duplicate symbol
+		"SBDB\x02\x01\x01\x01\x01a\x01\x05\x01\x01",                  // record id out of bounds
+		"SBDB\x02\x01\x01\x02\x01a\x01b\x02\x01\x01\x01\x00\x01\x01", // ids not increasing
+		"SBDB\x02\x01\x01\x02\x01a\x01b\x02\x01\x01\x01\x01\x01\x01", // repeated id
+		"SBDB\x02\x01\x01\x01\x01a\x02\x00\x01\x01\x01\x01\x01",      // nrecs > nsyms
 	}
 	for _, c := range cases {
 		if _, err := Load(strings.NewReader(c), DefaultOptions(), nil); err == nil {

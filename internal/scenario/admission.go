@@ -21,6 +21,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mail"
 	"repro/internal/stats"
+	"repro/internal/tokenize"
 )
 
 // AdmissionConfig parameterizes RunOnline's inline vetting pipeline.
@@ -229,8 +230,8 @@ func newOnlineAdmission(cfg AdmissionConfig, backend engine.Backend, store *corp
 		_ = a.roni.Refresh(store, ar.Split(fmt.Sprintf("pool-%d", reviews+1)))
 		reviews++
 		a.roni.Grant(a.cfg.swapGrant())
-		released, dropped := a.buffer.Review(func(m *mail.Message, spam bool) admission.Decision {
-			return a.chain.Admit(context.Background(), m, spam)
+		released, dropped := a.buffer.Review(func(m *mail.Message, ts *tokenize.TokenStream, spam bool) admission.Decision {
+			return a.chain.Admit(context.Background(), m, ts, spam)
 		})
 		for _, h := range released {
 			a.released.Add(h.Msg, h.Spam)

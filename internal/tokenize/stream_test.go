@@ -1,0 +1,228 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mail"
+)
+
+// streamEqualsLegacy fails unless Stream(m) matches the legacy
+// Tokenize walk token for token: same distinct tokens in the same
+// first-appearance order, occurrence counts matching the full stream,
+// and Total equal to the full stream length.
+func streamEqualsLegacy(t *testing.T, tok *Tokenizer, m *mail.Message) {
+	t.Helper()
+	full := tok.Tokenize(m)
+	ts := tok.Stream(m)
+
+	if ts.Total() != len(full) {
+		t.Fatalf("Total = %d, legacy stream has %d tokens", ts.Total(), len(full))
+	}
+	wantOrder := make([]string, 0, len(full))
+	wantCount := make(map[string]int, len(full))
+	for _, w := range full {
+		if wantCount[w] == 0 {
+			wantOrder = append(wantOrder, w)
+		}
+		wantCount[w]++
+	}
+	if ts.Len() != len(wantOrder) {
+		t.Fatalf("Len = %d, want %d distinct (%v vs %v)", ts.Len(), len(wantOrder), ts.Strings(), wantOrder)
+	}
+	for i := 0; i < ts.Len(); i++ {
+		got := string(ts.At(i))
+		if got != wantOrder[i] {
+			t.Fatalf("token %d = %q, want %q", i, got, wantOrder[i])
+		}
+		if ts.Count(i) != wantCount[got] {
+			t.Fatalf("count(%q) = %d, want %d", got, ts.Count(i), wantCount[got])
+		}
+	}
+	// The []string bridge must build the identical stream, digest
+	// included — it is the conformance anchor between the two walks.
+	if bridge := StreamFromTokens(full); bridge.Digest() != ts.Digest() {
+		t.Fatalf("StreamFromTokens digest %x != Stream digest %x", bridge.Digest(), ts.Digest())
+	}
+	if n := tok.DistinctTokenCount(m); n != ts.Len() {
+		t.Fatalf("DistinctTokenCount = %d, want %d", n, ts.Len())
+	}
+}
+
+func streamTestMessage() *mail.Message {
+	m := &mail.Message{Body: "FREE money now!!! visit http://WIN.example.com/prize?x=1 or mail " +
+		"prizes@big.example.org today today today " + strings.Repeat("verylongword", 5) + " end\n" +
+		"héllo wörld   nbsp 日本語のメール です " + string([]byte{0xff, 0xfe, 'a', 'b', 'c'})}
+	m.Header.Add("Subject", "YOU have WON a Prize prize")
+	m.Header.Add("From", "Lucky Winner <winner@spam.example.net>")
+	m.Header.Add("To", "victim@corp.example.com")
+	m.Header.Add("Cc", "other list")
+	m.Header.Add("X-Mailer", "Bulk Blaster 2000")
+	m.Header.Add("Content-Type", "text/plain; charset=UTF-8")
+	m.Header.Add("Received", "from relay.spam.net ([10.20.30.40]) by mx.corp.example.com;")
+	m.Header.Add("Subject", "second subject line")
+	return m
+}
+
+func TestStreamMatchesTokenize(t *testing.T) {
+	m := streamTestMessage()
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"default", DefaultOptions()},
+		{"received", func() Options { o := DefaultOptions(); o.MineReceived = true; return o }()},
+		{"noheaders", func() Options { o := DefaultOptions(); o.Headers = false; return o }()},
+		{"nourl", func() Options { o := DefaultOptions(); o.URLTokens = false; return o }()},
+		{"noskip", func() Options { o := DefaultOptions(); o.SkipTokens = false; return o }()},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			streamEqualsLegacy(t, New(cfg.opts), m)
+		})
+	}
+}
+
+func TestStreamEmptyMessage(t *testing.T) {
+	ts := Default().Stream(&mail.Message{})
+	if ts.Len() != 0 || ts.Total() != 0 {
+		t.Fatalf("empty message produced %d/%d tokens", ts.Len(), ts.Total())
+	}
+	streamEqualsLegacy(t, Default(), &mail.Message{})
+}
+
+func TestStreamDigestDistinguishesPayloads(t *testing.T) {
+	tok := Default()
+	a := tok.Stream(&mail.Message{Body: "alpha beta gamma"})
+	b := tok.Stream(&mail.Message{Body: "alpha beta delta"})
+	if a.Digest() == b.Digest() {
+		t.Fatal("different payloads share a digest")
+	}
+	// Two distinct *mail.Message values with equal content digest
+	// equally — that is the property admission memoization keys on.
+	c := tok.Stream(&mail.Message{Body: "alpha beta gamma"})
+	if a.Digest() != c.Digest() {
+		t.Fatal("equal payloads digest differently")
+	}
+	// Multiplicity is part of the identity.
+	d := tok.Stream(&mail.Message{Body: "alpha beta gamma gamma"})
+	if a.Digest() == d.Digest() {
+		t.Fatal("digest ignores multiplicity")
+	}
+}
+
+func TestStreamScratchReuseIsClean(t *testing.T) {
+	// Streams must stay valid and independent after the scratch that
+	// built them is reused by later messages.
+	tok := Default()
+	a := tok.Stream(&mail.Message{Body: "first message body words"})
+	aWant := a.Strings()
+	for i := 0; i < 64; i++ {
+		_ = tok.Stream(&mail.Message{Body: strings.Repeat("other content entirely ", i+1)})
+	}
+	for i, w := range aWant {
+		if string(a.At(i)) != w {
+			t.Fatalf("stream token %d corrupted by scratch reuse: %q != %q", i, a.At(i), w)
+		}
+	}
+}
+
+func TestSymbolsInternLookup(t *testing.T) {
+	s := NewSymbols()
+	a := s.Intern("alpha")
+	b := s.Intern("beta")
+	if a == b {
+		t.Fatal("distinct tokens share an ID")
+	}
+	if again := s.Intern("alpha"); again != a {
+		t.Fatalf("re-intern changed ID: %d vs %d", again, a)
+	}
+	if id, ok := s.Lookup("beta"); !ok || id != b {
+		t.Fatalf("Lookup(beta) = %d, %v", id, ok)
+	}
+	if _, ok := s.Lookup("gamma"); ok {
+		t.Fatal("Lookup of unknown token succeeded")
+	}
+	if s.Len() != 2 || s.Name(a) != "alpha" || s.Name(b) != "beta" {
+		t.Fatalf("table state: len=%d", s.Len())
+	}
+}
+
+func TestSymbolsCloneCopyOnWrite(t *testing.T) {
+	s := NewSymbols()
+	a := s.Intern("alpha")
+	c := s.Clone()
+	// Clone sees the existing assignment.
+	if id, ok := c.Lookup("alpha"); !ok || id != a {
+		t.Fatal("clone lost an interned token")
+	}
+	// Divergent interning stays private to each side.
+	cb := c.Intern("beta")
+	if _, ok := s.Lookup("beta"); ok {
+		t.Fatal("clone's intern leaked into the original")
+	}
+	sg := s.Intern("gamma")
+	if _, ok := c.Lookup("gamma"); ok {
+		t.Fatal("original's intern leaked into the clone")
+	}
+	if cb != sg {
+		// Both assigned ID 1 independently — the tables are dense and
+		// disjoint after the write fork.
+		t.Fatalf("post-clone IDs diverged unexpectedly: %d vs %d", cb, sg)
+	}
+}
+
+func TestStreamFromTokensCounts(t *testing.T) {
+	ts := StreamFromTokens([]string{"a", "b", "a", "c", "a", "b"})
+	if ts.Len() != 3 || ts.Total() != 6 {
+		t.Fatalf("len=%d total=%d", ts.Len(), ts.Total())
+	}
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	for i := 0; i < ts.Len(); i++ {
+		if ts.Count(i) != want[string(ts.At(i))] {
+			t.Fatalf("count(%q) = %d", ts.At(i), ts.Count(i))
+		}
+	}
+}
+
+// FuzzTokenStream holds the pooled streaming walk to exact
+// equivalence with the legacy []string walk on arbitrary header and
+// body bytes — the two implementations cannot drift.
+func FuzzTokenStream(f *testing.F) {
+	f.Add("WIN a prize", "bob <bob@spam.example.net>", "free MONEY http://x.example.com/a?b=c now now")
+	f.Add("", "", "")
+	f.Add("héllo", "no-at-sign", "日本語   "+strings.Repeat("w", 45)+" a@b.c longemailaddress@example.com")
+	f.Add("x", "a@b", string([]byte{0xff, 0x80, 'a', ' ', 0xc3}))
+	opts := DefaultOptions()
+	opts.MineReceived = true
+	tok := New(opts)
+	f.Fuzz(func(t *testing.T, subject, from, body string) {
+		m := &mail.Message{Body: body}
+		m.Header.Add("Subject", subject)
+		m.Header.Add("From", from)
+		m.Header.Add("Received", "from "+from+" (["+subject+"])")
+		full := tok.Tokenize(m)
+		ts := tok.Stream(m)
+		if ts.Total() != len(full) {
+			t.Fatalf("Total %d != %d", ts.Total(), len(full))
+		}
+		seen := make(map[string]int)
+		order := make([]string, 0, len(full))
+		for _, w := range full {
+			if seen[w] == 0 {
+				order = append(order, w)
+			}
+			seen[w]++
+		}
+		if ts.Len() != len(order) {
+			t.Fatalf("Len %d != %d", ts.Len(), len(order))
+		}
+		for i := range order {
+			if string(ts.At(i)) != order[i] || ts.Count(i) != seen[order[i]] {
+				t.Fatalf("token %d: %q×%d != %q×%d", i, ts.At(i), ts.Count(i), order[i], seen[order[i]])
+			}
+		}
+		if n := tok.DistinctTokenCount(m); n != len(order) {
+			t.Fatalf("DistinctTokenCount %d != %d", n, len(order))
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package tokenize
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// Sym is a dense interned token ID. Each backend snapshot owns a
+// Symbols table assigning IDs 0..Len()-1 in intern order, so
+// per-token statistics live in flat slices indexed by Sym instead of
+// string-keyed maps — and cloning a snapshot copies a slice instead
+// of rebuilding a map.
+type Sym uint32
+
+// NoSym is the invalid ID (returned alongside ok=false by Lookup).
+const NoSym = ^Sym(0)
+
+// Symbols maps token text to dense IDs. It is copy-on-write: Clone is
+// O(1) and shares the table with the original until either side
+// interns a new token, at which point the interning side copies for
+// itself. The copy-on-write discipline follows the Classifier
+// contract: Lookup (scoring) may run concurrently with Clone, but
+// Intern (learning) must not run concurrently with anything else on
+// the same filter.
+type Symbols struct {
+	ids   map[string]Sym
+	names []string
+	// shared marks the table as referenced by a clone; the next
+	// Intern copies before mutating. Atomic because Clone (on the
+	// serving snapshot) may race with Lookup-only readers, and the
+	// race detector must see clean accesses.
+	shared atomic.Bool
+}
+
+// NewSymbols returns an empty intern table.
+func NewSymbols() *Symbols {
+	return &Symbols{ids: make(map[string]Sym)}
+}
+
+// Len returns the number of interned tokens.
+func (s *Symbols) Len() int { return len(s.names) }
+
+// Name returns the token text of an interned ID.
+func (s *Symbols) Name(id Sym) string { return s.names[id] }
+
+// Lookup returns the ID of tok, if interned. Read-only and safe for
+// concurrent use with other Lookups and with Clone.
+func (s *Symbols) Lookup(tok string) (Sym, bool) {
+	id, ok := s.ids[tok]
+	if !ok {
+		return NoSym, false
+	}
+	return id, true
+}
+
+// Intern returns tok's ID, assigning the next dense ID to a new
+// token. The key is copied (tok may be a zero-copy view into a
+// message's TokenStream arena, which must not be pinned by the
+// vocabulary). Mutating: callers must hold the filter's single-writer
+// discipline.
+func (s *Symbols) Intern(tok string) Sym {
+	if id, ok := s.ids[tok]; ok {
+		return id
+	}
+	if s.shared.Load() {
+		s.unshare()
+	}
+	key := strings.Clone(tok)
+	id := Sym(len(s.names))
+	s.ids[key] = id
+	s.names = append(s.names, key)
+	return id
+}
+
+// unshare gives this table private storage before the first mutation
+// after a Clone, leaving every other referent of the shared storage
+// untouched.
+func (s *Symbols) unshare() {
+	ids := make(map[string]Sym, len(s.ids)+64)
+	for k, v := range s.ids {
+		ids[k] = v
+	}
+	s.ids = ids
+	s.names = append(make([]string, 0, len(s.names)+64), s.names...)
+	s.shared.Store(false)
+}
+
+// Clone returns a copy-on-write clone: O(1), sharing storage with s
+// until either side next interns a new token. Safe to call while
+// other goroutines Lookup against s (the snapshot-clone pattern of
+// RetrainIncremental and RONI's clone-and-probe).
+func (s *Symbols) Clone() *Symbols {
+	s.shared.Store(true)
+	c := &Symbols{ids: s.ids, names: s.names}
+	c.shared.Store(true)
+	return c
+}

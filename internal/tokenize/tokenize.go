@@ -109,21 +109,6 @@ func (t *Tokenizer) TokenSet(m *mail.Message) []string {
 	return out
 }
 
-// DistinctTokenCount returns len(TokenSet(m)) without materializing
-// the deduplicated slice. It exists so consumers outside the
-// tokenization layer (the admission flood gate, notably) can ask for
-// the one fact they need instead of calling a tokenization entry
-// point themselves — sbvet's tokenizeonce analyzer fences Tokenize,
-// TokenSet and TokenizeText to the layers that own token streams.
-func (t *Tokenizer) DistinctTokenCount(m *mail.Message) int {
-	stream := t.Tokenize(m)
-	seen := make(map[string]struct{}, len(stream))
-	for _, tok := range stream {
-		seen[tok] = struct{}{}
-	}
-	return len(seen)
-}
-
 // TokenizeText tokenizes a bare body text (no headers).
 func (t *Tokenizer) TokenizeText(text string) []string {
 	return t.appendTextTokens(nil, text)

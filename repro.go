@@ -108,6 +108,31 @@
 // supply the adversaries that stress it (a dose-adapting attacker and
 // ham-labeled pseudospam).
 //
+// # Token pipeline
+//
+// Serving tokenizes each message exactly once. Tokenizer.Stream
+// builds a TokenStream — the message's distinct tokens in
+// first-appearance order with occurrence counts, a total, and a
+// length-prefixed digest — through a pooled per-message scratch
+// arena, so steady-state tokenization costs a handful of allocations
+// instead of a materialized []string per pipeline stage. Both stock
+// backends implement StreamClassifier and StreamLearner over interned
+// token IDs: each trained filter keeps a per-snapshot symbol table
+// that clones cheaply for snapshot swaps and persists sorted, so
+// stream-trained and string-trained filters save byte-identical
+// databases. Every serving stage then consumes the same stream:
+// Engine.Classify and the batch paths resolve the stream capability
+// once per batch; a Guarded engine's vetting tokenizes each training
+// candidate once and hands that one stream to the admitters
+// (TokenFloodGate reads the distinct-token count in O(1),
+// IncrementalRONI memoizes verdicts by stream digest and probes
+// without re-tokenizing), to the Quarantine (whose swap-time reviews
+// hand it back to the judge), and onward through LearnStream to the
+// learner. The tokenizeonce analyzer fences the tokenizer's
+// per-message entry points and TokenStream.Strings, so no stage can
+// quietly reintroduce a second tokenization or rematerialize the
+// slice.
+//
 // # Static analysis
 //
 // The serving and admission invariants described above are enforced
@@ -213,6 +238,18 @@ type TokenClassifier = engine.TokenClassifier
 // distinct-token set with a multiplicity; only backends whose
 // training is per-message token presence can offer it.
 type TokenLearner = engine.TokenLearner
+
+// StreamClassifier is the optional capability of scoring a
+// once-tokenized message (a TokenStream). The serving engine resolves
+// it once per batch so one tokenization feeds score, vet, and learn;
+// both stock backends have it.
+type StreamClassifier = engine.StreamClassifier
+
+// StreamLearner is the optional capability of training on (and
+// unlearning) a TokenStream with a multiplicity; both stock backends
+// have it, and it subsumes TokenLearner for backends whose training
+// weighs occurrence counts.
+type StreamLearner = engine.StreamLearner
 
 // Tokenizing is the optional capability of exposing the tokenizer the
 // classifier trains and scores with, so callers can pre-tokenize
@@ -612,6 +649,34 @@ func DefaultTokenizer() *Tokenizer { return tokenize.Default() }
 // DefaultTokenizerOptions returns the SpamBayes-equivalent
 // configuration.
 func DefaultTokenizerOptions() TokenizerOptions { return tokenize.DefaultOptions() }
+
+// Token is one tokenizer output token.
+type Token = tokenize.Token
+
+// TokenStream is a message tokenized once: its distinct tokens in
+// first-appearance order with occurrence counts, the total token
+// count, and a digest keying memoized admission verdicts. Streams are
+// immutable and flow through score, vet, and learn without
+// re-tokenizing (see the package's Token pipeline section).
+type TokenStream = tokenize.TokenStream
+
+// Sym is an interned token identifier within one Symbols table.
+type Sym = tokenize.Sym
+
+// NoSym is the sentinel Sym for a token absent from a table.
+const NoSym = tokenize.NoSym
+
+// Symbols is an intern table mapping tokens to dense Sym ids; each
+// trained filter keeps one per snapshot.
+type Symbols = tokenize.Symbols
+
+// NewSymbols returns an empty intern table.
+func NewSymbols() *Symbols { return tokenize.NewSymbols() }
+
+// StreamFromTokens builds a TokenStream from a raw token sequence —
+// the bridge from legacy []string token paths into the stream
+// pipeline.
+func StreamFromTokens(stream []string) *TokenStream { return tokenize.StreamFromTokens(stream) }
 
 // ---- Mail ----
 
