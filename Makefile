@@ -5,8 +5,9 @@
 #   make race        run the concurrency-sensitive suites under -race
 #                    (admission vetting + quarantine, engine snapshot
 #                    swap + sharded fan-out + guarded training, eval
-#                    parallelism, scenario online serving, and the
-#                    root facade's end-to-end serving tests)
+#                    parallelism, scenario online serving, the HTTP
+#                    front-end's shed/wedge tests, and the root
+#                    facade's end-to-end serving tests)
 #   make vet         static checks
 #   make lint        run the repo's own analyzer suite (cmd/sbvet:
 #                    snapshotonce, statscomplete, ctxdrain,
@@ -29,6 +30,10 @@
 #   make bench-json  run the benchmarks and write $(BENCH_JSON) as a
 #                    machine-readable artifact (CI uploads it, so the
 #                    perf trajectory accumulates across PRs)
+#   make serve-bench run cmd/sbload against a live cmd/sbserved daemon
+#                    and write $(SERVE_BENCH_JSON): end-to-end serving
+#                    throughput and latency percentiles, learn
+#                    accept/shed splits under an attacker mix
 #   make check       build + vet + lint + test + race (CI runs the
 #                    same pieces, but folds the plain test pass into
 #                    `make cover` and adds `make fuzz`)
@@ -37,8 +42,12 @@ GO ?= go
 BENCH_JSON ?= BENCH_PR8.json
 BENCHTIME  ?= 1s
 FUZZTIME   ?= 10s
+SERVE_BENCH_JSON     ?= BENCH_PR9.json
+SERVE_BENCH_ADDR     ?= 127.0.0.1:18525
+SERVE_BENCH_DURATION ?= 10s
+SERVE_BENCH_WORKERS  ?= 8
 
-.PHONY: build test race vet lint lint-vettool fuzz cover bench bench-tokenize bench-json check
+.PHONY: build test race vet lint lint-vettool fuzz cover bench bench-tokenize bench-json serve-bench check
 
 build:
 	$(GO) build ./...
@@ -47,7 +56,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/admission/ ./internal/engine/ ./internal/eval/ ./internal/scenario/
+	$(GO) test -race . ./internal/admission/ ./internal/engine/ ./internal/eval/ ./internal/scenario/ ./internal/serve/
 
 vet:
 	$(GO) vet ./...
@@ -92,5 +101,21 @@ bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -timeout=30m -run=^$$ . \
 		> $(BENCH_JSON:.json=.txt)
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < $(BENCH_JSON:.json=.txt)
+
+# End-to-end serving benchmark: a real daemon under closed-loop load.
+# The daemon runs in the recipe's own shell with a kill trap, so a
+# failed load run cannot leak the process; the benchjson conversion is
+# a separate step for the same no-pipefail reason as bench-json.
+serve-bench:
+	$(GO) build -o $(CURDIR)/sbserved.bin ./cmd/sbserved
+	$(GO) build -o $(CURDIR)/sbload.bin ./cmd/sbload
+	$(CURDIR)/sbserved.bin -addr $(SERVE_BENCH_ADDR) & \
+	SERVED_PID=$$!; \
+	trap 'kill $$SERVED_PID 2>/dev/null' EXIT; \
+	$(CURDIR)/sbload.bin -addr http://$(SERVE_BENCH_ADDR) \
+		-duration $(SERVE_BENCH_DURATION) -workers $(SERVE_BENCH_WORKERS) \
+		> $(SERVE_BENCH_JSON:.json=.txt)
+	$(GO) run ./cmd/benchjson -out $(SERVE_BENCH_JSON) < $(SERVE_BENCH_JSON:.json=.txt)
+	rm -f $(CURDIR)/sbserved.bin $(CURDIR)/sbload.bin
 
 check: build vet lint test race

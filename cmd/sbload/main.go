@@ -1,0 +1,388 @@
+// Command sbload drives a live sbserved daemon with a closed-loop
+// synthetic workload and reports throughput and latency percentiles
+// in `go test -bench` format, so cmd/benchjson can archive the run as
+// a machine-readable artifact.
+//
+// The traffic mirrors the scenario population: organic ham and spam
+// from the shared synthetic universe, plus an attacker mix submitted
+// through POST /learn — dictionary-attack mail (the paper's §4.1
+// broad poisoning, which the daemon's flood gate should reject) and
+// focused-attack mail targeting one victim message (§4.2, which the
+// RONI probe and quarantine absorb). Each worker runs its own RNG
+// split, so a run is deterministic for a given seed and worker count.
+//
+// Usage:
+//
+//	sbserved -addr :8525 &
+//	sbload -addr http://127.0.0.1:8525 -duration 10s -workers 8 | benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mail"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/textgen"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8525", "base URL of the sbserved daemon")
+		duration   = flag.Duration("duration", 10*time.Second, "load duration")
+		workers    = flag.Int("workers", 8, "closed-loop worker count")
+		seed       = flag.Uint64("seed", 1, "deterministic seed")
+		learnFrac  = flag.Float64("learn-frac", 0.10, "fraction of operations that are learn submissions")
+		batchFrac  = flag.Float64("batch-frac", 0.15, "fraction of operations that are NDJSON classify batches")
+		batchSize  = flag.Int("batch", 32, "messages per NDJSON batch")
+		attackFrac = flag.Float64("attack-frac", 0.3, "fraction of learn submissions that are attack mail")
+		attack     = flag.String("attack", "mixed", "attack variant: dictionary, focused, mixed, none")
+		spamFrac   = flag.Float64("spam-frac", 0.4, "spam fraction of organic traffic")
+		warmup     = flag.Duration("warmup", 15*time.Second, "how long to wait for /healthz")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *duration, *workers, *seed, *learnFrac, *batchFrac, *batchSize, *attackFrac, *attack, *spamFrac, *warmup); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// newGenerator matches the population sbserved bootstraps from, so
+// organic traffic scores against a vocabulary the filter knows.
+func newGenerator() *textgen.Generator {
+	u := textgen.MustUniverse(textgen.UniverseConfig{
+		CommonWords:     50,
+		StandardWords:   700,
+		FormalWords:     250,
+		ColloquialWords: 290,
+		SpamWords:       120,
+		PersonalWords:   400,
+	})
+	return textgen.MustNew(u, textgen.DefaultConfig())
+}
+
+// opKind indexes the per-operation collectors.
+type opKind int
+
+const (
+	opClassify opKind = iota
+	opBatch
+	opLearn
+	numOps
+)
+
+var opNames = [numOps]string{"classify", "batch", "learn"}
+
+// collector accumulates one worker's measurements for one operation.
+type collector struct {
+	count    int
+	errors   int
+	shed     int // learn only: 503 + Retry-After responses
+	accepted int // learn only: 202 responses
+	messages int // batch only: messages scored
+	lat      []time.Duration
+}
+
+func (c *collector) record(d time.Duration) {
+	c.count++
+	c.lat = append(c.lat, d)
+}
+
+// merge folds o into c.
+func (c *collector) merge(o *collector) {
+	c.count += o.count
+	c.errors += o.errors
+	c.shed += o.shed
+	c.accepted += o.accepted
+	c.messages += o.messages
+	c.lat = append(c.lat, o.lat...)
+}
+
+func run(addr string, duration time.Duration, workers int, seed uint64, learnFrac, batchFrac float64, batchSize int, attackFrac float64, attackKind string, spamFrac float64, warmup time.Duration) error {
+	gen := newGenerator()
+	root := stats.NewRNG(seed)
+
+	// Attack builders share the universe the organic traffic comes
+	// from: the dictionary variant floods the whole lexicon, the
+	// focused variant guesses at one victim message's tokens.
+	dict := core.NewOptimalAttack(gen.Universe())
+	setupRNG := root.Split("setup")
+	target := gen.HamMessage(setupRNG)
+	headerPool := []*mail.Message{gen.HamMessage(setupRNG), gen.HamMessage(setupRNG), gen.HamMessage(setupRNG)}
+	focused, err := core.NewFocusedAttack(target, 0.3, headerPool)
+	if err != nil {
+		return err
+	}
+	switch attackKind {
+	case "dictionary", "focused", "mixed", "none":
+	default:
+		return fmt.Errorf("unknown -attack %q (want dictionary, focused, mixed, none)", attackKind)
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * workers,
+			MaxIdleConnsPerHost: 2 * workers,
+		},
+		Timeout: 30 * time.Second,
+	}
+	if err := waitHealthy(client, addr, warmup); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	results := make([][numOps]collector, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lw := &loadWorker{
+				client: client, addr: addr, gen: gen,
+				rng:  root.Split(fmt.Sprintf("worker-%d", w)),
+				dict: dict, focused: focused, attackKind: attackKind,
+				learnFrac: learnFrac, batchFrac: batchFrac,
+				batchSize: batchSize, attackFrac: attackFrac, spamFrac: spamFrac,
+			}
+			lw.loop(ctx, &results[w])
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var merged [numOps]collector
+	for w := range results {
+		for op := opKind(0); op < numOps; op++ {
+			merged[op].merge(&results[w][op])
+		}
+	}
+	report(os.Stdout, &merged, elapsed)
+	return nil
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(client *http.Client, addr string, warmup time.Duration) error {
+	deadline := time.Now().Add(warmup)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy after %s", addr, warmup)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// loadWorker is one closed-loop client.
+type loadWorker struct {
+	client     *http.Client
+	addr       string
+	gen        *textgen.Generator
+	rng        *stats.RNG
+	dict       *core.DictionaryAttack
+	focused    *core.FocusedAttack
+	attackKind string
+
+	learnFrac, batchFrac, attackFrac, spamFrac float64
+	batchSize                                  int
+}
+
+func (w *loadWorker) loop(ctx context.Context, out *[numOps]collector) {
+	for ctx.Err() == nil {
+		x := w.rng.Float64()
+		switch {
+		case x < w.learnFrac:
+			w.doLearn(ctx, &out[opLearn])
+		case x < w.learnFrac+w.batchFrac:
+			w.doBatch(ctx, &out[opBatch])
+		default:
+			w.doClassify(ctx, &out[opClassify])
+		}
+	}
+}
+
+// organic draws one legitimate-population message.
+func (w *loadWorker) organic() *mail.Message {
+	return w.gen.Message(w.rng, w.rng.Bernoulli(w.spamFrac))
+}
+
+// attackMail draws one poisoning candidate per the configured mix.
+func (w *loadWorker) attackMail() *mail.Message {
+	kind := w.attackKind
+	if kind == "mixed" {
+		if w.rng.Bernoulli(0.5) {
+			kind = "dictionary"
+		} else {
+			kind = "focused"
+		}
+	}
+	if kind == "dictionary" {
+		return w.dict.BuildAttack(w.rng)
+	}
+	return w.focused.BuildAttack(w.rng)
+}
+
+func (w *loadWorker) post(ctx context.Context, path, contentType string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.addr+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return w.client.Do(req)
+}
+
+func (w *loadWorker) doClassify(ctx context.Context, c *collector) {
+	body, _ := json.Marshal(serve.ClassifyRequest{Message: serve.WireFromMail(w.organic())})
+	start := time.Now()
+	resp, err := w.post(ctx, "/classify", "application/json", body)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.errors++
+		}
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.errors++
+		return
+	}
+	c.record(time.Since(start))
+}
+
+func (w *loadWorker) doBatch(ctx context.Context, c *collector) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < w.batchSize; i++ {
+		enc.Encode(serve.WireFromMail(w.organic()))
+	}
+	start := time.Now()
+	resp, err := w.post(ctx, "/classify/batch", "application/x-ndjson", buf.Bytes())
+	if err != nil {
+		if ctx.Err() == nil {
+			c.errors++
+		}
+		return
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			lines++
+		}
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || lines != w.batchSize {
+		c.errors++
+		return
+	}
+	c.messages += lines
+	c.record(time.Since(start))
+}
+
+func (w *loadWorker) doLearn(ctx context.Context, c *collector) {
+	var m *mail.Message
+	spam := false
+	if w.attackKind != "none" && w.rng.Bernoulli(w.attackFrac) {
+		// The poisoning attempt: attack mail submitted under the spam
+		// label (the paper's contamination assumption).
+		m, spam = w.attackMail(), true
+	} else {
+		spam = w.rng.Bernoulli(w.spamFrac)
+		m = w.gen.Message(w.rng, spam)
+	}
+	body, _ := json.Marshal(serve.LearnRequest{Message: serve.WireFromMail(m), Spam: spam})
+	start := time.Now()
+	resp, err := w.post(ctx, "/learn", "application/json", body)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.errors++
+		}
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		c.accepted++
+	case http.StatusServiceUnavailable:
+		// Load shedding: the daemon degraded to score-only. The
+		// request still completed — count its latency, tally the shed.
+		c.shed++
+	default:
+		c.errors++
+		return
+	}
+	c.record(time.Since(start))
+}
+
+// report prints one `go test -bench`-shaped line per operation, which
+// cmd/benchjson parses into the perf artifact.
+func report(out io.Writer, merged *[numOps]collector, elapsed time.Duration) {
+	total := 0
+	for op := opKind(0); op < numOps; op++ {
+		c := &merged[op]
+		total += c.count
+		if c.count == 0 {
+			continue
+		}
+		sort.Slice(c.lat, func(i, j int) bool { return c.lat[i] < c.lat[j] })
+		var sum time.Duration
+		for _, d := range c.lat {
+			sum += d
+		}
+		mean := sum / time.Duration(c.count)
+		rps := float64(c.count) / elapsed.Seconds()
+		var b strings.Builder
+		fmt.Fprintf(&b, "BenchmarkServeLoad/%s \t%8d\t%12d ns/op\t%10.1f req/s", opNames[op], c.count, mean.Nanoseconds(), rps)
+		fmt.Fprintf(&b, "\t%12d p50-ns\t%12d p90-ns\t%12d p99-ns",
+			percentile(c.lat, 0.50).Nanoseconds(),
+			percentile(c.lat, 0.90).Nanoseconds(),
+			percentile(c.lat, 0.99).Nanoseconds())
+		switch op {
+		case opLearn:
+			fmt.Fprintf(&b, "\t%8d accepted\t%8d shed", c.accepted, c.shed)
+		case opBatch:
+			fmt.Fprintf(&b, "\t%10.1f msgs/s", float64(c.messages)/elapsed.Seconds())
+		}
+		if c.errors > 0 {
+			fmt.Fprintf(&b, "\t%8d errors", c.errors)
+		}
+		fmt.Fprintln(out, b.String())
+	}
+	fmt.Fprintf(out, "BenchmarkServeLoad/all \t%8d\t%12d ns/op\t%10.1f req/s\n",
+		total, elapsed.Nanoseconds()/int64(max(total, 1)), float64(total)/elapsed.Seconds())
+}
+
+// percentile reads the p-quantile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

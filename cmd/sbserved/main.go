@@ -1,0 +1,294 @@
+// Command sbserved runs the guarded serving daemon: an HTTP front-end
+// over one guarded engine (or a sharded fleet) that classifies on
+// demand and learns only through admission control.
+//
+// The daemon wires the paper's §5 defenses into a network deployment:
+// a token-flood gate and incremental RONI vet every learn submission,
+// quarantined candidates are held for swap-time review, and snapshot
+// save/resume carries the admission state with the classifier — a
+// restart cannot amnesty held mail or refill a spent probe budget.
+// The learn path is asynchronous and bounded: when it saturates (or
+// an admitter wedges), submissions shed with 503 + Retry-After while
+// classification continues unharmed.
+//
+// Usage:
+//
+//	sbserved -addr :8525 -backend sbayes
+//	sbserved -backend graham -shards 4 -snapshot-dir /var/lib/sbserved
+//
+// With -snapshot-dir, the daemon resumes the newest persisted
+// snapshot at startup (falling back to a fresh bootstrap when none
+// exists), exposes POST /admin/save and /admin/resume, and saves on
+// graceful shutdown.
+//
+// Endpoints: POST /classify, /score (single JSON), /classify/batch,
+// /score/batch (NDJSON streams), /learn (202 or 503 shed),
+// /admin/flush, /admin/save, /admin/resume; GET /stats, /healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/mail"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/textgen"
+	"repro/internal/tokenize"
+
+	_ "repro/internal/graham"
+	_ "repro/internal/sbayes"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8525", "listen address")
+		backend  = flag.String("backend", "sbayes", fmt.Sprintf("classifier backend %v", engine.Backends()))
+		shards   = flag.Int("shards", 0, "shard the fleet N ways (0 = single engine)")
+		name     = flag.String("name", "served", "snapshot line name")
+		snapDir  = flag.String("snapshot-dir", "", "snapshot store directory (empty disables persistence)")
+		seed     = flag.Uint64("seed", 1, "deterministic seed for bootstrap and admission")
+		bootHam  = flag.Int("bootstrap-ham", 300, "bootstrap corpus ham count (fresh start only)")
+		bootSpam = flag.Int("bootstrap-spam", 300, "bootstrap corpus spam count (fresh start only)")
+		poolSize = flag.Int("pool", 200, "RONI calibration pool size")
+
+		maxDistinct = flag.Int("max-distinct", 2000, "flood gate: reject candidates with more distinct tokens")
+		roniBudget  = flag.Float64("roni-budget", 0.05, "RONI probe budget earned per admitted message")
+		roniBurst   = flag.Float64("roni-burst", 4, "RONI probe budget burst capacity")
+		swapGrant   = flag.Float64("swap-grant", 4, "probe budget granted at each publish (quarantine review)")
+		quarCap     = flag.Int("quarantine-cap", 256, "quarantine capacity")
+
+		learnQueue  = flag.Int("learn-queue", 256, "bounded learn queue depth (full queue sheds 503)")
+		learnBatch  = flag.Int("learn-batch", 64, "max examples per incremental retrain")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrent batch-scoring requests (0 = 2x GOMAXPROCS)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After advertised on shed learn submissions")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		addr: *addr, backend: *backend, shards: *shards, name: *name,
+		snapDir: *snapDir, seed: *seed, bootHam: *bootHam, bootSpam: *bootSpam,
+		poolSize: *poolSize, maxDistinct: *maxDistinct, roniBudget: *roniBudget,
+		roniBurst: *roniBurst, swapGrant: *swapGrant, quarCap: *quarCap,
+		learnQueue: *learnQueue, learnBatch: *learnBatch,
+		maxInflight: *maxInflight, retryAfter: *retryAfter,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type config struct {
+	addr, backend, name, snapDir     string
+	shards                           int
+	seed                             uint64
+	bootHam, bootSpam, poolSize      int
+	maxDistinct                      int
+	roniBudget, roniBurst, swapGrant float64
+	quarCap, learnQueue, learnBatch  int
+	maxInflight                      int
+	retryAfter                       time.Duration
+}
+
+// newGenerator builds the synthetic mail universe the daemon
+// bootstraps and calibrates from — the same population shape the
+// scenario simulator and the load generator use.
+func newGenerator() *textgen.Generator {
+	u := textgen.MustUniverse(textgen.UniverseConfig{
+		CommonWords:     50,
+		StandardWords:   700,
+		FormalWords:     250,
+		ColloquialWords: 290,
+		SpamWords:       120,
+		PersonalWords:   400,
+	})
+	return textgen.MustNew(u, textgen.DefaultConfig())
+}
+
+func run(cfg config) error {
+	b, err := engine.Lookup(cfg.backend)
+	if err != nil {
+		return err
+	}
+	gen := newGenerator()
+	rng := stats.NewRNG(cfg.seed)
+
+	// Admission wiring: structural flood gate first (cheap), then the
+	// budgeted RONI probe. Quarantined candidates wait for the
+	// post-publish review.
+	calib := gen.Corpus(rng.Split("calib"), cfg.poolSize/2, cfg.poolSize-cfg.poolSize/2)
+	roni, err := admission.NewIncrementalRONI(
+		admission.IncrementalRONIConfig{BudgetPerMessage: cfg.roniBudget, Burst: cfg.roniBurst},
+		calib, b.New, rng.Split("roni"))
+	if err != nil {
+		return err
+	}
+	gate := admission.NewTokenFloodGate(admission.FloodGateConfig{MaxDistinct: cfg.maxDistinct})
+	chain := admission.NewChain(gate, roni)
+	quarantine := admission.NewQuarantine(admission.QuarantineConfig{Capacity: cfg.quarCap})
+
+	gcfg := engine.GuardedConfig{Quarantine: quarantine}
+	gcfg.PostPublish = append(gcfg.PostPublish, func() {
+		// Each publish grants review budget and re-vets the held mail
+		// under it. Released candidates are reported, not auto-trained:
+		// re-entering the training path from a publish hook would
+		// publish recursively (hookorder forbids it for that reason),
+		// so a deployment feeds releases back through POST /learn.
+		roni.Grant(cfg.swapGrant)
+		released, dropped := quarantine.Review(func(m *mail.Message, ts *tokenize.TokenStream, spam bool) admission.Decision {
+			return chain.Admit(context.Background(), m, ts, spam)
+		})
+		if len(released) > 0 || dropped > 0 {
+			log.Printf("quarantine review: %d released, %d dropped", len(released), dropped)
+		}
+	})
+
+	var store engine.SnapshotStore
+	if cfg.snapDir != "" {
+		ds, err := engine.NewDirStore(cfg.snapDir)
+		if err != nil {
+			return err
+		}
+		store = ds
+	}
+
+	scfg := serve.Config{
+		LearnQueue:  cfg.learnQueue,
+		LearnBatch:  cfg.learnBatch,
+		MaxInflight: cfg.maxInflight,
+		RetryAfter:  cfg.retryAfter,
+		Store:       store,
+		Name:        cfg.name,
+		Backend:     cfg.backend,
+	}
+
+	var srv *serve.Server
+	var saveOnExit func()
+	if cfg.shards > 0 {
+		gsh, resumed, err := buildSharded(cfg, b, gen, rng, chain, gcfg, store)
+		if err != nil {
+			return err
+		}
+		log.Printf("serving %d shards of %s (resumed=%v) on %s", cfg.shards, cfg.backend, resumed, cfg.addr)
+		srv = serve.NewSharded(gsh, scfg)
+		if store != nil {
+			saveOnExit = func() {
+				if gens, err := gsh.Sharded().SaveAll(store, cfg.backend); err != nil {
+					log.Printf("save on exit: %v", err)
+				} else {
+					log.Printf("saved shard generations %v", gens)
+				}
+			}
+		}
+	} else {
+		guarded, resumed, err := buildSingle(cfg, b, gen, rng, chain, gcfg, store)
+		if err != nil {
+			return err
+		}
+		log.Printf("serving %s generation %d (resumed=%v) on %s", cfg.backend, guarded.Generation(), resumed, cfg.addr)
+		srv = serve.NewSingle(guarded, scfg)
+		if store != nil {
+			saveOnExit = func() {
+				if g, err := engine.SaveGuarded(store, cfg.name, cfg.backend, guarded); err != nil {
+					log.Printf("save on exit: %v", err)
+				} else {
+					log.Printf("saved generation %d", g)
+				}
+			}
+		}
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if saveOnExit != nil {
+		saveOnExit()
+	}
+	return nil
+}
+
+// buildSingle resumes the guarded engine from the store when a
+// snapshot line exists, else bootstraps a fresh classifier from the
+// synthetic population.
+func buildSingle(cfg config, b engine.Backend, gen *textgen.Generator, rng *stats.RNG, chain *admission.Chain, gcfg engine.GuardedConfig, store engine.SnapshotStore) (*engine.Guarded, bool, error) {
+	ecfg := engine.Config{Name: cfg.name}
+	if store != nil {
+		if _, err := engine.LatestEnvelope(store, cfg.name); err == nil {
+			guarded, env, err := engine.ResumeGuarded(store, cfg.name, ecfg, chain, gcfg)
+			if err != nil {
+				return nil, false, err
+			}
+			_ = env
+			return guarded, true, nil
+		}
+	}
+	clf := b.New()
+	trainBootstrap(clf, gen.Corpus(rng.Split("boot"), cfg.bootHam, cfg.bootSpam))
+	return engine.NewGuarded(engine.New(clf, ecfg), chain, gcfg), false, nil
+}
+
+// buildSharded resumes the fleet from the store when every shard's
+// snapshot line exists, else bootstraps fresh shards, each trained on
+// its own partition of the bootstrap corpus.
+func buildSharded(cfg config, b engine.Backend, gen *textgen.Generator, rng *stats.RNG, chain *admission.Chain, gcfg engine.GuardedConfig, store engine.SnapshotStore) (*engine.GuardedSharded, bool, error) {
+	shcfg := engine.ShardedConfig{Name: cfg.name}
+	if store != nil {
+		sh, gens, err := engine.ResumeAll(store, cfg.shards, shcfg)
+		if err == nil {
+			if stale := engine.StaleShards(gens); len(stale) > 0 {
+				log.Printf("warning: shards %v resumed stale (generations %v)", stale, gens)
+			}
+			return engine.NewGuardedSharded(sh, chain, gcfg), true, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("resume unavailable (%v); bootstrapping fresh shards", err)
+		}
+	}
+	boot := gen.Corpus(rng.Split("boot"), cfg.bootHam, cfg.bootSpam)
+	parts := engine.PartitionByKey(boot, cfg.shards, engine.RecipientKey)
+	clfs := make([]engine.Classifier, cfg.shards)
+	for i := range clfs {
+		clf := b.New()
+		trainBootstrap(clf, parts[i])
+		clfs[i] = clf
+	}
+	return engine.NewGuardedSharded(engine.NewSharded(clfs, shcfg), chain, gcfg), false, nil
+}
+
+// trainBootstrap trains the operator-trusted bootstrap corpus into a
+// fresh classifier before the engine starts serving. This is the one
+// pre-admission training path in the daemon: the corpus is generated
+// locally from the seed, not received from the network.
+func trainBootstrap(clf engine.Classifier, c *corpus.Corpus) {
+	for _, ex := range c.Examples {
+		clf.Learn(ex.Msg, ex.Spam) //sbvet:unguarded operator-trusted local bootstrap corpus; admission vets network submissions, not the seed
+	}
+}

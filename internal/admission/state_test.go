@@ -1,0 +1,264 @@
+package admission_test
+
+// Regression coverage for the crash-amnesty bug: quarantine contents
+// and the IncrementalRONI probe budget/memo now persist through
+// engine.SaveGuarded and come back through engine.ResumeGuarded, so a
+// restart can no longer free a held attacker or refill an exhausted
+// probe bucket.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/engine"
+	"repro/internal/mail"
+	"repro/internal/stats"
+	"repro/internal/tokenize"
+)
+
+// mkHeld builds a distinctive candidate for quarantine round-trips.
+func mkHeld(subject, body string) *mail.Message {
+	m := &mail.Message{Body: body}
+	m.Header.Add("Subject", subject)
+	m.Header.Add("From", "attacker@example.test")
+	return m
+}
+
+func TestQuarantineStateRoundTrip(t *testing.T) {
+	q := admission.NewQuarantine(admission.QuarantineConfig{Capacity: 8, MaxReviews: 3})
+	q.Hold(mkHeld("first", "alpha beta gamma"), nil, true, "roni: probe budget exhausted")
+	q.Hold(mkHeld("second", "delta epsilon"), nil, false, "undecidable")
+
+	var buf bytes.Buffer
+	if err := q.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := admission.NewQuarantine(admission.QuarantineConfig{Capacity: 8, MaxReviews: 3})
+	if err := fresh.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := q.Pending(), fresh.Pending()
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d held, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Msg.Subject() != want[i].Msg.Subject() ||
+			got[i].Msg.Body != want[i].Msg.Body ||
+			got[i].Spam != want[i].Spam ||
+			got[i].Reason != want[i].Reason ||
+			got[i].Reviews != want[i].Reviews {
+			t.Fatalf("held[%d] mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+		if got[i].Stream != nil {
+			t.Fatalf("held[%d] resumed with a token stream; streams are not persisted", i)
+		}
+	}
+	if ws, gs := q.Stats(), fresh.Stats(); gs != ws {
+		t.Fatalf("loaded stats %+v, want %+v", gs, ws)
+	}
+}
+
+func TestQuarantineLoadRejectsCorruptState(t *testing.T) {
+	q := admission.NewQuarantine(admission.QuarantineConfig{})
+	q.Hold(mkHeld("x", "y"), nil, true, "r")
+	var buf bytes.Buffer
+	if err := q.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, tc := range [][]byte{
+		data[:len(data)-1],                    // truncated
+		append(data[:len(data):len(data)], 0), // trailing byte
+		{0xff},                                // bad version varint boundary
+	} {
+		fresh := admission.NewQuarantine(admission.QuarantineConfig{})
+		if err := fresh.LoadState(bytes.NewReader(tc)); err == nil {
+			t.Fatalf("corrupt state (%d bytes) loaded without error", len(tc))
+		}
+	}
+}
+
+func TestIncrementalRONIStateRoundTrip(t *testing.T) {
+	g := testGen(t)
+	cfg := admission.IncrementalRONIConfig{BudgetPerMessage: 0.01, Burst: 2}
+	a, err := admission.NewIncrementalRONI(cfg, pool(t, g, 200), backendFactory(t, "sbayes"), stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spend the burst: probes run until the bucket drops below 1, then
+	// candidates defer. Stream-keyed arrivals populate the digest memo.
+	r := stats.NewRNG(11)
+	msgs := make([]*mail.Message, 6)
+	for i := range msgs {
+		msgs[i] = g.SpamMessage(r)
+	}
+	tkz := tokenize.Default()
+	for _, m := range msgs {
+		a.Admit(ctx, m, tkz.Stream(m), true)
+	}
+	before := a.Stats()
+	if before.Probes == 0 || before.Deferred == 0 {
+		t.Fatalf("fixture did not both probe and defer: %+v", before)
+	}
+
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := admission.NewIncrementalRONI(cfg, pool(t, g, 200), backendFactory(t, "sbayes"), stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Stats(); got != before {
+		t.Fatalf("loaded stats %+v, want %+v", got, before)
+	}
+	// The memo must survive: re-admitting an already-probed payload is
+	// a memo hit, not a new probe — and the drained bucket must stay
+	// drained, so an unseen candidate still defers.
+	fresh.Admit(ctx, msgs[0], tkz.Stream(msgs[0]), true)
+	after := fresh.Stats()
+	if after.MemoHits != before.MemoHits+1 {
+		t.Fatalf("memoized verdict did not survive the restart: %+v", after)
+	}
+	if after.Probes != before.Probes {
+		t.Fatalf("restart re-probed a memoized payload: %+v", after)
+	}
+}
+
+// TestCrashResumeKeepsHeldMailAndSpentBudget is the headline
+// regression: a guarded engine with a populated quarantine and a
+// drained probe budget is saved, the process "crashes" (every live
+// object is rebuilt from scratch, as a restart would), and
+// ResumeGuarded brings back the held attacker and the spent budget.
+// Before SaveGuarded existed, this exact sequence silently amnestied
+// the quarantined mail and refilled the bucket.
+func TestCrashResumeKeepsHeldMailAndSpentBudget(t *testing.T) {
+	for _, backend := range stockBackends {
+		t.Run(backend, func(t *testing.T) {
+			g := testGen(t)
+			store := engine.NewMemStore()
+			calib := pool(t, g, 200)
+
+			// build constructs the guard exactly as a deployment does at
+			// process start: fresh chain, fresh quarantine, same wiring.
+			build := func() (*admission.Chain, *admission.IncrementalRONI, *admission.Quarantine) {
+				roni, err := admission.NewIncrementalRONI(
+					admission.IncrementalRONIConfig{BudgetPerMessage: 0.01, Burst: 2},
+					calib, backendFactory(t, backend), stats.NewRNG(7))
+				if err != nil {
+					t.Fatal(err)
+				}
+				gate := admission.NewTokenFloodGate(admission.FloodGateConfig{MaxDistinct: 2000})
+				q := admission.NewQuarantine(admission.QuarantineConfig{Capacity: 32})
+				return admission.NewChain(gate, roni), roni, q
+			}
+
+			b, err := engine.Lookup(backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := b.New()
+			for _, ex := range calib.Examples {
+				base.Learn(ex.Msg, ex.Spam) //sbvet:unguarded test fixture bootstrap from the trusted calibration pool
+			}
+			eng := engine.New(base, engine.Config{Name: "served"})
+			chain, roni, q := build()
+			guarded := engine.NewGuarded(eng, chain, engine.GuardedConfig{Quarantine: q})
+
+			// Drain the probe budget so a distinctive attacker candidate
+			// lands in quarantine rather than being probed.
+			r := stats.NewRNG(23)
+			for i := 0; i < 4; i++ {
+				m := g.SpamMessage(r)
+				guarded.Vet(ctx, m, true)
+			}
+			attacker := mkHeld("crash-amnesty-probe", strings.Repeat("held attacker payload ", 3))
+			d := guarded.Vet(ctx, attacker, true)
+			if d.Verdict != admission.Held {
+				t.Fatalf("fixture attacker was not quarantined: %+v (quarantine %v)", d, q.Stats())
+			}
+			heldBefore := q.Len()
+			budgetBefore := roni.Stats()
+
+			gen, err := engine.SaveGuarded(store, "served", backend, guarded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen != eng.Generation() {
+				t.Fatalf("saved generation %d, serving %d", gen, eng.Generation())
+			}
+
+			// Crash: rebuild everything from the store.
+			chain2, roni2, q2 := build()
+			resumed, env, err := engine.ResumeGuarded(store, "served", engine.Config{Name: "served"}, chain2, engine.GuardedConfig{Quarantine: q2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if env.Generation != gen {
+				t.Fatalf("resumed generation %d, want %d", env.Generation, gen)
+			}
+			if got := q2.Len(); got != heldBefore {
+				t.Fatalf("resume amnestied the quarantine: %d held, want %d", got, heldBefore)
+			}
+			pending := q2.Pending()
+			found := false
+			for _, h := range pending {
+				if h.Msg.Subject() == "crash-amnesty-probe" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("held attacker missing after resume: %+v", pending)
+			}
+			budgetAfter := roni2.Stats()
+			if budgetAfter.Bucket != budgetBefore.Bucket {
+				t.Fatalf("resume refilled the probe bucket: %v, want %v", budgetAfter.Bucket, budgetBefore.Bucket)
+			}
+			if budgetAfter != budgetBefore {
+				t.Fatalf("resumed budget accounting %+v, want %+v", budgetAfter, budgetBefore)
+			}
+
+			// And the resumed engine still serves: the guard wraps the
+			// resumed snapshot, not a fresh one.
+			if resumed.Generation() != gen {
+				t.Fatalf("resumed engine serves generation %d, want %d", resumed.Generation(), gen)
+			}
+		})
+	}
+}
+
+// TestResumeWithoutSidecarLoadsNothing pins backward compatibility: a
+// snapshot saved through plain SaveEngine (no sidecar) resumes with
+// loaded=false and an untouched guard.
+func TestResumeWithoutSidecarLoadsNothing(t *testing.T) {
+	g := testGen(t)
+	store := engine.NewMemStore()
+	b, err := engine.Lookup("sbayes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := b.New()
+	for _, ex := range pool(t, g, 60).Examples {
+		base.Learn(ex.Msg, ex.Spam) //sbvet:unguarded test fixture bootstrap from the trusted calibration pool
+	}
+	eng := engine.New(base, engine.Config{Name: "plain"})
+	if _, err := engine.SaveEngine(store, "plain", "sbayes", eng); err != nil {
+		t.Fatal(err)
+	}
+	q := admission.NewQuarantine(admission.QuarantineConfig{})
+	guard := engine.NewGuarded(eng, fixed{"a", admission.Decision{Verdict: admission.Accepted}}, engine.GuardedConfig{Quarantine: q})
+	loaded, err := engine.LoadAdmissionState(store, "plain", eng.Generation(), guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded {
+		t.Fatal("LoadAdmissionState reported a sidecar that was never written")
+	}
+}

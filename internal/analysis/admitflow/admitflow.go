@@ -26,7 +26,12 @@
 //   - taint flows bottom-up: a function with an unwaived sink call is
 //     itself an unvetted training path, and so is anything that calls
 //     it, across packages via exported trainsFact facts (calls inside
-//     function literals are attributed to the enclosing function).
+//     function literals are attributed to the enclosing function);
+//   - interface dispatch resolves to known implementations: a locally
+//     declared interface whose method set is satisfied by the engine
+//     (a front-end abstracting "something I can Swap") does not
+//     launder the path — the dispatched call is flagged as reaching
+//     the concrete sink.
 //
 // Within the owner packages — internal/engine and internal/admission
 // (the guard itself), internal/sbayes and internal/graham (the
@@ -171,8 +176,9 @@ func run(pass *analysis.Pass) error {
 // unvetted, or "" for a clean callee. It checks, in order: the callee
 // is itself a sink; the callee is locally tainted; an imported
 // trainsFact marks it; or it is an interface method one of whose known
-// implementations is an unvetted training path (the call-graph
-// resolution through declared interface types).
+// implementations is a sink or an unvetted training path (the
+// call-graph resolution through declared interface types — including
+// a locally declared interface satisfied by the engine itself).
 func calleeSink(pass *analysis.Pass, tainted map[*types.Func]string, callee *types.Func) string {
 	if callee == nil {
 		return ""
@@ -189,6 +195,14 @@ func calleeSink(pass *analysis.Pass, tainted map[*types.Func]string, callee *typ
 	}
 	if pass.Graph.IsInterfaceMethod(callee) {
 		for _, impl := range pass.Graph.Implementations(callee) {
+			// The implementation may itself BE a sink — a locally declared
+			// interface over the engine's training surface (a serving
+			// front-end abstracting "something I can Swap/LearnStream")
+			// resolves here, so wrapping the engine in an interface cannot
+			// launder an unvetted training path.
+			if sink := sinkName(impl); sink != "" {
+				return sink
+			}
 			if sink := tainted[impl]; sink != "" {
 				return sink
 			}

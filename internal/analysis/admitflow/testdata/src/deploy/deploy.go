@@ -74,6 +74,28 @@ func waivedCaller(e *engine.Engine, train []*engine.Message) {
 	waived(e, train)
 }
 
+// trainer is a deploy-declared abstraction over "something that can
+// publish a classifier" — the shape a network front-end is tempted to
+// introduce. Its known implementations are the raw Engine (a sink)
+// and Guarded (a guard); the analyzer resolves the dispatch to the
+// concrete sink, so wrapping the engine in a local interface does not
+// launder the training path.
+type trainer interface {
+	Swap(clf engine.Classifier) uint64
+}
+
+// launderedSwap dispatches through the interface: still flagged,
+// because one resolved implementation is Engine.Swap.
+func launderedSwap(tr trainer, clf engine.Classifier) {
+	tr.Swap(clf) // want `unvetted training path: call to \(deploy\.trainer\)\.Swap reaches \(\*internal/engine\.Engine\)\.Swap`
+}
+
+// launderedEntry sits a hop above the laundered dispatch and inherits
+// its taint.
+func launderedEntry(tr trainer, clf engine.Classifier) {
+	launderedSwap(tr, clf) // want `unvetted training path: call to deploy\.launderedSwap reaches \(\*internal/engine\.Engine\)\.Swap`
+}
+
 // closureBuilder trains inside a function literal; the call is
 // attributed to this function, so the site is still flagged.
 func closureBuilder(e *engine.Engine, train []*engine.Message) {

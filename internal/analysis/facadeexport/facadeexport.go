@@ -1,6 +1,7 @@
 // Package facadeexport proves the facade-completeness invariant:
-// every exported capability of the API packages — internal/engine and
-// internal/admission — must be re-exported by the repro facade.
+// every exported capability of the API packages — internal/engine,
+// internal/admission and internal/serve — must be re-exported by the
+// repro facade.
 //
 // The module's internal/ layout makes the facade the only public
 // surface: a symbol exported from internal/engine but not aliased in
@@ -62,6 +63,7 @@ func (*nofacadeFact) AFact() {}
 var APIPackages = []string{
 	"internal/engine",
 	"internal/admission",
+	"internal/serve",
 }
 
 // FacadeName is the package name identifying the facade.

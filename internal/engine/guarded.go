@@ -477,6 +477,11 @@ func (g *GuardedSharded) ClassifyBatch(ctx context.Context, msgs []*mail.Message
 	return g.sh.ClassifyBatch(ctx, msgs)
 }
 
+// ScoreBatch passes straight through to the sharded engine.
+func (g *GuardedSharded) ScoreBatch(ctx context.Context, msgs []*mail.Message) ([]float64, error) {
+	return g.sh.ScoreBatch(ctx, msgs)
+}
+
 // Stats returns the sharded engine's aggregated counters, including
 // per-shard admission tallies.
 func (g *GuardedSharded) Stats() ShardedStats { return g.sh.Stats() }
@@ -534,6 +539,48 @@ func (g *GuardedSharded) RetrainAll(ctx context.Context, factory Factory, train 
 	gens := make([]uint64, g.sh.NumShards())
 	err = g.sh.forEachShard(func(sh int) error {
 		replacement := factory()
+		if err := trainAll(ctx, replacement, parts[sh]); err != nil {
+			return err
+		}
+		for _, hook := range g.cfg.PrePublish {
+			if err := hook(replacement); err != nil {
+				return fmt.Errorf("engine: pre-publish hook (shard %d): %w", sh, err)
+			}
+		}
+		gens[sh] = g.sh.shards[sh].Swap(replacement)
+		return nil
+	})
+	if err != nil {
+		return gens, err
+	}
+	for _, hook := range g.cfg.PostPublish {
+		hook()
+	}
+	return gens, nil
+}
+
+// RetrainIncrementalAll vets delta at the gateway, partitions the
+// admitted subset by the routing key, and extends every shard's
+// serving snapshot with its own slice concurrently — the sharded
+// guarded live-learn path (the serving daemon's learn queue drains
+// through here). Each shard's replacement is cloned from its own
+// snapshot and passes the PrePublish hooks before its swap; the
+// PostPublish hooks run once for the fleet-wide publish. Every shard
+// must serve a Cloner classifier.
+func (g *GuardedSharded) RetrainIncrementalAll(ctx context.Context, delta *corpus.Corpus) ([]uint64, error) {
+	kept, err := g.VetCorpus(ctx, delta)
+	if err != nil {
+		return nil, err
+	}
+	parts := g.sh.Partition(kept)
+	gens := make([]uint64, g.sh.NumShards())
+	err = g.sh.forEachShard(func(sh int) error {
+		cur, _ := g.sh.shards[sh].Snapshot()
+		cloner, ok := cur.(Cloner)
+		if !ok {
+			return fmt.Errorf("engine: shard %d serves %T, not a Cloner", sh, cur)
+		}
+		replacement := cloner.CloneClassifier()
 		if err := trainAll(ctx, replacement, parts[sh]); err != nil {
 			return err
 		}

@@ -1,0 +1,278 @@
+package engine
+
+// Guarded-engine persistence: the classifier snapshot plus the
+// admission state that guards it, saved and resumed together.
+//
+// SaveEngine alone is amnesty-prone for a guarded deployment: the
+// classifier survives the restart but the quarantine empties (a held
+// attacker walks free) and the RONI probe budget refills (the
+// exhaustion an attacker caused is forgotten). SaveGuarded therefore
+// writes a second, sidecar envelope under the store key
+// "<name>.admission" at the same generation as the classifier
+// snapshot, holding whatever durable state the engine's admitter and
+// quarantine sink expose through AdmissionStatePersister:
+//
+//	magic    "ADMS" 0x01 (format version)
+//	uvarint  generation (matches the classifier snapshot's stamp)
+//	uvarint  section count
+//	per section:
+//	  uvarint len(label), label bytes   ("admitter" | "quarantine")
+//	  uvarint len(payload), payload bytes (the persister's SaveState)
+//	uint32   big-endian CRC-32 (IEEE) of every preceding byte
+//
+// Resume is strict about presence the other way around: a missing
+// sidecar is fine (snapshots from before this format, or a guard with
+// no durable state), but a sidecar section whose target cannot load it
+// is an error — silently dropping persisted quarantine state would
+// re-open the exact amnesty this format closes.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// AdmissionStatePersister is the capability of carrying admitter or
+// quarantine state across a restart. Implementations serialize their
+// own versioned payload; the envelope (integrity, identification,
+// generation stamp) is the engine's job.
+type AdmissionStatePersister interface {
+	// SaveState writes the component's durable state.
+	SaveState(w io.Writer) error
+	// LoadState replaces the component's state with a previously saved
+	// payload.
+	LoadState(r io.Reader) error
+}
+
+// admsMagic is the admission sidecar's magic plus format version.
+var admsMagic = [5]byte{'A', 'D', 'M', 'S', 1}
+
+// Sidecar section labels.
+const (
+	admsSectionAdmitter   = "admitter"
+	admsSectionQuarantine = "quarantine"
+)
+
+// AdmissionSnapshotName is the store key of a guarded engine's
+// admission sidecar: the classifier line "name" pairs with
+// "name.admission" at the same generations.
+func AdmissionSnapshotName(name string) string { return name + ".admission" }
+
+// admsSection is one labeled persister payload inside the sidecar.
+type admsSection struct {
+	label   string
+	payload []byte
+}
+
+// encodeAdmissionState builds the sidecar envelope; no sections means
+// no sidecar (the caller skips the write).
+func encodeAdmissionState(gen uint64, sections []admsSection) []byte {
+	var b bytes.Buffer
+	b.Write(admsMagic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { b.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	put(gen)
+	put(uint64(len(sections)))
+	for _, s := range sections {
+		put(uint64(len(s.label)))
+		b.WriteString(s.label)
+		put(uint64(len(s.payload)))
+		b.Write(s.payload)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b.Bytes()))
+	b.Write(crc[:])
+	return b.Bytes()
+}
+
+// decodeAdmissionState parses and validates a sidecar envelope.
+func decodeAdmissionState(data []byte) (gen uint64, sections []admsSection, err error) {
+	if len(data) < len(admsMagic)+4 {
+		return 0, nil, fmt.Errorf("engine: admission sidecar truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:4], admsMagic[:4]) {
+		return 0, nil, fmt.Errorf("engine: bad admission sidecar magic %q", data[:4])
+	}
+	if data[4] != admsMagic[4] {
+		return 0, nil, fmt.Errorf("engine: admission sidecar format version %d, want %d", data[4], admsMagic[4])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if sum := crc32.ChecksumIEEE(body); sum != binary.BigEndian.Uint32(tail) {
+		return 0, nil, fmt.Errorf("engine: admission sidecar checksum mismatch (have %08x, stored %08x)",
+			sum, binary.BigEndian.Uint32(tail))
+	}
+	r := bytes.NewReader(body[len(admsMagic):])
+	read := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("engine: admission sidecar %s: %w", what, err)
+		}
+		return v, nil
+	}
+	if gen, err = read("generation"); err != nil {
+		return 0, nil, err
+	}
+	n, err := read("section count")
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(r.Len()) { // each section costs >= 1 byte
+		return 0, nil, fmt.Errorf("engine: admission sidecar section count %d", n)
+	}
+	take := func(what string) ([]byte, error) {
+		ln, err := read(what + " length")
+		if err != nil {
+			return nil, err
+		}
+		if ln > uint64(r.Len()) {
+			return nil, fmt.Errorf("engine: admission sidecar truncated in %s", what)
+		}
+		b := make([]byte, ln)
+		io.ReadFull(r, b)
+		return b, nil
+	}
+	for i := uint64(0); i < n; i++ {
+		label, err := take("section label")
+		if err != nil {
+			return 0, nil, err
+		}
+		payload, err := take("section payload")
+		if err != nil {
+			return 0, nil, err
+		}
+		sections = append(sections, admsSection{label: string(label), payload: payload})
+	}
+	if r.Len() != 0 {
+		return 0, nil, fmt.Errorf("engine: admission sidecar has %d trailing bytes", r.Len())
+	}
+	return gen, sections, nil
+}
+
+// guardSections collects the persistable components of one guard —
+// the shared save path of Guarded and GuardedSharded.
+func guardSections(admit Admitter, sink QuarantineSink) ([]admsSection, error) {
+	var sections []admsSection
+	add := func(label string, p AdmissionStatePersister) error {
+		var buf bytes.Buffer
+		if err := p.SaveState(&buf); err != nil {
+			return fmt.Errorf("engine: saving %s state: %w", label, err)
+		}
+		sections = append(sections, admsSection{label: label, payload: buf.Bytes()})
+		return nil
+	}
+	if p, ok := admit.(AdmissionStatePersister); ok {
+		if err := add(admsSectionAdmitter, p); err != nil {
+			return nil, err
+		}
+	}
+	if p, ok := sink.(AdmissionStatePersister); ok {
+		if err := add(admsSectionQuarantine, p); err != nil {
+			return nil, err
+		}
+	}
+	return sections, nil
+}
+
+// applySections loads each sidecar section into its live component;
+// a section whose target cannot load is an error, not a skip.
+func applySections(sections []admsSection, admit Admitter, sink QuarantineSink) error {
+	for _, s := range sections {
+		var target AdmissionStatePersister
+		var ok bool
+		switch s.label {
+		case admsSectionAdmitter:
+			target, ok = admit.(AdmissionStatePersister)
+			if !ok {
+				return fmt.Errorf("engine: admitter %T cannot load persisted admission state", admit)
+			}
+		case admsSectionQuarantine:
+			target, ok = sink.(AdmissionStatePersister)
+			if !ok {
+				return fmt.Errorf("engine: quarantine sink %T cannot load persisted quarantine state", sink)
+			}
+		default:
+			// Unknown sections would have to be dropped to proceed, and a
+			// dropped section is forgotten state — the amnesty again.
+			return fmt.Errorf("engine: admission sidecar has unknown section %q", s.label)
+		}
+		if err := target.LoadState(bytes.NewReader(s.payload)); err != nil {
+			return fmt.Errorf("engine: loading %s state: %w", s.label, err)
+		}
+	}
+	return nil
+}
+
+// SaveGuarded persists g's serving snapshot (exactly as SaveEngine)
+// plus an admission sidecar carrying the admitter's and quarantine
+// sink's durable state, both stamped with the same generation. Guards
+// whose components expose no durable state write no sidecar. The
+// admission state is read after the classifier snapshot, so decisions
+// that land between the two reads are in the sidecar but not the
+// snapshot — the safe direction: a resume can re-vet, but can never
+// un-forget.
+func SaveGuarded(st SnapshotStore, name, backend string, g *Guarded) (uint64, error) {
+	gen, err := SaveEngine(st, name, backend, g.eng)
+	if err != nil {
+		return 0, err
+	}
+	sections, err := guardSections(g.admit, g.cfg.Quarantine)
+	if err != nil {
+		return gen, err
+	}
+	if len(sections) == 0 {
+		return gen, nil
+	}
+	if err := st.Write(AdmissionSnapshotName(name), gen, encodeAdmissionState(gen, sections)); err != nil {
+		return gen, fmt.Errorf("engine: writing admission sidecar: %w", err)
+	}
+	return gen, nil
+}
+
+// LoadAdmissionState restores g's admitter and quarantine sink from
+// name's admission sidecar at generation gen. It returns false (and
+// no error) when no sidecar exists for that generation — snapshots
+// saved through plain SaveEngine, or from before the sidecar format —
+// and an error when a sidecar exists but cannot be applied in full.
+func LoadAdmissionState(st SnapshotStore, name string, gen uint64, g *Guarded) (bool, error) {
+	data, err := st.Read(AdmissionSnapshotName(name), gen)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	sgen, sections, err := decodeAdmissionState(data)
+	if err != nil {
+		return false, err
+	}
+	if sgen != gen {
+		return false, fmt.Errorf("engine: admission sidecar stamped generation %d, want %d", sgen, gen)
+	}
+	if err := applySections(sections, g.admit, g.cfg.Quarantine); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ResumeGuarded restores a guarded engine from name's latest valid
+// generation: the classifier resumes exactly as ResumeEngine, the
+// fresh guard wraps it with admit and gcfg, and any admission sidecar
+// saved at that generation is loaded into the guard — held mail stays
+// held and the probe budget stays spent across the restart. Callers
+// construct admit and gcfg exactly as for NewGuarded (the calibration
+// pool, hooks, and sinks are wiring, not persisted state).
+func ResumeGuarded(st SnapshotStore, name string, cfg Config, admit Admitter, gcfg GuardedConfig) (*Guarded, Envelope, error) {
+	eng, env, err := ResumeEngine(st, name, cfg)
+	if err != nil {
+		return nil, Envelope{}, err
+	}
+	g := NewGuarded(eng, admit, gcfg)
+	if _, err := LoadAdmissionState(st, name, env.Generation, g); err != nil {
+		return nil, Envelope{}, fmt.Errorf("engine: resuming %q: %w", name, err)
+	}
+	return g, env, nil
+}

@@ -302,7 +302,7 @@ func (f *Filter) UnlearnTokenStream(ts *tokenize.TokenStream, isSpam bool, weigh
 	}
 	for i := 0; i < ts.Len(); i++ {
 		n := int32(ts.Count(i) * weight)
-		id, ok := f.syms.Lookup(string(ts.At(i)))
+		id, ok := f.syms.LookupToken(ts.At(i))
 		if !ok || counts[id] < n {
 			return fmt.Errorf("graham: unlearn underflow on token %q", ts.At(i))
 		}
@@ -314,7 +314,7 @@ func (f *Filter) UnlearnTokenStream(ts *tokenize.TokenStream, isSpam bool, weigh
 	}
 	for i := 0; i < ts.Len(); i++ {
 		// Validation proved every token is interned with enough count.
-		id, _ := f.syms.Lookup(string(ts.At(i)))
+		id, _ := f.syms.LookupToken(ts.At(i))
 		f.addCount(id, isSpam, -int32(ts.Count(i)*weight))
 	}
 	return nil
@@ -363,13 +363,42 @@ type cand struct {
 // avoids sort.Slice's reflection allocations.
 type candSlice []cand
 
-func (s candSlice) Len() int      { return len(s) }
-func (s candSlice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
-func (s candSlice) Less(i, j int) bool {
-	if s[i].dist != s[j].dist {
-		return s[i].dist > s[j].dist
+func (s candSlice) Len() int           { return len(s) }
+func (s candSlice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s candSlice) Less(i, j int) bool { return candLess(s[i], s[j]) }
+
+// candLess is the interestingness order shared by the sorting path
+// (combine) and the selection path (ScoreTokenStream): descending
+// distance from 0.5, ties broken by token text. Stream tokens are
+// distinct, so on the stream path the order is total.
+func candLess(a, b cand) bool {
+	if a.dist != b.dist {
+		return a.dist > b.dist
 	}
-	return s[i].tok < s[j].tok
+	return a.tok < b.tok
+}
+
+// insertCand inserts c into sel, kept in candLess order and capped at
+// k entries — a bounded insertion-sort selection. With k fixed at
+// MaxTokens the per-message cost is O(n·k) comparisons and zero
+// allocations, where the sort-then-truncate path built and sorted an
+// n-sized slice.
+func insertCand(sel []cand, k int, c cand) []cand {
+	if len(sel) == k && !candLess(c, sel[k-1]) {
+		return sel
+	}
+	i := len(sel)
+	if i < k {
+		sel = append(sel, cand{})
+	} else {
+		i = k - 1
+	}
+	for i > 0 && candLess(c, sel[i-1]) {
+		sel[i] = sel[i-1]
+		i--
+	}
+	sel[i] = c
+	return sel
 }
 
 // Score returns the combined spam probability of a message.
@@ -391,29 +420,60 @@ func (f *Filter) ScoreTokens(tokens []string) float64 {
 	return f.combine(cands)
 }
 
+// maxTokensStack bounds the MaxTokens value the stream scoring path
+// can select into a stack buffer; larger configurations fall back to
+// one heap slice per message (still far below the old n-sized sort).
+const maxTokensStack = 32
+
 // ScoreTokenStream computes the combined spam probability over a
 // tokenized message. Scoring is per token presence, so the stream's
-// occurrence counts are irrelevant here.
+// occurrence counts are irrelevant here. This is the serving hot path:
+// token probabilities resolve through the Sym-keyed fast path and the
+// MaxTokens most interesting candidates are selected into a
+// fixed-capacity buffer, so scoring allocates nothing per message.
 func (f *Filter) ScoreTokenStream(ts *tokenize.TokenStream) float64 {
-	if ts.Len() == 0 {
+	n := ts.Len()
+	if n == 0 {
 		return f.opts.UnknownProb
 	}
-	cands := make(candSlice, 0, ts.Len())
-	for i := 0; i < ts.Len(); i++ {
-		t := string(ts.At(i))
-		p := f.TokenProb(t)
-		cands = append(cands, cand{p: p, dist: math.Abs(p - 0.5), tok: t})
+	k := f.opts.MaxTokens
+	var buf [maxTokensStack]cand
+	sel := buf[:0]
+	if k > maxTokensStack {
+		sel = make([]cand, 0, k)
 	}
-	return f.combine(cands)
+	for i := 0; i < n; i++ {
+		tok := ts.At(i)
+		p := f.streamTokenProb(tok)
+		sel = insertCand(sel, k, cand{p: p, dist: math.Abs(p - 0.5), tok: string(tok)})
+	}
+	return bayesProduct(sel)
 }
 
-// combine selects the MaxTokens most interesting candidates and takes
-// the naive Bayes product in log space for stability.
+// streamTokenProb is TokenProb keyed by a stream token, resolved
+// through Symbols.LookupToken so no per-token heap string is built.
+func (f *Filter) streamTokenProb(tok tokenize.Token) float64 {
+	var g, b int
+	if id, ok := f.syms.LookupToken(tok); ok {
+		g, b = int(f.good[id]), int(f.bad[id])
+	}
+	return f.prob(g, b)
+}
+
+// combine selects the MaxTokens most interesting candidates by sorting
+// and truncating — the []string scoring path, where candidates may
+// repeat and arrive unsorted — then takes the naive Bayes product.
 func (f *Filter) combine(cands candSlice) float64 {
 	sort.Sort(cands)
 	if len(cands) > f.opts.MaxTokens {
 		cands = cands[:f.opts.MaxTokens]
 	}
+	return bayesProduct(cands)
+}
+
+// bayesProduct takes the naive Bayes product of the selected
+// candidates in log space for stability: Πp / (Πp + Π(1−p)).
+func bayesProduct(cands []cand) float64 {
 	var logP, logNotP float64
 	for _, c := range cands {
 		logP += math.Log(c.p)

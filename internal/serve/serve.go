@@ -1,0 +1,653 @@
+// Package serve is the guarded network front-end: an HTTP daemon over
+// a guarded engine that scores on demand and learns only through
+// admission control.
+//
+// The paper's threat model is an attacker who reaches the filter
+// through its training path. A network front-end is where that path
+// opens to the world, so the server is built so it cannot train
+// unguarded: it holds the concrete *engine.Guarded (or
+// *engine.GuardedSharded) — never a raw Engine, never an interface
+// abstracting one — and every learn submission drains through
+// RetrainIncremental, whose admission chain vets each example before
+// it can influence a snapshot. The sbvet admitflow analyzer walks
+// this package's call graph like any other non-owner package; the
+// daemon staying diagnostic-free is the machine-checked proof that no
+// handler reaches the engine's training surface around the guard.
+//
+// The serving and training paths are isolated from each other:
+//
+//   - Scoring (classify/score, single and NDJSON batch) reads the
+//     atomically published snapshot and never touches admission
+//     state. Batch requests pass through a max-inflight semaphore —
+//     per-connection backpressure, bounded by the client's patience
+//     (the request context) rather than an error.
+//   - Learning is asynchronous: POST /learn enqueues into a bounded
+//     queue and returns 202. A single consumer goroutine drains the
+//     queue in batches through the guard's incremental retrain. When
+//     the consumer falls behind — or an admitter wedges entirely —
+//     the queue fills and the server degrades to score-only: learn
+//     submissions shed with 503 + Retry-After while classification
+//     continues at full speed. A stuck training path can never block
+//     a verdict.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/mail"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// LearnQueue bounds the pending learn submissions (<= 0 selects
+	// 256). A full queue sheds with 503 + Retry-After.
+	LearnQueue int
+	// LearnBatch caps the examples drained into one incremental
+	// retrain (<= 0 selects 64).
+	LearnBatch int
+	// MaxInflight bounds concurrently executing batch-scoring
+	// requests (<= 0 selects 2x GOMAXPROCS). Excess batch requests
+	// wait on the semaphore under their own request context; single
+	// classifies never wait.
+	MaxInflight int
+	// RetryAfter is the backoff advertised on a shed learn
+	// submission (<= 0 selects 1s).
+	RetryAfter time.Duration
+	// Store, when non-nil, enables the save/resume admin endpoints.
+	Store engine.SnapshotStore
+	// Name is the snapshot line's store key (defaults to "served").
+	Name string
+	// Backend is the backend name stamped into saved snapshots, so a
+	// resume can rebuild the right classifier.
+	Backend string
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.LearnQueue <= 0 {
+		c.LearnQueue = 256
+	}
+	if c.LearnBatch <= 0 {
+		c.LearnBatch = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Name == "" {
+		c.Name = "served"
+	}
+	return c
+}
+
+// learnReq is one enqueued learn submission.
+type learnReq struct {
+	msg  *mail.Message
+	spam bool
+}
+
+// flushResult is one drained-and-published learn queue.
+type flushResult struct {
+	gen     uint64
+	trained int
+	err     error
+}
+
+// Server is the HTTP front-end over one guarded engine (exactly one
+// of guarded/sharded is set — the constructors enforce it). It is an
+// http.Handler; callers wrap it in an http.Server or httptest.
+type Server struct {
+	guarded *engine.Guarded
+	sharded *engine.GuardedSharded
+	cfg     Config
+
+	learnCh  chan learnReq
+	flushCh  chan chan flushResult
+	inflight chan struct{}
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	loopDone chan struct{}
+
+	mux *http.ServeMux
+
+	// Front-end traffic counters; engine-level counters (verdict
+	// histogram, admission tallies) live on the engine itself and are
+	// reported alongside these in /stats.
+	classified  atomic.Uint64
+	scored      atomic.Uint64
+	learnQueued atomic.Uint64
+	learnShed   atomic.Uint64
+	trained     atomic.Uint64
+	publishes   atomic.Uint64
+	publishErrs atomic.Uint64
+	flushes     atomic.Uint64
+}
+
+// NewSingle returns a started Server over one guarded engine.
+// Callers Close it when done.
+func NewSingle(g *engine.Guarded, cfg Config) *Server {
+	if g == nil {
+		panic("serve: NewSingle with nil guarded engine")
+	}
+	s := &Server{guarded: g, cfg: cfg.withDefaults()}
+	s.start()
+	return s
+}
+
+// NewSharded returns a started Server over a guarded sharded fleet.
+func NewSharded(g *engine.GuardedSharded, cfg Config) *Server {
+	if g == nil {
+		panic("serve: NewSharded with nil guarded engine")
+	}
+	s := &Server{sharded: g, cfg: cfg.withDefaults()}
+	s.start()
+	return s
+}
+
+func (s *Server) start() {
+	s.learnCh = make(chan learnReq, s.cfg.LearnQueue)
+	s.flushCh = make(chan chan flushResult)
+	s.inflight = make(chan struct{}, s.cfg.MaxInflight)
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.loopDone = make(chan struct{})
+	s.routes()
+	go s.learnLoop()
+}
+
+// Close stops the learn consumer and waits for it to exit. Admitters
+// must honor context cancellation for Close to return promptly; the
+// vetting loop checks the server context between examples either way.
+func (s *Server) Close() error {
+	s.cancel()
+	<-s.loopDone
+	return nil
+}
+
+// ServeHTTP dispatches to the daemon's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /classify", s.handleClassify)
+	s.mux.HandleFunc("POST /score", s.handleScore)
+	s.mux.HandleFunc("POST /classify/batch", func(w http.ResponseWriter, r *http.Request) {
+		s.handleBatch(w, r, true)
+	})
+	s.mux.HandleFunc("POST /score/batch", func(w http.ResponseWriter, r *http.Request) {
+		s.handleBatch(w, r, false)
+	})
+	s.mux.HandleFunc("POST /learn", s.handleLearn)
+	s.mux.HandleFunc("POST /admin/flush", s.handleFlush)
+	s.mux.HandleFunc("POST /admin/save", s.handleSave)
+	s.mux.HandleFunc("POST /admin/resume", s.handleResume)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// learnLoop is the single learn consumer: it drains queued
+// submissions in batches of at most LearnBatch and publishes each
+// batch through the guard's incremental retrain. Everything the
+// training path can do to stall — a slow probe, a wedged admitter —
+// stalls only this goroutine; the queue then fills and the handlers
+// shed, never block.
+func (s *Server) learnLoop() {
+	defer close(s.loopDone)
+	var pending []learnReq
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case req := <-s.learnCh:
+			pending = s.soak(append(pending, req))
+			res := s.publishPending(&pending)
+			if res.err != nil && s.ctx.Err() != nil {
+				return
+			}
+		case ack := <-s.flushCh:
+			pending = s.soak(pending)
+			ack <- s.publishPending(&pending)
+		}
+	}
+}
+
+// soak moves everything already queued into pending, without
+// blocking, up to the batch cap.
+func (s *Server) soak(pending []learnReq) []learnReq {
+	for len(pending) < s.cfg.LearnBatch {
+		select {
+		case req := <-s.learnCh:
+			pending = append(pending, req)
+		default:
+			return pending
+		}
+	}
+	return pending
+}
+
+// publishPending vets and trains the pending batch through the
+// guard's incremental retrain, then resets pending. An empty batch
+// publishes nothing and reports the current generation.
+func (s *Server) publishPending(pending *[]learnReq) flushResult {
+	if len(*pending) == 0 {
+		return flushResult{gen: s.generation()}
+	}
+	delta := &corpus.Corpus{}
+	for _, req := range *pending {
+		delta.Add(req.msg, req.spam)
+	}
+	n := len(*pending)
+	*pending = (*pending)[:0]
+
+	var gen uint64
+	var err error
+	if s.guarded != nil {
+		gen, err = s.guarded.RetrainIncremental(s.ctx, delta)
+	} else {
+		var gens []uint64
+		gens, err = s.sharded.RetrainIncrementalAll(s.ctx, delta)
+		for _, g := range gens {
+			if g > gen {
+				gen = g
+			}
+		}
+	}
+	if err != nil {
+		s.publishErrs.Add(1)
+		return flushResult{gen: gen, err: err}
+	}
+	s.trained.Add(uint64(n))
+	s.publishes.Add(1)
+	return flushResult{gen: gen, trained: n}
+}
+
+// generation is the serving snapshot generation (fleet maximum in
+// sharded mode).
+func (s *Server) generation() uint64 {
+	if s.guarded != nil {
+		return s.guarded.Generation()
+	}
+	var max uint64
+	sh := s.sharded.Sharded()
+	for i := 0; i < sh.NumShards(); i++ {
+		if g := sh.Shard(i).Generation(); g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+func (s *Server) classify(m *mail.Message) engine.Result {
+	if s.guarded != nil {
+		return s.guarded.Classify(m)
+	}
+	return s.sharded.Classify(m)
+}
+
+func (s *Server) classifyBatch(ctx context.Context, msgs []*mail.Message) ([]engine.Result, error) {
+	if s.guarded != nil {
+		return s.guarded.ClassifyBatch(ctx, msgs)
+	}
+	return s.sharded.ClassifyBatch(ctx, msgs)
+}
+
+func (s *Server) scoreBatch(ctx context.Context, msgs []*mail.Message) ([]float64, error) {
+	if s.guarded != nil {
+		return s.guarded.ScoreBatch(ctx, msgs)
+	}
+	return s.sharded.ScoreBatch(ctx, msgs)
+}
+
+// acquire takes one inflight slot, waiting under the request context
+// — backpressure, not an error. It reports false (and answers 503)
+// only when the client gave up or the server is shutting down.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "request cancelled while waiting for a batch slot")
+		return false
+	case <-s.ctx.Done():
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.inflight }
+
+// --- Handlers ---
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	res := s.classify(req.Message.Mail())
+	s.classified.Add(1)
+	writeJSON(w, http.StatusOK, ClassifyResponse{
+		Label:      res.Label.String(),
+		Score:      res.Score,
+		Generation: s.generation(),
+	})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	out, err := s.scoreBatch(r.Context(), []*mail.Message{req.Message.Mail()})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.scored.Add(1)
+	writeJSON(w, http.StatusOK, ScoreResponse{Score: out[0], Generation: s.generation()})
+}
+
+// batchChunk is the number of NDJSON lines scored per engine batch
+// call: large enough to amortize the worker-pool fan-out, small
+// enough that results stream back while the client is still sending.
+const batchChunk = 64
+
+// handleBatch streams an NDJSON request through the engine in chunks:
+// each line is one WireMessage, each response line one verdict
+// (verdicts=true) or score. The inflight slot is held for the whole
+// request — one connection, one slot.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, verdicts bool) {
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	chunk := make([]*mail.Message, 0, batchChunk)
+
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		gen := s.generation()
+		if verdicts {
+			res, err := s.classifyBatch(r.Context(), chunk)
+			if err != nil {
+				return err
+			}
+			s.classified.Add(uint64(len(res)))
+			for _, v := range res {
+				if err := enc.Encode(ClassifyResponse{Label: v.Label.String(), Score: v.Score, Generation: gen}); err != nil {
+					return err
+				}
+			}
+		} else {
+			out, err := s.scoreBatch(r.Context(), chunk)
+			if err != nil {
+				return err
+			}
+			s.scored.Add(uint64(len(out)))
+			for _, v := range out {
+				if err := enc.Encode(ScoreResponse{Score: v, Generation: gen}); err != nil {
+					return err
+				}
+			}
+		}
+		chunk = chunk[:0]
+		return nil
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var wm WireMessage
+		if err := json.Unmarshal(line, &wm); err != nil {
+			// The header is already out; report in-stream and stop.
+			enc.Encode(ErrorResponse{Error: fmt.Sprintf("bad batch line: %v", err)})
+			return
+		}
+		chunk = append(chunk, wm.Mail())
+		if len(chunk) == batchChunk {
+			if err := flush(); err != nil {
+				enc.Encode(ErrorResponse{Error: err.Error()})
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		enc.Encode(ErrorResponse{Error: err.Error()})
+		return
+	}
+	if err := flush(); err != nil {
+		enc.Encode(ErrorResponse{Error: err.Error()})
+	}
+}
+
+// handleLearn enqueues one candidate training example. The enqueue
+// never blocks: a full queue is the saturation signal, answered with
+// 503 + Retry-After so well-behaved clients back off while the
+// scoring endpoints run on untouched.
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	var req LearnRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	select {
+	case s.learnCh <- learnReq{msg: req.Message.Mail(), spam: req.Spam}:
+		s.learnQueued.Add(1)
+		writeJSON(w, http.StatusAccepted, LearnResponse{Queued: true, Depth: len(s.learnCh)})
+	default:
+		s.learnShed.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.RetryAfter)))
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error: "learn queue saturated; serving degraded to score-only",
+		})
+	}
+}
+
+// retryAfterSeconds renders a Retry-After value, at least 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// handleFlush drains the learn queue and publishes the batch before
+// returning — the deterministic synchronization point tests and
+// operators use. A wedged consumer makes this endpoint wait, bounded
+// by the request context; it never wedges the caller forever.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	ack := make(chan flushResult, 1)
+	select {
+	case s.flushCh <- ack:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "flush timed out: learn consumer busy")
+		return
+	case <-s.ctx.Done():
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	select {
+	case res := <-ack:
+		if res.err != nil {
+			writeError(w, http.StatusInternalServerError, res.err.Error())
+			return
+		}
+		s.flushes.Add(1)
+		writeJSON(w, http.StatusOK, FlushResponse{Flushed: res.trained, Generation: res.gen})
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "flush timed out: learn consumer busy")
+	}
+}
+
+// handleSave persists the serving snapshot: classifier plus admission
+// sidecar in single mode (SaveGuarded), one snapshot per shard in
+// sharded mode.
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotImplemented, "no snapshot store configured")
+		return
+	}
+	if s.guarded != nil {
+		gen, err := engine.SaveGuarded(s.cfg.Store, s.cfg.Name, s.cfg.Backend, s.guarded)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, SaveResponse{Generations: []uint64{gen}})
+		return
+	}
+	gens, err := s.sharded.Sharded().SaveAll(s.cfg.Store, s.cfg.Backend)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SaveResponse{Generations: gens})
+}
+
+// handleResume restores the latest persisted snapshot into the
+// running daemon: the classifier is published as a new generation
+// through the guard's hooks, and any admission sidecar saved with it
+// is loaded back — held mail stays held, spent probe budget stays
+// spent. Sharded fleets resume at startup (engine.ResumeAll), not in
+// place: a per-shard hot resume would leave the fleet mixed-epoch
+// mid-request, so the endpoint declines.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotImplemented, "no snapshot store configured")
+		return
+	}
+	if s.sharded != nil {
+		writeError(w, http.StatusNotImplemented, "sharded fleets resume at startup, not in place")
+		return
+	}
+	env, err := engine.LatestEnvelope(s.cfg.Store, s.cfg.Name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	clf, err := engine.NewFromEnvelope(env)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	gen, err := s.guarded.Swap(clf)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	loaded, err := engine.LoadAdmissionState(s.cfg.Store, s.cfg.Name, env.Generation, s.guarded)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ResumeResponse{
+		SnapshotGeneration: env.Generation,
+		Generation:         gen,
+		AdmissionLoaded:    loaded,
+	})
+}
+
+// Stats is the front-end's point-in-time traffic counters.
+type Stats struct {
+	// Generation is the serving snapshot generation (fleet maximum in
+	// sharded mode).
+	Generation uint64 `json:"generation"`
+	// Classified and Scored count messages answered by the verdict
+	// and score endpoints (single and batch).
+	Classified uint64 `json:"classified"`
+	Scored     uint64 `json:"scored"`
+	// LearnQueued counts accepted learn submissions; LearnShed counts
+	// submissions refused with 503 while the queue was full.
+	LearnQueued uint64 `json:"learnQueued"`
+	LearnShed   uint64 `json:"learnShed"`
+	// Trained counts examples handed to the guard's retrain (vetting
+	// happens there; the engine's admission stats say what survived).
+	Trained uint64 `json:"trained"`
+	// Publishes and PublishErrors count learn-batch publish attempts.
+	Publishes     uint64 `json:"publishes"`
+	PublishErrors uint64 `json:"publishErrors"`
+	// Flushes counts completed /admin/flush drains.
+	Flushes uint64 `json:"flushes"`
+	// QueueDepth is the learn queue's current depth.
+	QueueDepth int `json:"queueDepth"`
+}
+
+// Stats returns the front-end counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Generation:    s.generation(),
+		Classified:    s.classified.Load(),
+		Scored:        s.scored.Load(),
+		LearnQueued:   s.learnQueued.Load(),
+		LearnShed:     s.learnShed.Load(),
+		Trained:       s.trained.Load(),
+		Publishes:     s.publishes.Load(),
+		PublishErrors: s.publishErrs.Load(),
+		Flushes:       s.flushes.Load(),
+		QueueDepth:    len(s.learnCh),
+	}
+}
+
+// statsResponse is the /stats body: front-end counters plus the
+// engine's own (verdict histogram, latency, admission tallies).
+type statsResponse struct {
+	Serve  Stats `json:"serve"`
+	Engine any   `json:"engine"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{Serve: s.Stats()}
+	if s.guarded != nil {
+		resp.Engine = s.guarded.Stats()
+	} else {
+		resp.Engine = s.sharded.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// --- JSON plumbing ---
+
+// maxBodyBytes bounds a single-message request body.
+const maxBodyBytes = 1 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,106 @@
+package serve
+
+// The daemon's wire format: JSON over HTTP, NDJSON for batches. The
+// types live apart from the handlers because the load generator
+// (cmd/sbload) and the httptest suite build requests from the same
+// structs the server decodes — one schema, no drift.
+
+import (
+	"repro/internal/mail"
+)
+
+// WireHeader is one header field on the wire.
+type WireHeader struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// WireMessage is one email on the wire: an ordered header and a flat
+// text body, mirroring mail.Message. An empty header is valid (the
+// paper's dictionary-attack emails have none).
+type WireMessage struct {
+	Header []WireHeader `json:"header,omitempty"`
+	Body   string       `json:"body"`
+}
+
+// Mail converts the wire form to the internal message.
+func (w WireMessage) Mail() *mail.Message {
+	m := &mail.Message{Body: w.Body}
+	for _, h := range w.Header {
+		m.Header.Add(h.Name, h.Value)
+	}
+	return m
+}
+
+// WireFromMail converts an internal message to the wire form.
+func WireFromMail(m *mail.Message) WireMessage {
+	w := WireMessage{Body: m.Body}
+	for _, f := range m.Header {
+		w.Header = append(w.Header, WireHeader{Name: f.Name, Value: f.Value})
+	}
+	return w
+}
+
+// ClassifyRequest is the body of POST /classify and POST /score.
+type ClassifyRequest struct {
+	Message WireMessage `json:"message"`
+}
+
+// ClassifyResponse is one verdict. Generation is the serving
+// snapshot generation the verdict was scored against (the fleet
+// maximum in sharded mode).
+type ClassifyResponse struct {
+	Label      string  `json:"label"`
+	Score      float64 `json:"score"`
+	Generation uint64  `json:"generation"`
+}
+
+// ScoreResponse is one raw score, without thresholding.
+type ScoreResponse struct {
+	Score      float64 `json:"score"`
+	Generation uint64  `json:"generation"`
+}
+
+// LearnRequest is the body of POST /learn: one candidate training
+// example with the label it would be trained under. The candidate is
+// vetted by the admission chain before it can influence a snapshot —
+// the endpoint accepts the submission, not the example.
+type LearnRequest struct {
+	Message WireMessage `json:"message"`
+	Spam    bool        `json:"spam"`
+}
+
+// LearnResponse acknowledges an enqueued learn submission. Depth is
+// the learn queue depth after the enqueue — a client-visible
+// saturation signal before shedding starts.
+type LearnResponse struct {
+	Queued bool `json:"queued"`
+	Depth  int  `json:"depth"`
+}
+
+// FlushResponse reports a drained-and-published learn queue.
+type FlushResponse struct {
+	Flushed    int    `json:"flushed"`
+	Generation uint64 `json:"generation"`
+}
+
+// SaveResponse reports the snapshot generations a save persisted
+// (one per shard in sharded mode).
+type SaveResponse struct {
+	Generations []uint64 `json:"generations"`
+}
+
+// ResumeResponse reports an in-place resume: the snapshot generation
+// the classifier was restored from, the new serving generation it was
+// published as, and whether an admission sidecar was loaded with it.
+type ResumeResponse struct {
+	SnapshotGeneration uint64 `json:"snapshotGeneration"`
+	Generation         uint64 `json:"generation"`
+	AdmissionLoaded    bool   `json:"admissionLoaded"`
+}
+
+// ErrorResponse is the body of every non-2xx response, and of an
+// in-stream error line on the NDJSON batch endpoints.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

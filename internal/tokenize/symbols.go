@@ -53,6 +53,18 @@ func (s *Symbols) Lookup(tok string) (Sym, bool) {
 	return id, true
 }
 
+// LookupToken is Lookup keyed by a stream Token. Token is a string
+// type, so the conversion at the map index is free — hot scoring loops
+// resolve stream tokens to IDs without building a per-token heap
+// string. Read-only, same concurrency contract as Lookup.
+func (s *Symbols) LookupToken(tok Token) (Sym, bool) {
+	id, ok := s.ids[string(tok)]
+	if !ok {
+		return NoSym, false
+	}
+	return id, true
+}
+
 // Intern returns tok's ID, assigning the next dense ID to a new
 // token. The key is copied (tok may be a zero-copy view into a
 // message's TokenStream arena, which must not be pinned by the

@@ -108,6 +108,30 @@
 // supply the adversaries that stress it (a dose-adapting attacker and
 // ham-labeled pseudospam).
 //
+// # Serving
+//
+// HTTPServer puts the guarded engine on the network: an http.Handler
+// (stdlib only) exposing single-message and NDJSON-streaming
+// classify/score endpoints, a learn endpoint that routes every
+// submission through the admission guard — the admitflow analyzer
+// proves the daemon has no other training path — and admin endpoints
+// for deterministic flush, snapshot save, and in-place resume (which
+// restores the admission sidecar, so a resume cannot amnesty held
+// mail). The learn path is asynchronous and bounded: submissions
+// enter a fixed-depth queue consumed by one publisher goroutine, and
+// when the queue is full — backlog, or an admitter wedged mid-probe —
+// the daemon sheds the submission with 503 + Retry-After and keeps
+// classifying at full speed. Scoring never waits on training: the
+// batch endpoints are gated only by their own inflight semaphore, the
+// learn queue holds no scoring resources, and a wedged admitter can
+// at worst degrade the daemon to score-only. cmd/sbserved wires this
+// into a runnable daemon (flood gate + incremental RONI + quarantine,
+// snapshot-dir persistence with save-on-shutdown and
+// resume-at-startup, single or sharded); cmd/sbload drives it with a
+// deterministic closed-loop mix of organic traffic and
+// dictionary/focused attack submissions, reporting throughput and
+// latency percentiles in benchmark format.
+//
 // # Token pipeline
 //
 // Serving tokenizes each message exactly once. Tokenizer.Stream
@@ -208,6 +232,7 @@ import (
 	"repro/internal/mail"
 	"repro/internal/sbayes"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/textgen"
 	"repro/internal/tokenize"
@@ -567,6 +592,103 @@ func PruneSnapshots(st SnapshotStore, name string, keep int) ([]uint64, error) {
 func DecodeSnapshotEnvelope(data []byte) (SnapshotEnvelope, error) {
 	return engine.DecodeEnvelope(data)
 }
+
+// AdmissionStatePersister is the capability of carrying admitter or
+// quarantine state across a restart (Quarantine, IncrementalRONI, and
+// AdmissionChain implement it); SaveGuarded rides the state in a
+// sidecar envelope next to the classifier snapshot.
+type AdmissionStatePersister = engine.AdmissionStatePersister
+
+// SaveGuarded persists g's serving snapshot plus an admission sidecar
+// (quarantine contents, probe budget, memoized verdicts) at the same
+// generation, closing the crash-amnesty hole: a restart can no longer
+// free held mail or refill an exhausted probe bucket.
+func SaveGuarded(st SnapshotStore, name, backend string, g *Guarded) (uint64, error) {
+	return engine.SaveGuarded(st, name, backend, g)
+}
+
+// ResumeGuarded restores a guarded engine from name's newest valid
+// generation, loading any admission sidecar saved with it into the
+// freshly wired guard — held mail stays held, spent budget stays
+// spent.
+func ResumeGuarded(st SnapshotStore, name string, cfg EngineConfig, admit Admitter, gcfg GuardedConfig) (*Guarded, SnapshotEnvelope, error) {
+	return engine.ResumeGuarded(st, name, cfg, admit, gcfg)
+}
+
+// LoadAdmissionState restores g's admitter and quarantine sink from
+// name's admission sidecar at generation gen; false (and no error)
+// when that generation has no sidecar.
+func LoadAdmissionState(st SnapshotStore, name string, gen uint64, g *Guarded) (bool, error) {
+	return engine.LoadAdmissionState(st, name, gen, g)
+}
+
+// AdmissionSnapshotName is the store key of a guarded engine's
+// admission sidecar line ("<name>.admission").
+func AdmissionSnapshotName(name string) string { return engine.AdmissionSnapshotName(name) }
+
+// ---- Serving (the guarded HTTP front-end) ----
+
+// HTTPServer is the network front-end over a guarded engine: an
+// http.Handler exposing classify/score (single and NDJSON batch),
+// admission-guarded learn with bounded-queue load shedding (503 +
+// Retry-After when the training path saturates; scoring never
+// blocks), admin flush/save/resume, stats and health endpoints.
+type HTTPServer = serve.Server
+
+// HTTPServerConfig tunes the front-end (learn queue depth and batch,
+// inflight batch limit, shed Retry-After, snapshot store wiring).
+type HTTPServerConfig = serve.Config
+
+// HTTPServerStats is a snapshot of the front-end's own counters
+// (queued/shed/trained/publishes), alongside the engine's.
+type HTTPServerStats = serve.Stats
+
+// NewHTTPServer serves one guarded engine. Close it when done.
+func NewHTTPServer(g *Guarded, cfg HTTPServerConfig) *HTTPServer {
+	return serve.NewSingle(g, cfg)
+}
+
+// NewHTTPServerSharded serves a guarded sharded fleet. Close it when
+// done.
+func NewHTTPServerSharded(g *GuardedSharded, cfg HTTPServerConfig) *HTTPServer {
+	return serve.NewSharded(g, cfg)
+}
+
+// WireMessage is a Message on the wire: ordered headers plus body.
+type WireMessage = serve.WireMessage
+
+// WireHeader is one ordered header field on the wire.
+type WireHeader = serve.WireHeader
+
+// WireFromMail converts a Message to its wire form.
+func WireFromMail(m *Message) WireMessage { return serve.WireFromMail(m) }
+
+// ClassifyRequest is the classify/score request body.
+type ClassifyRequest = serve.ClassifyRequest
+
+// ClassifyResponse is one classification verdict on the wire.
+type ClassifyResponse = serve.ClassifyResponse
+
+// ScoreResponse is one raw-score response on the wire.
+type ScoreResponse = serve.ScoreResponse
+
+// LearnRequest is a labeled training submission.
+type LearnRequest = serve.LearnRequest
+
+// LearnResponse acknowledges an accepted (queued) submission.
+type LearnResponse = serve.LearnResponse
+
+// FlushResponse reports a deterministic drain of the learn queue.
+type FlushResponse = serve.FlushResponse
+
+// SaveResponse lists the generations a snapshot save persisted.
+type SaveResponse = serve.SaveResponse
+
+// ResumeResponse reports an in-place resume from the snapshot store.
+type ResumeResponse = serve.ResumeResponse
+
+// ErrorResponse is the JSON error body every endpoint shares.
+type ErrorResponse = serve.ErrorResponse
 
 // ---- Filter (the SpamBayes learner) ----
 
