@@ -33,7 +33,10 @@
 #   make serve-bench run cmd/sbload against a live cmd/sbserved daemon
 #                    and write $(SERVE_BENCH_JSON): end-to-end serving
 #                    throughput and latency percentiles, learn
-#                    accept/shed splits under an attacker mix
+#                    accept/shed splits under an attacker mix, plus
+#                    server-side percentiles scraped from /metrics and
+#                    cross-checked against the client's view (a scrape
+#                    that fails to parse fails the target)
 #   make check       build + vet + lint + test + race (CI runs the
 #                    same pieces, but folds the plain test pass into
 #                    `make cover` and adds `make fuzz`)
@@ -42,7 +45,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_PR8.json
 BENCHTIME  ?= 1s
 FUZZTIME   ?= 10s
-SERVE_BENCH_JSON     ?= BENCH_PR9.json
+SERVE_BENCH_JSON     ?= BENCH_PR10.json
 SERVE_BENCH_ADDR     ?= 127.0.0.1:18525
 SERVE_BENCH_DURATION ?= 10s
 SERVE_BENCH_WORKERS  ?= 8

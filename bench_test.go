@@ -24,6 +24,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/graham"
+	"repro/internal/obs"
 	"repro/internal/sbayes"
 	"repro/internal/scenario"
 	"repro/internal/tokenize"
@@ -713,6 +714,47 @@ func BenchmarkServeWhileRetraining(b *testing.B) {
 		close(stop)
 		wg.Wait()
 		b.ReportMetric(float64(eng.Stats().Retrains)/float64(b.N), "retrains/op")
+	})
+}
+
+// BenchmarkObsOverhead pins the cost of full instrumentation on the
+// classify hot path: the same trained filter behind an engine wired
+// to a live registry and an every-call tracer, against the bare
+// engine. The benchmark fails outright if instrumentation adds even
+// one allocation per classify — the lock-free instruments and the
+// preallocated trace ring must write in place.
+func BenchmarkObsOverhead(b *testing.B) {
+	e := env(b)
+	r := e.RNG("obs-overhead")
+	f := eval.TrainFilter(e.Gen.Corpus(r, 300, 300), sbayes.DefaultOptions(), e.Tok)
+	m := e.Gen.HamMessage(r)
+
+	bare := engine.New(f, engine.Config{Name: "bare"})
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(1024, 1)
+	inst := engine.New(f, engine.Config{Name: "inst", Obs: reg, Trace: tracer})
+
+	// Warm both paths (interning and scratch pools settle on first
+	// contact with the message), then pin the delta at zero.
+	bare.Classify(m)
+	inst.Classify(m)
+	base := testing.AllocsPerRun(200, func() { bare.Classify(m) })
+	with := testing.AllocsPerRun(200, func() { inst.Classify(m) })
+	if extra := with - base; extra > 0 {
+		b.Fatalf("instrumentation adds %.1f allocs/op on classify (bare %.1f, instrumented %.1f)", extra, base, with)
+	}
+
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bare.Classify(m)
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inst.Classify(m)
+		}
 	})
 }
 

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mail"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/textgen"
@@ -144,6 +145,16 @@ func run(addr string, duration time.Duration, workers int, seed uint64, learnFra
 		return err
 	}
 
+	// Scrape the daemon's own instruments before the run so the report
+	// can delta them afterwards. A daemon launched without -metrics
+	// answers 404 and the server-side lines are skipped; a 200 that
+	// fails to parse or validate is an error — the exposition format is
+	// part of the daemon's contract and this is its smoke check.
+	before, scraped, err := scrapeMetrics(client, addr)
+	if err != nil {
+		return err
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), duration)
 	defer cancel()
 
@@ -174,6 +185,86 @@ func run(addr string, duration time.Duration, workers int, seed uint64, learnFra
 		}
 	}
 	report(os.Stdout, &merged, elapsed)
+
+	if scraped {
+		after, ok, err := scrapeMetrics(client, addr)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("daemon served /metrics before the run but not after")
+		}
+		if err := reportServerSide(os.Stdout, before, after, &merged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scrapeMetrics fetches and parses GET /metrics. ok=false means the
+// daemon runs without a registry (404) — not an error; any 200 body
+// must parse and validate or the run fails.
+func scrapeMetrics(client *http.Client, addr string) (*obs.ParsedMetrics, bool, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, false, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("scrape /metrics: unexpected status %d", resp.StatusCode)
+	}
+	pm, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	return pm, true, nil
+}
+
+// serverRoutes maps each load operation to the serve route label its
+// requests land on.
+var serverRoutes = [numOps]string{"classify", "classify_batch", "learn"}
+
+// reportServerSide deltas the daemon's per-route latency histograms
+// across the run and prints them next to the client-observed
+// percentiles — the cross-check that the server's own instruments
+// agree with what clients experienced. Server-side quantiles are
+// interpolated from fixed buckets, so they bracket rather than match
+// the exact client ranks; what must hold is that both sides saw the
+// same requests, which is checked by count.
+func reportServerSide(out io.Writer, before, after *obs.ParsedMetrics, merged *[numOps]collector) error {
+	for op := opKind(0); op < numOps; op++ {
+		c := &merged[op]
+		if c.count == 0 {
+			continue
+		}
+		route := obs.L("route", serverRoutes[op])
+		prev, err := before.Histogram("serve_request_seconds", route)
+		if err != nil {
+			// The route had no traffic before the run; delta from zero.
+			prev = obs.HistogramSnapshot{}
+		}
+		cur, err := after.Histogram("serve_request_seconds", route)
+		if err != nil {
+			return fmt.Errorf("server-side %s: %w", opNames[op], err)
+		}
+		delta := cur
+		if prev.Count > 0 || len(prev.Counts) > 0 {
+			if delta, err = cur.Sub(prev); err != nil {
+				return fmt.Errorf("server-side %s: %w", opNames[op], err)
+			}
+		}
+		if delta.Count < uint64(c.count) {
+			return fmt.Errorf("server-side %s: histogram grew by %d but clients completed %d requests",
+				opNames[op], delta.Count, c.count)
+		}
+		fmt.Fprintf(out, "BenchmarkServeLoad/%s/server \t%8d\t%12.0f p50-ns\t%12.0f p90-ns\t%12.0f p99-ns\n",
+			opNames[op], delta.Count,
+			delta.Quantile(0.50)*1e9, delta.Quantile(0.90)*1e9, delta.Quantile(0.99)*1e9)
+	}
 	return nil
 }
 

@@ -23,7 +23,11 @@
 //
 // Endpoints: POST /classify, /score (single JSON), /classify/batch,
 // /score/batch (NDJSON streams), /learn (202 or 503 shed),
-// /admin/flush, /admin/save, /admin/resume; GET /stats, /healthz.
+// /admin/flush, /admin/save, /admin/resume; GET /stats, /healthz
+// (readiness: 503 while the learn queue saturates), /metrics
+// (Prometheus text over one registry shared by engine, admission, and
+// serve), /trace (sampled decision lifecycles as NDJSON), and — with
+// -pprof — /debug/pprof/.
 package main
 
 import (
@@ -42,6 +46,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/mail"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/textgen"
@@ -73,6 +78,11 @@ func main() {
 		learnBatch  = flag.Int("learn-batch", 64, "max examples per incremental retrain")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrent batch-scoring requests (0 = 2x GOMAXPROCS)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After advertised on shed learn submissions")
+
+		metrics    = flag.Bool("metrics", true, "expose GET /metrics (Prometheus text) over one registry shared by engine, admission, and serve")
+		traceEvery = flag.Int("trace-every", 16, "decision-trace sampling: record lifecycles whose digest %% N == 0 (0 disables GET /trace)")
+		traceBuf   = flag.Int("trace-buf", 1024, "decision-trace ring capacity")
+		pprofOn    = flag.Bool("pprof", false, "mount GET /debug/pprof/ (opt-in: profiles leak on an exposed port)")
 	)
 	flag.Parse()
 
@@ -83,6 +93,7 @@ func main() {
 		roniBurst: *roniBurst, swapGrant: *swapGrant, quarCap: *quarCap,
 		learnQueue: *learnQueue, learnBatch: *learnBatch,
 		maxInflight: *maxInflight, retryAfter: *retryAfter,
+		metrics: *metrics, traceEvery: *traceEvery, traceBuf: *traceBuf, pprofOn: *pprofOn,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -98,6 +109,9 @@ type config struct {
 	quarCap, learnQueue, learnBatch  int
 	maxInflight                      int
 	retryAfter                       time.Duration
+	metrics                          bool
+	traceEvery, traceBuf             int
+	pprofOn                          bool
 }
 
 // newGenerator builds the synthetic mail universe the daemon
@@ -123,6 +137,19 @@ func run(cfg config) error {
 	gen := newGenerator()
 	rng := stats.NewRNG(cfg.seed)
 
+	// One registry and one tracer for the whole daemon: engine,
+	// admission, and serve all instrument into them, so one scrape of
+	// GET /metrics sees the full pipeline and one GET /trace replays a
+	// message's lifecycle across every layer it crossed.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if cfg.metrics {
+		reg = obs.NewRegistry()
+	}
+	if cfg.traceEvery > 0 {
+		tracer = obs.NewTracer(cfg.traceBuf, cfg.traceEvery)
+	}
+
 	// Admission wiring: structural flood gate first (cheap), then the
 	// budgeted RONI probe. Quarantined candidates wait for the
 	// post-publish review.
@@ -135,7 +162,11 @@ func run(cfg config) error {
 	}
 	gate := admission.NewTokenFloodGate(admission.FloodGateConfig{MaxDistinct: cfg.maxDistinct})
 	chain := admission.NewChain(gate, roni)
-	quarantine := admission.NewQuarantine(admission.QuarantineConfig{Capacity: cfg.quarCap})
+	quarantine := admission.NewQuarantine(admission.QuarantineConfig{Capacity: cfg.quarCap, Trace: tracer})
+	if reg != nil {
+		roni.Register(reg)
+		quarantine.Register(reg)
+	}
 
 	gcfg := engine.GuardedConfig{Quarantine: quarantine}
 	gcfg.PostPublish = append(gcfg.PostPublish, func() {
@@ -170,16 +201,20 @@ func run(cfg config) error {
 		Store:       store,
 		Name:        cfg.name,
 		Backend:     cfg.backend,
+		Obs:         reg,
+		Trace:       tracer,
+		EnablePprof: cfg.pprofOn,
 	}
 
 	var srv *serve.Server
 	var saveOnExit func()
 	if cfg.shards > 0 {
-		gsh, resumed, err := buildSharded(cfg, b, gen, rng, chain, gcfg, store)
+		gsh, resumed, err := buildSharded(cfg, b, gen, rng, chain, gcfg, store, reg, tracer)
 		if err != nil {
 			return err
 		}
 		log.Printf("serving %d shards of %s (resumed=%v) on %s", cfg.shards, cfg.backend, resumed, cfg.addr)
+		scfg.Resumed = resumed
 		srv = serve.NewSharded(gsh, scfg)
 		if store != nil {
 			saveOnExit = func() {
@@ -191,11 +226,12 @@ func run(cfg config) error {
 			}
 		}
 	} else {
-		guarded, resumed, err := buildSingle(cfg, b, gen, rng, chain, gcfg, store)
+		guarded, resumed, err := buildSingle(cfg, b, gen, rng, chain, gcfg, store, reg, tracer)
 		if err != nil {
 			return err
 		}
 		log.Printf("serving %s generation %d (resumed=%v) on %s", cfg.backend, guarded.Generation(), resumed, cfg.addr)
+		scfg.Resumed = resumed
 		srv = serve.NewSingle(guarded, scfg)
 		if store != nil {
 			saveOnExit = func() {
@@ -238,8 +274,8 @@ func run(cfg config) error {
 // buildSingle resumes the guarded engine from the store when a
 // snapshot line exists, else bootstraps a fresh classifier from the
 // synthetic population.
-func buildSingle(cfg config, b engine.Backend, gen *textgen.Generator, rng *stats.RNG, chain *admission.Chain, gcfg engine.GuardedConfig, store engine.SnapshotStore) (*engine.Guarded, bool, error) {
-	ecfg := engine.Config{Name: cfg.name}
+func buildSingle(cfg config, b engine.Backend, gen *textgen.Generator, rng *stats.RNG, chain *admission.Chain, gcfg engine.GuardedConfig, store engine.SnapshotStore, reg *obs.Registry, tracer *obs.Tracer) (*engine.Guarded, bool, error) {
+	ecfg := engine.Config{Name: cfg.name, Obs: reg, Trace: tracer}
 	if store != nil {
 		if _, err := engine.LatestEnvelope(store, cfg.name); err == nil {
 			guarded, env, err := engine.ResumeGuarded(store, cfg.name, ecfg, chain, gcfg)
@@ -258,8 +294,8 @@ func buildSingle(cfg config, b engine.Backend, gen *textgen.Generator, rng *stat
 // buildSharded resumes the fleet from the store when every shard's
 // snapshot line exists, else bootstraps fresh shards, each trained on
 // its own partition of the bootstrap corpus.
-func buildSharded(cfg config, b engine.Backend, gen *textgen.Generator, rng *stats.RNG, chain *admission.Chain, gcfg engine.GuardedConfig, store engine.SnapshotStore) (*engine.GuardedSharded, bool, error) {
-	shcfg := engine.ShardedConfig{Name: cfg.name}
+func buildSharded(cfg config, b engine.Backend, gen *textgen.Generator, rng *stats.RNG, chain *admission.Chain, gcfg engine.GuardedConfig, store engine.SnapshotStore, reg *obs.Registry, tracer *obs.Tracer) (*engine.GuardedSharded, bool, error) {
+	shcfg := engine.ShardedConfig{Name: cfg.name, Obs: reg, Trace: tracer}
 	if store != nil {
 		sh, gens, err := engine.ResumeAll(store, cfg.shards, shcfg)
 		if err == nil {

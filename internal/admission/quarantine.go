@@ -3,8 +3,10 @@ package admission
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/mail"
+	"repro/internal/obs"
 	"repro/internal/tokenize"
 )
 
@@ -19,6 +21,9 @@ type QuarantineConfig struct {
 	// conservative: an example nothing would vouch for within two
 	// generations does not train.
 	MaxReviews int
+	// Trace, when non-nil, records hold and release lifecycle events
+	// for sampled candidates.
+	Trace *obs.Tracer
 }
 
 // HeldMessage is one quarantined training candidate.
@@ -33,6 +38,10 @@ type HeldMessage struct {
 	Reason string
 	// Reviews counts swap-time reviews it has survived undecided.
 	Reviews int
+	// At is when the candidate entered the buffer (for a candidate
+	// restored from persisted state, when it was loaded — age restarts
+	// at resume because the hold timestamp is not persisted).
+	At time.Time
 }
 
 // QuarantineStats is a snapshot of the buffer's accounting; every
@@ -87,13 +96,19 @@ func NewQuarantine(cfg QuarantineConfig) *Quarantine {
 // otherwise); it is kept with the message for the swap-time review.
 func (q *Quarantine) Hold(m *mail.Message, ts *tokenize.TokenStream, spam bool, reason string) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.cfg.Capacity > 0 && len(q.held)+q.reviewing >= q.cfg.Capacity {
 		q.overflow++
+		q.mu.Unlock()
 		return
 	}
 	q.totalHeld++
-	q.held = append(q.held, HeldMessage{Msg: m, Stream: ts, Spam: spam, Reason: reason})
+	q.held = append(q.held, HeldMessage{Msg: m, Stream: ts, Spam: spam, Reason: reason, At: time.Now()})
+	q.mu.Unlock()
+	if ts != nil {
+		if d := ts.Digest(); q.cfg.Trace.Sampled(d) {
+			q.cfg.Trace.Record(obs.TraceEvent{Kind: obs.TraceHold, Digest: d, Shard: -1, Reason: reason})
+		}
+	}
 }
 
 // Len returns the current buffer depth.
@@ -126,6 +141,31 @@ func (q *Quarantine) Stats() QuarantineStats {
 	}
 }
 
+// Register exposes the buffer's accounting on a metrics registry.
+// Depth and oldest-age are the two curves a poisoning campaign bends
+// first: an attacker draining the probe budget pushes arrivals into
+// the buffer (depth climbs) and a review that keeps deferring them
+// ages the head. Sampled at scrape time under the buffer's own lock.
+// No-op on a nil registry.
+func (q *Quarantine) Register(reg *obs.Registry) {
+	reg.GaugeFunc("admission_quarantine_depth", "candidates currently held", func() float64 {
+		return float64(q.Len())
+	})
+	reg.GaugeFunc("admission_quarantine_oldest_age_seconds", "age of the oldest held candidate", func() float64 {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if len(q.held) == 0 {
+			return 0
+		}
+		return time.Since(q.held[0].At).Seconds()
+	})
+	reg.CounterFunc("admission_quarantine_held_total", "candidates ever quarantined", func() float64 { return float64(q.Stats().Held) })
+	reg.CounterFunc("admission_quarantine_released_total", "candidates re-admitted into training at reviews", func() float64 { return float64(q.Stats().Released) })
+	reg.CounterFunc("admission_quarantine_dropped_total", "candidates rejected at reviews (expiries included)", func() float64 { return float64(q.Stats().Dropped) })
+	reg.CounterFunc("admission_quarantine_expired_total", "candidates dropped for exceeding MaxReviews undecided", func() float64 { return float64(q.Stats().Expired) })
+	reg.CounterFunc("admission_quarantine_overflow_total", "holds dropped on arrival at capacity", func() float64 { return float64(q.Stats().Overflow) })
+}
+
 // Review re-vets every held candidate in arrival order with judge —
 // typically the refreshed admission chain, right after a snapshot
 // swap granted it fresh probe budget. Accepted candidates are removed
@@ -151,6 +191,11 @@ func (q *Quarantine) Review(judge func(m *mail.Message, ts *tokenize.TokenStream
 		switch d := judge(h.Msg, h.Stream, h.Spam); d.Verdict {
 		case Accepted:
 			released = append(released, h)
+			if h.Stream != nil {
+				if dg := h.Stream.Digest(); q.cfg.Trace.Sampled(dg) {
+					q.cfg.Trace.Record(obs.TraceEvent{Kind: obs.TraceRelease, Digest: dg, Shard: -1, Reason: d.Reason})
+				}
+			}
 		case Rejected:
 			dropped++
 		default:

@@ -9,6 +9,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/mail"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tokenize"
 )
@@ -175,6 +176,32 @@ func (a *IncrementalRONI) Stats() IncrementalRONIStats {
 		CreditsGranted: a.credits,
 		Bucket:         a.bucket,
 	}
+}
+
+// Register exposes the admitter's accounting on a metrics registry as
+// scrape-time sampled functions: the counters live under the
+// admitter's own lock (Stats() reads them consistently), so mirroring
+// them into stored instruments on every Admit would duplicate state
+// the lock already owns. The budget gauge is the operator's
+// early-warning line — a poisoning campaign drains it to zero and
+// pins deferrals climbing — and the memo hit ratio shows replicated
+// attacks being amortized. No-op on a nil registry.
+func (a *IncrementalRONI) Register(reg *obs.Registry) {
+	l := obs.L("admitter", "roni")
+	reg.CounterFunc("admission_roni_arrivals_total", "Admit calls", func() float64 { return float64(a.Stats().Arrivals) }, l)
+	reg.CounterFunc("admission_roni_probes_total", "impact measurements actually run (clone-and-probe passes)", func() float64 { return float64(a.Stats().Probes) }, l)
+	reg.CounterFunc("admission_roni_memo_hits_total", "verdicts served from the payload-identity cache", func() float64 { return float64(a.Stats().MemoHits) }, l)
+	reg.CounterFunc("admission_roni_deferred_total", "candidates quarantined because the probe budget was empty", func() float64 { return float64(a.Stats().Deferred) }, l)
+	reg.CounterFunc("admission_roni_refreshes_total", "calibration-pool rebuilds", func() float64 { return float64(a.Stats().Refreshes) }, l)
+	reg.CounterFunc("admission_roni_credits_total", "total probe budget ever credited", func() float64 { return a.Stats().CreditsGranted }, l)
+	reg.GaugeFunc("admission_roni_budget", "current unspent probe budget", func() float64 { return a.Stats().Bucket }, l)
+	reg.GaugeFunc("admission_roni_memo_hit_ratio", "fraction of arrivals served from the memo", func() float64 {
+		s := a.Stats()
+		if s.Arrivals == 0 {
+			return 0
+		}
+		return float64(s.MemoHits) / float64(s.Arrivals)
+	}, l)
 }
 
 // Grant credits extra probe budget outside the per-arrival drip — the

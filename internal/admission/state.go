@@ -41,6 +41,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/mail"
@@ -259,12 +260,13 @@ func (q *Quarantine) LoadState(r io.Reader) error {
 		sr.fail("held count truncated")
 	}
 	var held []HeldMessage
+	loadedAt := time.Now()
 	for i := uint64(0); sr.err == nil && i < n; i++ {
 		m := sr.readMessage()
 		spam := sr.bool("held label")
 		reason := sr.str("held reason")
 		reviews := sr.u64("held reviews")
-		held = append(held, HeldMessage{Msg: m, Spam: spam, Reason: reason, Reviews: int(reviews)})
+		held = append(held, HeldMessage{Msg: m, Spam: spam, Reason: reason, Reviews: int(reviews), At: loadedAt})
 	}
 	if err := sr.done(); err != nil {
 		return fmt.Errorf("quarantine: %w", err)

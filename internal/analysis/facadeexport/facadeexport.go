@@ -64,6 +64,7 @@ var APIPackages = []string{
 	"internal/engine",
 	"internal/admission",
 	"internal/serve",
+	"internal/obs",
 }
 
 // FacadeName is the package name identifying the facade.

@@ -1,15 +1,21 @@
 // Package statscomplete enforces the accounting invariant behind the
 // engine's sum(per-shard) == combined guarantees: every atomic
-// counter field on a struct that exposes a Stats() method must be
-// Load()ed somewhere in Stats (directly or through same-type helper
-// methods Stats calls, like the engine's admissionStats).
+// counter field on a struct that exposes a Stats() (or Snapshot())
+// method must be Load()ed somewhere in it (directly or through
+// same-type helper methods it calls, like the engine's
+// admissionStats), and — since the obs migration — every stored
+// metric instrument field (obs.Counter/Gauge/Histogram, behind any
+// pointer, arrays included) must likewise be read there: any method
+// call with the field as receiver (Value, Sum, Snapshot, ...) counts.
 //
 // The failure mode is historical: PR 3 and PR 5 each added counters
 // and each had to separately fix the aggregation that silently
 // dropped them — a counter missing from Stats never fails a test, it
-// just under-reports forever. Declaring an atomic counter on a
-// Stats-bearing struct now obligates Stats to read it; a counter that
-// is intentionally absent carries //sbvet:nostat with a reason.
+// just under-reports forever. Moving a counter onto the metrics
+// registry does not lift the obligation: /stats and /metrics must
+// agree, so the snapshot method reads the same instruments the
+// registry renders. A field that is intentionally absent carries
+// //sbvet:nostat with a reason.
 package statscomplete
 
 import (
@@ -22,7 +28,7 @@ import (
 // Analyzer is the statscomplete check.
 var Analyzer = &analysis.Analyzer{
 	Name: "statscomplete",
-	Doc:  "flag atomic counter fields that a struct's Stats() method never reads",
+	Doc:  "flag atomic counter and obs metric fields that a struct's Stats()/Snapshot() method never reads",
 	Run:  run,
 }
 
@@ -65,32 +71,47 @@ func namedStructs(pass *analysis.Pass) []*types.Named {
 	return out
 }
 
-// checkType verifies one struct type: if it has atomic counter fields
-// and a Stats method, every counter must be loaded somewhere in the
-// closure of Stats over same-type method calls.
+// snapshotMethods are the reporting methods that carry the
+// completeness obligation, in preference order for diagnostics.
+var snapshotMethods = []string{"Stats", "Snapshot"}
+
+// checkType verifies one struct type: if it has atomic counter or obs
+// metric fields and a Stats/Snapshot method, every such field must be
+// read somewhere in the closure of those methods over same-type
+// method calls.
 func checkType(pass *analysis.Pass, named *types.Named) {
 	st := named.Underlying().(*types.Struct)
 	counters := make(map[*types.Var]bool)
+	metrics := make(map[*types.Var]bool)
 	for i := 0; i < st.NumFields(); i++ {
 		fld := st.Field(i)
-		if analysis.IsAtomicCounter(fld.Type()) {
+		switch {
+		case analysis.IsAtomicCounter(fld.Type()):
 			counters[fld] = true
+		case analysis.IsObsMetric(fld.Type()):
+			metrics[fld] = true
 		}
 	}
-	if len(counters) == 0 {
+	if len(counters) == 0 && len(metrics) == 0 {
 		return
 	}
 	methods := methodDecls(pass, named)
-	statsDecl := methods["Stats"]
-	if statsDecl == nil {
+	var roots []string
+	for _, name := range snapshotMethods {
+		if methods[name] != nil {
+			roots = append(roots, name)
+		}
+	}
+	if len(roots) == 0 {
 		return
 	}
 
-	// Walk Stats and, transitively, every same-type method it calls,
-	// collecting the counter fields that get Load()ed.
+	// Walk the snapshot methods and, transitively, every same-type
+	// method they call, collecting the counter fields that get Load()ed
+	// and the metric fields that receive any method call.
 	loaded := make(map[*types.Var]bool)
 	visited := make(map[string]bool)
-	queue := []string{"Stats"}
+	queue := append([]string(nil), roots...)
 	for len(queue) > 0 {
 		name := queue[0]
 		queue = queue[1:]
@@ -121,10 +142,14 @@ func checkType(pass *analysis.Pass, named *types.Named) {
 					loaded[fld] = true
 				}
 			}
+			if fld := metricReceiver(pass, sel); fld != nil && metrics[fld] {
+				loaded[fld] = true
+			}
 			return true
 		})
 	}
 
+	root := roots[0]
 	for fld := range counters {
 		if loaded[fld] {
 			continue
@@ -132,7 +157,16 @@ func checkType(pass *analysis.Pass, named *types.Named) {
 		if pass.ExemptedAt(fld.Pos(), "nostat") {
 			continue
 		}
-		pass.Reportf(fld.Pos(), "atomic counter %s.%s is never read in %s.Stats(); a counter missing from Stats silently drops out of the sum(per-shard) == combined accounting — load it in Stats or annotate //sbvet:nostat", named.Obj().Name(), fld.Name(), named.Obj().Name())
+		pass.Reportf(fld.Pos(), "atomic counter %s.%s is never read in %s.%s(); a counter missing from %s silently drops out of the sum(per-shard) == combined accounting — load it in %s or annotate //sbvet:nostat", named.Obj().Name(), fld.Name(), named.Obj().Name(), root, root, root)
+	}
+	for fld := range metrics {
+		if loaded[fld] {
+			continue
+		}
+		if pass.ExemptedAt(fld.Pos(), "nostat") {
+			continue
+		}
+		pass.Reportf(fld.Pos(), "obs metric %s.%s is never read in %s.%s(); an instrument missing from %s makes /stats and /metrics disagree about the same accounting — read it (Value/Sum/Snapshot) in %s or annotate //sbvet:nostat", named.Obj().Name(), fld.Name(), named.Obj().Name(), root, root, root)
 	}
 }
 
@@ -176,6 +210,32 @@ func recvNamed(fn *types.Func) *types.TypeName {
 func loadedCounter(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
 	s, ok := pass.TypesInfo.Selections[sel]
 	if !ok || s.Kind() != types.MethodVal || !analysis.IsAtomicCounter(s.Recv()) {
+		return nil
+	}
+	recv := sel.X
+	if idx, ok := recv.(*ast.IndexExpr); ok {
+		recv = idx.X
+	}
+	fieldSel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if fs, ok := pass.TypesInfo.Selections[fieldSel]; ok && fs.Kind() == types.FieldVal {
+		if v, ok := fs.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// metricReceiver resolves x.field.Method() or x.field[i].Method() to
+// the struct field being called through, if the receiver is an obs
+// metric instrument. Any method counts as a read: the instruments'
+// accessors (Value, Sum, Snapshot, SumDuration) are all reads, and a
+// snapshot method has no business calling anything else on one.
+func metricReceiver(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || !analysis.IsObsMetric(s.Recv()) {
 		return nil
 	}
 	recv := sel.X

@@ -10,7 +10,9 @@ import (
 // TestFixtures proves the analyzer catches a counter missing from
 // Stats and stays quiet on complete Stats, transitive helper reads,
 // non-Stats types, atomic non-counter state, and the //sbvet:nostat
-// escape hatch.
+// escape hatch. Package b covers the obs extension: registry-backed
+// instrument fields carry the same obligation, attached to Snapshot()
+// as well as Stats().
 func TestFixtures(t *testing.T) {
-	analysistest.Run(t, "testdata", statscomplete.Analyzer, "a")
+	analysistest.Run(t, "testdata", statscomplete.Analyzer, "a", "b")
 }

@@ -1,0 +1,90 @@
+// Fixture for statscomplete's obs extension: structs whose counters
+// migrated onto registry-backed instruments. The obligation follows
+// them — a metric field a snapshot method never reads makes /stats
+// and /metrics disagree about the same accounting — and it attaches
+// to Snapshot() the same as Stats().
+package b
+
+import "obs"
+
+// Report is the reported snapshot.
+type Report struct {
+	Scored  uint64
+	Labels  [3]uint64
+	Latency float64
+}
+
+// Good reads every instrument in Stats, including the per-label
+// array and the histogram; the Tracer carries no stored value, so no
+// obligation attaches to it.
+type Good struct {
+	scored  *obs.Counter
+	byLabel [3]*obs.Counter
+	lat     *obs.Histogram
+	trace   *obs.Tracer
+}
+
+func (g *Good) Stats() Report {
+	return Report{
+		Scored:  g.scored.Value(),
+		Labels:  [3]uint64{g.byLabel[0].Value(), g.byLabel[1].Value(), g.byLabel[2].Value()},
+		Latency: g.lat.Sum(),
+	}
+}
+
+// Bad grew instruments that Stats never reads: the registry still
+// renders them, but /stats silently under-reports.
+type Bad struct {
+	scored *obs.Counter
+	shed   *obs.Counter   // want `obs metric Bad\.shed is never read in Bad\.Stats`
+	depth  *obs.Gauge     // want `obs metric Bad\.depth is never read in Bad\.Stats`
+	lat    *obs.Histogram // want `obs metric Bad\.lat is never read in Bad\.Stats`
+}
+
+func (b *Bad) Stats() Report {
+	return Report{Scored: b.scored.Value()}
+}
+
+// Snap reports through Snapshot() instead of Stats(); the obligation
+// attaches there the same way.
+type Snap struct {
+	scored *obs.Counter
+	missed *obs.Counter // want `obs metric Snap\.missed is never read in Snap\.Snapshot`
+}
+
+func (s *Snap) Snapshot() Report {
+	return Report{Scored: s.scored.Value()}
+}
+
+// Helper reads one instrument through a same-type helper method; the
+// transitive read counts.
+type Helper struct {
+	scored *obs.Counter
+	lat    *obs.Histogram
+}
+
+func (h *Helper) Stats() Report {
+	return Report{Scored: h.scored.Value(), Latency: h.latency()}
+}
+
+func (h *Helper) latency() float64 { return h.lat.Sum() }
+
+// Waived shows the escape hatch for a deliberately unreported
+// instrument.
+type Waived struct {
+	scored *obs.Counter
+	//sbvet:nostat fixture: scrape-only instrument, intentionally not in Stats
+	scrapes *obs.Counter
+}
+
+func (w *Waived) Stats() Report {
+	return Report{Scored: w.scored.Value()}
+}
+
+// NoSnapshot has instruments but no reporting method; the obligation
+// only attaches to Stats/Snapshot-bearing types.
+type NoSnapshot struct {
+	scored *obs.Counter
+}
+
+func (n *NoSnapshot) Scored() uint64 { return n.scored.Value() }

@@ -1,0 +1,37 @@
+// Package obs is a fixture stub of the real metrics instruments: just
+// enough surface for the statscomplete fixtures to declare and read
+// Counter/Gauge/Histogram fields. The analyzer matches instruments by
+// package-path suffix and type name, so this stub exercises the same
+// detection as repro/internal/obs.
+package obs
+
+// Counter is a monotone tally.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous value.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram is a fixed-bucket distribution.
+type Histogram struct{ sum float64 }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) { h.sum += v }
+
+// Sum returns the total of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Tracer carries no stored metric value; fields of this type are not
+// obligated.
+type Tracer struct{}

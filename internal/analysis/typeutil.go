@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // AtomicTypeName returns the type name ("Pointer", "Uint64", ...) if
@@ -39,6 +40,38 @@ func IsAtomicCounter(t types.Type) bool {
 	}
 	switch AtomicTypeName(t) {
 	case "Int32", "Int64", "Uint32", "Uint64":
+		return true
+	}
+	return false
+}
+
+// IsObsMetric reports whether t is one of the obs package's stored
+// instruments — Counter, Gauge, or Histogram — behind any pointer, or
+// an array of them (the engine's per-label counter array). These are
+// the registered-metric analogue of the atomic counters: a struct
+// field holding one is accounting state its snapshot method is
+// obligated to surface. Tracer, Registry, and the func-sampled
+// instruments carry no stored value, so they are not metrics here.
+func IsObsMetric(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		t = arr.Elem()
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if path := obj.Pkg().Path(); path != "obs" && !strings.HasSuffix(path, "/obs") {
+		return false
+	}
+	switch obj.Name() {
+	case "Counter", "Gauge", "Histogram":
 		return true
 	}
 	return false

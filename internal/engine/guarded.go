@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/mail"
+	"repro/internal/obs"
 	"repro/internal/tokenize"
 )
 
@@ -127,11 +128,11 @@ func (s *AdmissionStats) add(o AdmissionStats) {
 func (e *Engine) recordAdmission(v AdmitVerdict) {
 	switch v {
 	case AdmitAccept:
-		e.admitted.Add(1)
+		e.admitted.Inc()
 	case AdmitReject:
-		e.admitRejected.Add(1)
+		e.admitRejected.Inc()
 	default:
-		e.quarantined.Add(1)
+		e.quarantined.Inc()
 	}
 }
 
@@ -139,9 +140,9 @@ func (e *Engine) recordAdmission(v AdmitVerdict) {
 // per-verdict loads so the total always equals their sum.
 func (e *Engine) admissionStats() AdmissionStats {
 	a := AdmissionStats{
-		Admitted:    e.admitted.Load(),
-		Quarantined: e.quarantined.Load(),
-		Rejected:    e.admitRejected.Load(),
+		Admitted:    e.admitted.Value(),
+		Quarantined: e.quarantined.Value(),
+		Rejected:    e.admitRejected.Value(),
 	}
 	a.Vetted = a.Admitted + a.Quarantined + a.Rejected
 	return a
@@ -253,6 +254,14 @@ func (g *Guarded) VetStream(ctx context.Context, m *mail.Message, ts *tokenize.T
 func vet(ctx context.Context, admit Admitter, sink QuarantineSink, counters *Engine, m *mail.Message, ts *tokenize.TokenStream, spam bool) AdmitDecision {
 	d := admit.Admit(ctx, m, ts, spam)
 	counters.recordAdmission(d.Verdict)
+	if ts != nil {
+		if digest := ts.Digest(); counters.trace.Sampled(digest) {
+			counters.trace.Record(obs.TraceEvent{
+				Kind: obs.TraceAdmit, Digest: digest, Generation: counters.Generation(),
+				Shard: counters.shard, Verdict: d.Verdict.String(), Reason: d.Reason,
+			})
+		}
+	}
 	if d.Verdict == AdmitQuarantine && sink != nil {
 		sink.Hold(m, ts, spam, d.Reason)
 	}

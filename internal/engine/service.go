@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/mail"
+	"repro/internal/obs"
 	"repro/internal/tokenize"
 )
 
@@ -23,6 +24,15 @@ type Config struct {
 	// LearnBuffer is the LearnStream channel capacity (<= 0 selects
 	// 256).
 	LearnBuffer int
+	// Obs, when non-nil, registers the engine's instruments — the
+	// classify/batch/learn latency histograms, verdict and publish
+	// counters, and generation gauge, all labeled engine=Name — for
+	// /metrics exposition. Nil still instruments (the counters back
+	// Stats) but nothing is scraped.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives sampled decision-trace events
+	// (classify verdicts, admission decisions, learns, publishes).
+	Trace *obs.Tracer
 }
 
 // snapshot is one published generation of the serving classifier.
@@ -52,24 +62,37 @@ type Engine struct {
 	name     string
 	workers  int
 	learnBuf int
+	// shard is this engine's index inside a Sharded fleet (-1 when
+	// standalone); it stamps trace events so a replayed decision names
+	// the shard it landed on.
+	shard int32
+	trace *obs.Tracer
 
 	// cur is the serving snapshot. publishMu serializes publishers
 	// (retraining is single-writer); readers only Load.
 	cur       atomic.Pointer[snapshot]
 	publishMu sync.Mutex
 
-	scored        atomic.Uint64
-	learned       atomic.Uint64
-	batches       atomic.Uint64
-	byLabel       [3]atomic.Uint64
-	batchNanos    atomic.Uint64
-	classifyNanos atomic.Uint64
+	// Instruments are obs-backed: the same objects feed Stats() and,
+	// when a registry was configured, the /metrics exposition — one
+	// counter, two readers, so the JSON stats and the scrape can never
+	// disagree. Latencies are histograms, not summed durations: the
+	// sum is still there (Stats derives its cumulative latency from
+	// it), and the buckets show the tail a sum hides.
+	scored      *obs.Counter
+	learned     *obs.Counter
+	batches     *obs.Counter
+	byLabel     [3]*obs.Counter
+	batchLat    *obs.Histogram
+	classifyLat *obs.Histogram
+	learnLat    *obs.Histogram
+	publishes   *obs.Counter
 
 	// Admission-control tallies, recorded by a Guarded wrapper (or a
 	// GuardedSharded routing decisions to this shard); see guarded.go.
-	admitted      atomic.Uint64
-	quarantined   atomic.Uint64
-	admitRejected atomic.Uint64
+	admitted      *obs.Counter
+	quarantined   *obs.Counter
+	admitRejected *obs.Counter
 }
 
 // New returns an Engine serving clf as generation 1.
@@ -102,8 +125,29 @@ func NewAt(clf Classifier, gen uint64, cfg Config) *Engine {
 	if learnBuf <= 0 {
 		learnBuf = 256
 	}
-	e := &Engine{name: name, workers: workers, learnBuf: learnBuf}
+	e := &Engine{name: name, workers: workers, learnBuf: learnBuf, shard: -1, trace: cfg.Trace}
 	e.cur.Store(&snapshot{clf: clf, gen: gen})
+
+	// Instrument registration happens once, here; the hot paths only
+	// touch the pre-built instruments. A nil registry hands back
+	// working unregistered instruments, so nothing below is
+	// conditional.
+	reg := cfg.Obs
+	el := obs.L("engine", name)
+	e.scored = reg.Counter("engine_scored_total", "messages scored without a verdict (ScoreBatch)", el)
+	e.learned = reg.Counter("engine_learned_total", "messages trained via LearnStream", el)
+	e.batches = reg.Counter("engine_batches_total", "completed batch calls (ClassifyBatch and ScoreBatch)", el)
+	for i := Ham; i <= Spam; i++ {
+		e.byLabel[i] = reg.Counter("engine_classified_total", "classification verdicts by label", el, obs.L("label", i.String()))
+	}
+	e.batchLat = reg.Histogram("engine_batch_seconds", "batch call wall-clock latency", nil, el)
+	e.classifyLat = reg.Histogram("engine_classify_seconds", "single-message classify latency (the at-delivery hot path)", nil, el)
+	e.learnLat = reg.Histogram("engine_learn_seconds", "per-example LearnStream training latency", nil, el)
+	e.publishes = reg.Counter("engine_publishes_total", "snapshot publishes (Retrain, RetrainIncremental, Swap) by this process", el)
+	e.admitted = reg.Counter("engine_admission_total", "admission decisions on training candidates, by verdict", el, obs.L("verdict", AdmitAccept.String()))
+	e.quarantined = reg.Counter("engine_admission_total", "admission decisions on training candidates, by verdict", el, obs.L("verdict", AdmitQuarantine.String()))
+	e.admitRejected = reg.Counter("engine_admission_total", "admission decisions on training candidates, by verdict", el, obs.L("verdict", AdmitReject.String()))
+	reg.GaugeFunc("engine_generation", "serving snapshot generation", func() float64 { return float64(e.Generation()) }, el)
 	return e
 }
 
@@ -176,16 +220,25 @@ func tokenizerOf(clf Classifier) *tokenize.Tokenizer {
 // visible as batch scoring.
 func (e *Engine) Classify(m *mail.Message) Result {
 	start := time.Now()
-	clf := e.cur.Load().clf
+	s := e.cur.Load()
 	var label Label
 	var score float64
-	if sp, ok := streamPathFor(clf); ok {
-		label, score = sp.sc.ClassifyTokenStream(sp.tok.Stream(m))
+	var digest uint64
+	if sp, ok := streamPathFor(s.clf); ok {
+		ts := sp.tok.Stream(m)
+		digest = ts.Digest()
+		label, score = sp.sc.ClassifyTokenStream(ts)
 	} else {
-		label, score = clf.Classify(m)
+		label, score = s.clf.Classify(m)
 	}
-	e.classifyNanos.Add(uint64(time.Since(start)))
-	e.byLabel[labelIndex(label)].Add(1)
+	e.classifyLat.ObserveSince(start)
+	e.byLabel[labelIndex(label)].Inc()
+	if digest != 0 && e.trace.Sampled(digest) {
+		e.trace.Record(obs.TraceEvent{
+			Kind: obs.TraceClassify, Digest: digest, Generation: s.gen,
+			Shard: e.shard, Verdict: label.String(), Score: score,
+		})
+	}
 	return Result{Label: label, Score: score}
 }
 
@@ -195,16 +248,23 @@ func (e *Engine) Classify(m *mail.Message) Result {
 // mid-batch. It stops early and returns ctx.Err() if the context is
 // cancelled.
 func (e *Engine) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Result, error) {
-	clf := e.cur.Load().clf
-	sp, streaming := streamPathFor(clf)
+	s := e.cur.Load()
+	sp, streaming := streamPathFor(s.clf)
 	out := make([]Result, len(msgs))
 	err := e.run(ctx, len(msgs), func(i int) {
 		var label Label
 		var score float64
 		if streaming {
-			label, score = sp.sc.ClassifyTokenStream(sp.tok.Stream(msgs[i]))
+			ts := sp.tok.Stream(msgs[i])
+			label, score = sp.sc.ClassifyTokenStream(ts)
+			if d := ts.Digest(); e.trace.Sampled(d) {
+				e.trace.Record(obs.TraceEvent{
+					Kind: obs.TraceClassify, Digest: d, Generation: s.gen,
+					Shard: e.shard, Verdict: label.String(), Score: score,
+				})
+			}
 		} else {
-			label, score = clf.Classify(msgs[i])
+			label, score = s.clf.Classify(msgs[i])
 		}
 		out[i] = Result{Label: label, Score: score}
 	})
@@ -212,7 +272,7 @@ func (e *Engine) ClassifyBatch(ctx context.Context, msgs []*mail.Message) ([]Res
 		return nil, err
 	}
 	for i := range out {
-		e.byLabel[labelIndex(out[i].Label)].Add(1)
+		e.byLabel[labelIndex(out[i].Label)].Inc()
 	}
 	return out, nil
 }
@@ -254,8 +314,8 @@ func (e *Engine) run(ctx context.Context, n int, fn func(i int)) error {
 	if err := ParallelFor(ctx, n, workers, fn); err != nil {
 		return err
 	}
-	e.batches.Add(1)
-	e.batchNanos.Add(uint64(time.Since(start)))
+	e.batches.Inc()
+	e.batchLat.ObserveSince(start)
 	return nil
 }
 
@@ -318,10 +378,13 @@ func (e *Engine) Swap(clf Classifier) uint64 {
 }
 
 // publishLocked installs clf as the next generation. Callers hold
-// publishMu.
+// publishMu. Publish events always trace (they are generation-scoped,
+// not message-scoped, so sampling does not apply).
 func (e *Engine) publishLocked(clf Classifier) uint64 {
 	gen := e.cur.Load().gen + 1
 	e.cur.Store(&snapshot{clf: clf, gen: gen})
+	e.publishes.Inc()
+	e.trace.Record(obs.TraceEvent{Kind: obs.TracePublish, Generation: gen, Shard: e.shard})
 	return gen
 }
 
@@ -366,7 +429,9 @@ type Labeled struct {
 // wait is called — a send racing wait's return can block forever,
 // exactly like a send racing a close.
 func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, error)) {
-	clf := e.cur.Load().clf
+	cur := e.cur.Load()
+	clf := cur.clf
+	gen := cur.gen
 	learner, _ := clf.(StreamLearner)
 	in := make(chan Labeled, e.learnBuf)
 	done := make(chan struct{})
@@ -390,12 +455,21 @@ func (e *Engine) LearnStream(ctx context.Context) (chan<- Labeled, func() (int, 
 				if !ok {
 					return
 				}
+				start := time.Now()
 				if ex.Stream != nil && learner != nil {
 					learner.LearnTokenStream(ex.Stream, ex.Spam, 1)
 				} else {
 					clf.Learn(ex.Msg, ex.Spam)
 				}
-				e.learned.Add(1)
+				e.learnLat.ObserveSince(start)
+				e.learned.Inc()
+				if ex.Stream != nil {
+					if d := ex.Stream.Digest(); e.trace.Sampled(d) {
+						e.trace.Record(obs.TraceEvent{
+							Kind: obs.TraceLearn, Digest: d, Generation: gen, Shard: e.shard,
+						})
+					}
+				}
 				n++
 			}
 		}
@@ -468,12 +542,21 @@ type Stats struct {
 	Batches uint64
 	// ByLabel counts classification verdicts, indexed by Label.
 	ByLabel [3]uint64
+	// Publishes is the number of snapshot publishes performed by this
+	// process. Unlike Retrains it does not count pre-restart publishes
+	// an inherited generation line carries, so on a resumed engine
+	// Publishes < Retrains.
+	Publishes uint64
 	// BatchLatency is the cumulative wall-clock time spent in
-	// completed batch calls.
+	// completed batch calls, derived from the batch latency histogram's
+	// sum (the buckets behind it are exposed via /metrics).
 	BatchLatency time.Duration
 	// ClassifyLatency is the cumulative wall-clock time spent in
 	// single-message Classify calls — the online at-delivery hot path.
 	ClassifyLatency time.Duration
+	// LearnLatency is the cumulative wall-clock time spent training
+	// examples in LearnStream.
+	LearnLatency time.Duration
 	// Admission counts training candidates vetted through a Guarded
 	// wrapper (zero on an unguarded engine). Its Vetted total is
 	// derived from the per-verdict loads, so Vetted ==
@@ -487,21 +570,23 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	gen := e.cur.Load().gen
 	byLabel := [3]uint64{
-		e.byLabel[0].Load(),
-		e.byLabel[1].Load(),
-		e.byLabel[2].Load(),
+		e.byLabel[0].Value(),
+		e.byLabel[1].Value(),
+		e.byLabel[2].Value(),
 	}
 	return Stats{
 		Name:            e.name,
 		Generation:      gen,
 		Retrains:        gen - 1,
 		Classified:      byLabel[0] + byLabel[1] + byLabel[2],
-		Scored:          e.scored.Load(),
-		Learned:         e.learned.Load(),
-		Batches:         e.batches.Load(),
+		Scored:          e.scored.Value(),
+		Learned:         e.learned.Value(),
+		Batches:         e.batches.Value(),
 		ByLabel:         byLabel,
-		BatchLatency:    time.Duration(e.batchNanos.Load()),
-		ClassifyLatency: time.Duration(e.classifyNanos.Load()),
+		Publishes:       e.publishes.Value(),
+		BatchLatency:    e.batchLat.SumDuration(),
+		ClassifyLatency: e.classifyLat.SumDuration(),
+		LearnLatency:    e.learnLat.SumDuration(),
 		Admission:       e.admissionStats(),
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/mail"
+	"repro/internal/obs"
 )
 
 // ShardKey routes a message to a shard: the Sharded engine sends m to
@@ -66,6 +67,14 @@ type ShardedConfig struct {
 	LearnBuffer int
 	// Key routes messages to shards (nil selects RecipientKey).
 	Key ShardKey
+	// Obs, when non-nil, registers every shard's instruments with
+	// per-shard labels (engine="Name/i"), so an operator can see one
+	// shard's latency or admission mix diverge — the per-user
+	// blast-radius isolation made observable.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives each shard's sampled decision
+	// events, stamped with the shard index.
+	Trace *obs.Tracer
 }
 
 // Sharded is one logical filter partitioned across N independent
@@ -130,7 +139,10 @@ func newShardedAt(clfs []Classifier, gens []uint64, cfg ShardedConfig) *Sharded 
 			Name:        fmt.Sprintf("%s/%d", name, i),
 			Workers:     workers,
 			LearnBuffer: cfg.LearnBuffer,
+			Obs:         cfg.Obs,
+			Trace:       cfg.Trace,
 		})
+		s.shards[i].shard = int32(i)
 	}
 	return s
 }
@@ -470,8 +482,10 @@ func (s *Sharded) Stats() ShardedStats {
 		for l := range sh.ByLabel {
 			st.Combined.ByLabel[l] += sh.ByLabel[l]
 		}
+		st.Combined.Publishes += sh.Publishes
 		st.Combined.BatchLatency += sh.BatchLatency
 		st.Combined.ClassifyLatency += sh.ClassifyLatency
+		st.Combined.LearnLatency += sh.LearnLatency
 		// Admission counters sum from the same per-shard snapshot the
 		// breakdown reports, so sum(Shards[i].Admission) ==
 		// Combined.Admission holds even against concurrent vetting —

@@ -37,13 +37,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/mail"
+	"repro/internal/obs"
 )
 
 // Config tunes a Server.
@@ -69,6 +72,25 @@ type Config struct {
 	// Backend is the backend name stamped into saved snapshots, so a
 	// resume can rebuild the right classifier.
 	Backend string
+	// Obs, when non-nil, registers the front-end's instruments
+	// (per-route request counters and latency histograms, learn-queue
+	// depth and shed counters) and enables GET /metrics, which renders
+	// the whole registry — typically shared with the engine and
+	// admission layers — in Prometheus text exposition format. Nil
+	// still counts (the counters back Stats) but /metrics answers 404.
+	Obs *obs.Registry
+	// Trace, when non-nil, enables GET /trace, replaying the tracer's
+	// sampled decision events as NDJSON. The server records no events
+	// itself — the engine and admission layers sharing the tracer do.
+	Trace *obs.Tracer
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/ —
+	// opt-in because profiles are an information leak on an exposed
+	// port; enable it where the admin surface is already trusted.
+	EnablePprof bool
+	// Resumed records that the daemon restored its serving snapshot
+	// from a persisted store at startup; /healthz reports it so an
+	// operator can tell a fresh filter from a recovered one.
+	Resumed bool
 }
 
 // withDefaults resolves the zero values.
@@ -122,17 +144,25 @@ type Server struct {
 
 	mux *http.ServeMux
 
-	// Front-end traffic counters; engine-level counters (verdict
+	// Front-end traffic counters, obs-backed so /stats and /metrics
+	// read the same instruments; engine-level counters (verdict
 	// histogram, admission tallies) live on the engine itself and are
 	// reported alongside these in /stats.
-	classified  atomic.Uint64
-	scored      atomic.Uint64
-	learnQueued atomic.Uint64
-	learnShed   atomic.Uint64
-	trained     atomic.Uint64
-	publishes   atomic.Uint64
-	publishErrs atomic.Uint64
-	flushes     atomic.Uint64
+	classified  *obs.Counter
+	scored      *obs.Counter
+	learnQueued *obs.Counter
+	learnShed   *obs.Counter
+	trained     *obs.Counter
+	publishes   *obs.Counter
+	publishErrs *obs.Counter
+	flushes     *obs.Counter
+
+	// lastShed is the unix-nano timestamp of the most recent learn
+	// shed; /healthz reports degraded (503) while the queue is full
+	// and a shed is this recent — the sustained-shed readiness signal.
+	//
+	//sbvet:nostat readiness timestamp, not a monotone counter; healthz reads it, Stats does not
+	lastShed atomic.Int64
 }
 
 // NewSingle returns a started Server over one guarded engine.
@@ -162,6 +192,23 @@ func (s *Server) start() {
 	s.inflight = make(chan struct{}, s.cfg.MaxInflight)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.loopDone = make(chan struct{})
+
+	reg := s.cfg.Obs
+	s.classified = reg.Counter("serve_classified_total", "messages answered by the verdict endpoints (single and batch)")
+	s.scored = reg.Counter("serve_scored_total", "messages answered by the score endpoints (single and batch)")
+	s.learnQueued = reg.Counter("serve_learn_queued_total", "accepted learn submissions")
+	s.learnShed = reg.Counter("serve_learn_shed_total", "learn submissions refused with 503 while the queue was full")
+	s.trained = reg.Counter("serve_trained_total", "examples handed to the guard's retrain")
+	s.publishes = reg.Counter("serve_publishes_total", "successful learn-batch publishes")
+	s.publishErrs = reg.Counter("serve_publish_errors_total", "failed learn-batch publish attempts")
+	s.flushes = reg.Counter("serve_flushes_total", "completed /admin/flush drains")
+	reg.GaugeFunc("serve_learn_queue_depth", "learn submissions waiting in the bounded queue", func() float64 {
+		return float64(len(s.learnCh))
+	})
+	reg.GaugeFunc("serve_learn_queue_capacity", "learn queue bound (depth == capacity is the shed condition)", func() float64 {
+		return float64(cap(s.learnCh))
+	})
+
 	s.routes()
 	go s.learnLoop()
 }
@@ -180,20 +227,83 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /classify", s.handleClassify)
-	s.mux.HandleFunc("POST /score", s.handleScore)
-	s.mux.HandleFunc("POST /classify/batch", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("POST /classify", s.instrument("classify", s.handleClassify))
+	s.mux.HandleFunc("POST /score", s.instrument("score", s.handleScore))
+	s.mux.HandleFunc("POST /classify/batch", s.instrument("classify_batch", func(w http.ResponseWriter, r *http.Request) {
 		s.handleBatch(w, r, true)
-	})
-	s.mux.HandleFunc("POST /score/batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	s.mux.HandleFunc("POST /score/batch", s.instrument("score_batch", func(w http.ResponseWriter, r *http.Request) {
 		s.handleBatch(w, r, false)
-	})
-	s.mux.HandleFunc("POST /learn", s.handleLearn)
-	s.mux.HandleFunc("POST /admin/flush", s.handleFlush)
-	s.mux.HandleFunc("POST /admin/save", s.handleSave)
-	s.mux.HandleFunc("POST /admin/resume", s.handleResume)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	}))
+	s.mux.HandleFunc("POST /learn", s.instrument("learn", s.handleLearn))
+	s.mux.HandleFunc("POST /admin/flush", s.instrument("admin_flush", s.handleFlush))
+	s.mux.HandleFunc("POST /admin/save", s.instrument("admin_save", s.handleSave))
+	s.mux.HandleFunc("POST /admin/resume", s.instrument("admin_resume", s.handleResume))
+	s.mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /trace", s.instrument("trace", s.handleTrace))
+	if s.cfg.EnablePprof {
+		// Explicit handler mounts on the daemon's own mux — importing
+		// net/http/pprof for its side effect would register on the
+		// DefaultServeMux, which this server never serves.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// statusWriter captures the response status for the per-route
+// status-class counters. An implicit 200 (a handler that writes the
+// body without WriteHeader) is recorded on first Write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with its route's latency histogram and
+// status-class counters. The instruments are created once at route
+// registration — labels are the fixed route name plus a three-value
+// status class, so request traffic can move counters but never mint
+// new series.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rl := obs.L("route", route)
+	lat := s.cfg.Obs.Histogram("serve_request_seconds", "request latency by route", nil, rl)
+	classes := [3]*obs.Counter{
+		s.cfg.Obs.Counter("serve_requests_total", "requests by route and status class", rl, obs.L("code", "2xx")),
+		s.cfg.Obs.Counter("serve_requests_total", "requests by route and status class", rl, obs.L("code", "4xx")),
+		s.cfg.Obs.Counter("serve_requests_total", "requests by route and status class", rl, obs.L("code", "5xx")),
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		lat.ObserveSince(start)
+		switch {
+		case sw.status < 400:
+			classes[0].Inc()
+		case sw.status < 500:
+			classes[1].Inc()
+		default:
+			classes[2].Inc()
+		}
+	}
 }
 
 // learnLoop is the single learn consumer: it drains queued
@@ -264,11 +374,11 @@ func (s *Server) publishPending(pending *[]learnReq) flushResult {
 		}
 	}
 	if err != nil {
-		s.publishErrs.Add(1)
+		s.publishErrs.Inc()
 		return flushResult{gen: gen, err: err}
 	}
 	s.trained.Add(uint64(n))
-	s.publishes.Add(1)
+	s.publishes.Inc()
 	return flushResult{gen: gen, trained: n}
 }
 
@@ -335,7 +445,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := s.classify(req.Message.Mail())
-	s.classified.Add(1)
+	s.classified.Inc()
 	writeJSON(w, http.StatusOK, ClassifyResponse{
 		Label:      res.Label.String(),
 		Score:      res.Score,
@@ -353,7 +463,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	s.scored.Add(1)
+	s.scored.Inc()
 	writeJSON(w, http.StatusOK, ScoreResponse{Score: out[0], Generation: s.generation()})
 }
 
@@ -448,10 +558,11 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case s.learnCh <- learnReq{msg: req.Message.Mail(), spam: req.Spam}:
-		s.learnQueued.Add(1)
+		s.learnQueued.Inc()
 		writeJSON(w, http.StatusAccepted, LearnResponse{Queued: true, Depth: len(s.learnCh)})
 	default:
-		s.learnShed.Add(1)
+		s.learnShed.Inc()
+		s.lastShed.Store(time.Now().UnixNano())
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.RetryAfter)))
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
 			Error: "learn queue saturated; serving degraded to score-only",
@@ -489,7 +600,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, res.err.Error())
 			return
 		}
-		s.flushes.Add(1)
+		s.flushes.Inc()
 		writeJSON(w, http.StatusOK, FlushResponse{Flushed: res.trained, Generation: res.gen})
 	case <-r.Context().Done():
 		writeError(w, http.StatusServiceUnavailable, "flush timed out: learn consumer busy")
@@ -593,14 +704,14 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	return Stats{
 		Generation:    s.generation(),
-		Classified:    s.classified.Load(),
-		Scored:        s.scored.Load(),
-		LearnQueued:   s.learnQueued.Load(),
-		LearnShed:     s.learnShed.Load(),
-		Trained:       s.trained.Load(),
-		Publishes:     s.publishes.Load(),
-		PublishErrors: s.publishErrs.Load(),
-		Flushes:       s.flushes.Load(),
+		Classified:    s.classified.Value(),
+		Scored:        s.scored.Value(),
+		LearnQueued:   s.learnQueued.Value(),
+		LearnShed:     s.learnShed.Value(),
+		Trained:       s.trained.Value(),
+		Publishes:     s.publishes.Value(),
+		PublishErrors: s.publishErrs.Value(),
+		Flushes:       s.flushes.Value(),
 		QueueDepth:    len(s.learnCh),
 	}
 }
@@ -622,9 +733,69 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is the readiness probe. The daemon's one degraded
+// mode is score-only serving — the learn queue saturated and
+// submissions shedding — so that is exactly what flips readiness: the
+// queue is full right now AND a shed happened within two Retry-After
+// windows (a momentary full queue that drained is healthy; a full
+// queue still refusing work is not). Scoring works either way; the
+// 503 tells a load balancer to route learn traffic elsewhere.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	w.Write([]byte("ok\n"))
+	depth, capacity := len(s.learnCh), cap(s.learnCh)
+	shed := s.learnShed.Value()
+	resp := HealthResponse{
+		Status:             "ok",
+		Generation:         s.generation(),
+		Resumed:            s.cfg.Resumed,
+		LearnQueueDepth:    depth,
+		LearnQueueCapacity: capacity,
+		LearnShed:          shed,
+	}
+	status := http.StatusOK
+	if last := s.lastShed.Load(); depth == capacity && last != 0 &&
+		time.Since(time.Unix(0, last)) <= 2*s.cfg.RetryAfter {
+		resp.Status = "degraded"
+		resp.Reason = "learn queue saturated; serving degraded to score-only"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics renders the shared registry in Prometheus text
+// exposition format. 404 without a registry: the daemon was launched
+// without -metrics, and an empty page would read as "up but idle".
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Obs == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Obs.WriteText(w)
+}
+
+// handleTrace replays the tracer's ring — the sampled decision
+// lifecycles recorded by the engine and admission layers — as NDJSON,
+// oldest first. ?n=K bounds the replay to the most recent K events.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Trace == nil {
+		http.NotFound(w, r)
+		return
+	}
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad n: want a non-negative integer")
+			return
+		}
+		n = v
+	}
+	events := s.cfg.Trace.Last(n)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range events {
+		enc.Encode(&events[i])
+	}
 }
 
 // --- JSON plumbing ---

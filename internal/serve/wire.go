@@ -99,6 +99,20 @@ type ResumeResponse struct {
 	AdmissionLoaded    bool   `json:"admissionLoaded"`
 }
 
+// HealthResponse is the body of GET /healthz — the readiness report.
+// Status is "ok" (200) or "degraded" (503); degraded means the learn
+// queue is saturated and actively shedding, so the daemon is serving
+// score-only. Reason is set only when degraded.
+type HealthResponse struct {
+	Status             string `json:"status"`
+	Generation         uint64 `json:"generation"`
+	Resumed            bool   `json:"resumed"`
+	LearnQueueDepth    int    `json:"learnQueueDepth"`
+	LearnQueueCapacity int    `json:"learnQueueCapacity"`
+	LearnShed          uint64 `json:"learnShed"`
+	Reason             string `json:"reason,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx response, and of an
 // in-stream error line on the NDJSON batch endpoints.
 type ErrorResponse struct {

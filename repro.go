@@ -157,6 +157,40 @@
 // quietly reintroduce a second tokenization or rematerialize the
 // slice.
 //
+// # Observability
+//
+// The daemon is inspectable in production without touching its hot
+// paths. MetricsRegistry is a stdlib-only metrics registry — lock-free
+// atomic counters, gauges, and fixed-bucket histograms, plus
+// scrape-time sampled instruments for values that live under other
+// structs' locks (the RONI probe budget, quarantine depth) — rendered
+// in Prometheus text exposition format (v0.0.4). One registry is
+// shared across the layers: the engine registers classify/batch/learn
+// latency histograms, per-label verdict counters, and a generation
+// gauge (per-shard labels in sharded mode); the admitters register
+// their budget, memo, and quarantine accounting; the HTTP front-end
+// registers per-route request counters, status classes, latency
+// histograms, and learn-queue depth — and serves the whole registry at
+// GET /metrics. ParseMetricsText parses the exposition back (the load
+// generator scrapes before and after a run and cross-checks its
+// client-observed percentiles against the server's own histograms via
+// HistogramSnapshot.Sub and Quantile). DecisionTracer is the second
+// surface: a bounded ring of sampled per-message lifecycle events —
+// classify verdict, admission decision, quarantine hold and release,
+// learn, snapshot publish — each stamped with the serving generation
+// and a monotonic timestamp, sampled deterministically by token-stream
+// digest so one message's whole lifecycle samples coherently across
+// layers; GET /trace replays the ring as NDJSON. The statscomplete
+// analyzer extends to these instruments: a registered metric field a
+// Stats/Snapshot method never reads is a lint error, so /stats and
+// /metrics cannot silently disagree. Instrumentation adds zero
+// allocations to the classify hot path (pinned by benchmark), and a
+// nil registry or tracer is a working no-op, so every layer
+// instruments unconditionally. GET /healthz reports readiness
+// (generation, resume state, learn-queue saturation) and flips to 503
+// while the daemon sheds learn traffic; cmd/sbserved wires it all up
+// behind -metrics and -pprof flags.
+//
 // # Static analysis
 //
 // The serving and admission invariants described above are enforced
@@ -230,6 +264,7 @@ import (
 	"repro/internal/graham"
 	"repro/internal/lexicon"
 	"repro/internal/mail"
+	"repro/internal/obs"
 	"repro/internal/sbayes"
 	"repro/internal/scenario"
 	"repro/internal/serve"
@@ -687,8 +722,88 @@ type SaveResponse = serve.SaveResponse
 // ResumeResponse reports an in-place resume from the snapshot store.
 type ResumeResponse = serve.ResumeResponse
 
+// HealthResponse is the GET /healthz readiness report: "ok" or
+// "degraded" (503, learn queue saturated and shedding — score-only).
+type HealthResponse = serve.HealthResponse
+
 // ErrorResponse is the JSON error body every endpoint shares.
 type ErrorResponse = serve.ErrorResponse
+
+// ---- Observability (metrics registry + decision tracing) ----
+
+// MetricsRegistry is the stdlib-only metrics registry the daemon's
+// layers share: named counter/gauge/histogram families with bounded
+// label sets, lock-free on the hot path, rendered in Prometheus text
+// exposition format (v0.0.4) by WriteText — what GET /metrics serves.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry. A nil *MetricsRegistry
+// is a working no-op (instruments it vends never record), so layers
+// instrument unconditionally.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricLabel is one metric dimension (key="value"); series within a
+// family are keyed by their canonical sorted label set.
+type MetricLabel = obs.Label
+
+// NewMetricLabel builds one label.
+func NewMetricLabel(key, value string) MetricLabel { return obs.L(key, value) }
+
+// MetricCounter is a lock-free monotone counter.
+type MetricCounter = obs.Counter
+
+// MetricGauge is a lock-free instantaneous value.
+type MetricGauge = obs.Gauge
+
+// MetricHistogram is a fixed-bucket cumulative histogram: lock-free
+// atomic buckets, with the count derived from the buckets so the
+// exposition is monotone by construction.
+type MetricHistogram = obs.Histogram
+
+// HistogramSnapshot is one consistent-enough read of a histogram,
+// supporting interpolated Quantile and before/after Sub deltas.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// DefaultLatencyBuckets are the request-latency bucket bounds the
+// serving instruments use (100µs through 10s).
+var DefaultLatencyBuckets = obs.DefLatencyBuckets
+
+// ParsedMetrics is a parsed Prometheus text exposition — sample
+// values, family types, and reassembled validated histograms.
+type ParsedMetrics = obs.ParsedMetrics
+
+// ParseMetricsText parses a text exposition (a /metrics scrape) back
+// into queryable form, validating histogram bucket monotonicity.
+func ParseMetricsText(r io.Reader) (*ParsedMetrics, error) { return obs.ParseText(r) }
+
+// DecisionTracer is the bounded ring of sampled per-message decision
+// lifecycle events (classify, admit, hold, release, learn, publish),
+// each stamped with generation and monotonic timestamp. Sampling is
+// deterministic by token-stream digest, so one message's lifecycle
+// samples coherently across layers. A nil *DecisionTracer never
+// samples and never records.
+type DecisionTracer = obs.Tracer
+
+// NewDecisionTracer returns a tracer recording every every-th sampled
+// lifecycle into a ring of the given capacity.
+func NewDecisionTracer(capacity, every int) *DecisionTracer { return obs.NewTracer(capacity, every) }
+
+// TraceEvent is one recorded lifecycle event — what GET /trace
+// replays as NDJSON.
+type TraceEvent = obs.TraceEvent
+
+// TraceEventKind names one stage of a traced decision lifecycle.
+type TraceEventKind = obs.TraceKind
+
+// Trace lifecycle stages.
+const (
+	TraceClassify = obs.TraceClassify
+	TraceAdmit    = obs.TraceAdmit
+	TraceHold     = obs.TraceHold
+	TraceRelease  = obs.TraceRelease
+	TraceLearn    = obs.TraceLearn
+	TracePublish  = obs.TracePublish
+)
 
 // ---- Filter (the SpamBayes learner) ----
 
